@@ -1,0 +1,111 @@
+"""Shared world-building for the benchmark harness.
+
+Every benchmark reproduces one table or figure from the paper.  Scales
+are reduced (seconds instead of 120-second runs, GiB instead of 80 GiB
+volumes) so the whole harness finishes in minutes; the *shape* assertions
+— who wins, by roughly what factor, where crossovers fall — are what each
+benchmark checks, and the printed tables mirror the paper's rows/series
+(run with ``-s`` to see them).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.cluster import StorageCluster
+from repro.core import LSVDConfig
+from repro.devices.hdd import HDD, HDDSpec
+from repro.devices.ssd import SSD, SSDSpec
+from repro.runtime import (
+    BcacheRBDRuntime,
+    ClientMachine,
+    LSVDRuntime,
+    RBDRuntime,
+    SimulatedObjectStore,
+)
+from repro.sim import Simulator
+
+GiB = 1 << 30
+MiB = 1 << 20
+
+
+def ssd_cluster(sim: Simulator) -> StorageCluster:
+    """Table 1 config 1: 4 nodes x 8 consumer SATA SSDs."""
+    return StorageCluster(
+        sim, 4, 8, lambda s, n: SSD(s, SSDSpec.sata_consumer(), name=n)
+    )
+
+
+def hdd_cluster(sim: Simulator) -> StorageCluster:
+    """Table 1 config 2: 9 nodes x ~7 10K RPM SAS HDDs (62 disks)."""
+    return StorageCluster(sim, 9, 7, lambda s, n: HDD(s, HDDSpec.sas_10k(), name=n))
+
+
+@dataclass
+class LSVDWorld:
+    sim: Simulator
+    machine: ClientMachine
+    cluster: StorageCluster
+    backend: SimulatedObjectStore
+    device: LSVDRuntime
+
+
+@dataclass
+class BcacheWorld:
+    sim: Simulator
+    machine: ClientMachine
+    cluster: StorageCluster
+    rbd: RBDRuntime
+    device: BcacheRBDRuntime
+
+
+def make_lsvd(
+    volume=4 * GiB,
+    cache=8 * GiB,
+    cluster_fn=ssd_cluster,
+    config: LSVDConfig = None,
+    **kw,
+) -> LSVDWorld:
+    sim = Simulator()
+    machine = ClientMachine(sim)
+    cluster = cluster_fn(sim)
+    backend = SimulatedObjectStore(sim, cluster, machine.network)
+    device = LSVDRuntime(
+        sim, machine, backend, volume, cache, config or LSVDConfig(), name="vd", **kw
+    )
+    return LSVDWorld(sim, machine, cluster, backend, device)
+
+
+def make_bcache(
+    volume=4 * GiB, cache=8 * GiB, cluster_fn=ssd_cluster, **kw
+) -> BcacheWorld:
+    sim = Simulator()
+    machine = ClientMachine(sim)
+    cluster = cluster_fn(sim)
+    rbd = RBDRuntime(sim, machine, cluster)
+    device = BcacheRBDRuntime(sim, machine, rbd, cache_size=cache, **kw)
+    return BcacheWorld(sim, machine, cluster, rbd, device)
+
+
+def make_rbd(volume=4 * GiB, cluster_fn=ssd_cluster):
+    sim = Simulator()
+    machine = ClientMachine(sim)
+    cluster = cluster_fn(sim)
+    device = RBDRuntime(sim, machine, cluster)
+    return sim, machine, cluster, device
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment exactly once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

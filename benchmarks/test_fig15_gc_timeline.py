@@ -1,0 +1,89 @@
+"""Figure 15: garbage collection under varmail (live vs stale data).
+
+Paper result: varmail repeatedly re-writes the same blocks.  With GC
+disabled the stale data grows nearly linearly; with GC enabled cleaning
+starts once valid data drops to 70 % and the stale fraction stays bounded
+(~30 %) for the rest of the run, at an overall write amplification of
+1.176 and a throughput cost of ~2-10 %.
+"""
+
+import itertools
+
+import pytest
+
+from conftest import GiB, MiB, make_lsvd, ssd_cluster
+from repro.analysis import Table
+from repro.runtime.blockdev import drive_ops
+from repro.workloads import varmail
+
+DURATION = 4.0
+SAMPLE_EVERY = 0.5
+VOLUME = 512 * MiB
+
+
+def run_varmail(gc_enabled):
+    world = make_lsvd(volume=VOLUME, cache=2 * GiB, gc_enabled=gc_enabled)
+    model = varmail(VOLUME)
+    ops = model.ops(seed=3)
+    samples = []
+
+    def sampler():
+        while True:
+            yield world.sim.timeout(SAMPLE_EVERY)
+            live, total = world.device.occupancy()
+            samples.append((world.sim.now, live, total - live))
+
+    world.sim.process(sampler(), name="sampler")
+    result = drive_ops(
+        world.sim, world.device, itertools.islice(ops, 500_000), 16, DURATION
+    )
+    live, total = world.device.occupancy()
+    return {
+        "result": result,
+        "samples": samples,
+        "final_live": live,
+        "final_garbage": total - live,
+        "waf": world.device.write_amplification,
+        "gc_objects": world.device.gc_objects_put,
+    }
+
+
+def test_fig15_gc_timeline(once):
+    with_gc, without_gc = once(lambda: (run_varmail(True), run_varmail(False)))
+
+    table = Table(
+        "Figure 15: varmail live/stale data over time (LSVD, small cache)",
+        ["t(s)", "GC-on live MiB", "GC-on stale MiB", "GC-off live MiB", "GC-off stale MiB"],
+    )
+    for (t, live_on, stale_on), (_t2, live_off, stale_off) in zip(
+        with_gc["samples"], without_gc["samples"]
+    ):
+        table.add(
+            f"{t:.1f}",
+            f"{live_on / 2**20:.0f}",
+            f"{stale_on / 2**20:.0f}",
+            f"{live_off / 2**20:.0f}",
+            f"{stale_off / 2**20:.0f}",
+        )
+    table.show()
+    print(
+        f"GC-on WAF={with_gc['waf']:.3f} (paper 1.176), "
+        f"gc objects={with_gc['gc_objects']}, "
+        f"throughput cost="
+        f"{1 - with_gc['result'].ops / max(without_gc['result'].ops, 1):.1%} "
+        f"(paper ~10% for varmail)"
+    )
+
+    # with GC, the stale fraction is bounded near the threshold
+    total_on = with_gc["final_live"] + with_gc["final_garbage"]
+    assert total_on > 0
+    assert with_gc["final_garbage"] / total_on < 0.40
+    # without GC, garbage keeps growing and exceeds the GC-on level
+    assert without_gc["final_garbage"] > 1.5 * with_gc["final_garbage"]
+    assert without_gc["gc_objects"] == 0
+    # GC ran and cost only a modest slowdown
+    assert with_gc["gc_objects"] > 0
+    slowdown = 1 - with_gc["result"].ops / max(without_gc["result"].ops, 1)
+    assert slowdown < 0.30
+    # overall write amplification stays modest (paper: 1.176)
+    assert 1.0 <= with_gc["waf"] < 1.6

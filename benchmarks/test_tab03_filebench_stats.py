@@ -1,0 +1,75 @@
+"""Table 3: block-level behaviour of the Filebench models on ext4.
+
+Paper measurements (writes and bytes between commit barriers; mean write
+size after merging consecutive sequential writes):
+
+    fileserver: 12865 writes, 579 MiB, 94 KiB
+    oltp:        42.7 writes, 199 KiB, 4.7 KiB
+    varmail:      7.6 writes, 131 KiB, 27 KiB
+
+Our generators are calibrated against exactly these numbers.
+"""
+
+import itertools
+
+import pytest
+
+from repro.analysis import Table, format_bytes
+from repro.workloads import collect_stats, fileserver, oltp, varmail
+from repro.workloads.base import take
+
+GiB = 1 << 30
+KiB = 1024
+MiB = 1 << 20
+
+PAPER = {
+    "fileserver": (12865, 579 * MiB, 94 * KiB),
+    "oltp": (42.7, 199 * KiB, 4.7 * KiB),
+    "varmail": (7.6, 131 * KiB, 27 * KiB),
+}
+
+
+def measure():
+    out = {}
+    for name, model_fn in (("fileserver", fileserver), ("oltp", oltp), ("varmail", varmail)):
+        model = model_fn(2 * GiB)
+        n = 250_000 if name == "fileserver" else 150_000
+        out[name] = collect_stats(take(model.ops(seed=11), n))
+    return out
+
+
+def test_tab03_filebench_block_stats(once):
+    stats = once(measure)
+
+    table = Table(
+        "Table 3: Filebench block-level behaviour (measured vs paper)",
+        [
+            "workload",
+            "writes/sync",
+            "paper",
+            "bytes/sync",
+            "paper",
+            "mean write*",
+            "paper",
+        ],
+    )
+    for name, s in stats.items():
+        pw, pb, pm = PAPER[name]
+        table.add(
+            name,
+            f"{s.writes_between_syncs:.1f}",
+            f"{pw}",
+            format_bytes(s.bytes_between_syncs),
+            format_bytes(pb),
+            format_bytes(s.mean_write_size),
+            format_bytes(pm),
+        )
+    table.show()
+
+    # sync-heaviness ordering and magnitudes track the paper
+    assert stats["varmail"].writes_between_syncs == pytest.approx(7.6, rel=0.4)
+    assert stats["oltp"].writes_between_syncs == pytest.approx(42.7, rel=0.4)
+    assert stats["fileserver"].writes_between_syncs > 2000
+    assert stats["oltp"].mean_write_size == pytest.approx(4.7 * KiB, rel=0.5)
+    assert stats["varmail"].mean_write_size == pytest.approx(27 * KiB, rel=0.6)
+    assert stats["fileserver"].mean_write_size > 40 * KiB

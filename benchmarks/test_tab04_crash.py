@@ -1,0 +1,88 @@
+"""Table 4: crash tests — does the image survive losing the cache?
+
+The paper copies a 74K-file tree, resets the VM mid-copy, deletes the
+cache device, and tries to mount.  LSVD mounted cleanly 3/3; bcache
+produced one unmountable image whose files were all lost.
+
+We verify the underlying guarantee directly with stamped writes: after
+cache loss, an image "mounts" if it is a consistent prefix of the
+acknowledged write history (a filesystem journal replay is exactly a
+prefix-consistency check).
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import Table
+from repro.baselines import make_bcache_rbd
+from repro.core import LSVDConfig, LSVDVolume
+from repro.crash import HistoryRecorder, PrefixChecker
+from repro.devices.image import DiskImage
+from repro.objstore import InMemoryObjectStore
+
+MiB = 1 << 20
+TRIALS = 3
+WRITES = 400
+
+
+def lsvd_trial(seed):
+    store = InMemoryObjectStore()
+    image = DiskImage(2 * MiB)
+    cfg = LSVDConfig(batch_size=64 * 1024, checkpoint_interval=16)
+    vol = LSVDVolume.create(store, "vd", 16 * MiB, image, cfg)
+    rng = random.Random(seed)
+    rec = HistoryRecorder(vol.write, vol.flush)
+    for i in range(WRITES):
+        rec.write(rng.randrange(0, 2048) * 4096, 4096)
+        if rng.random() < 0.1:
+            rec.barrier()
+    # VM reset + cache deleted: mount from the backend alone
+    fresh = DiskImage(2 * MiB)
+    recovered = LSVDVolume.open(store, "vd", fresh, cfg, cache_lost=True)
+    verdict = PrefixChecker(rec).check(recovered.read)
+    return verdict.ok_prefix
+
+
+def bcache_trial(seed):
+    cache, backing, _img = make_bcache_rbd("b", 16 * MiB, 2 * MiB)
+    rng = random.Random(seed)
+    rec = HistoryRecorder(cache.write, cache.flush)
+    for i in range(WRITES):
+        rec.write(rng.randrange(0, 2048) * 4096, 4096)
+        if rng.random() < 0.15:
+            cache.writeback_step(max_blocks=4)  # LBA order, not write order
+    cache.lose_cache()
+    verdict = PrefixChecker(rec).check(lambda off, n: backing.read(off, n)[0])
+    return verdict.ok_prefix
+
+
+def run_matrix():
+    return (
+        [lsvd_trial(seed) for seed in range(TRIALS)],
+        [bcache_trial(seed) for seed in range(TRIALS * 3)],  # more seeds: the
+        # corruption is probabilistic, as in the paper's 1-in-3
+    )
+
+
+def test_tab04_crash_matrix(once):
+    lsvd_ok, bcache_ok = once(run_matrix)
+
+    table = Table(
+        "Table 4: consistency after crash + cache loss "
+        "('mounts' = recovered image is a consistent prefix)",
+        ["trial", "LSVD mounts?", "bcache mounts?"],
+    )
+    for i in range(max(len(lsvd_ok), len(bcache_ok))):
+        table.add(
+            i + 1,
+            "Yes" if i < len(lsvd_ok) and lsvd_ok[i] else ("-" if i >= len(lsvd_ok) else "NO"),
+            "Yes" if i < len(bcache_ok) and bcache_ok[i] else "NO",
+        )
+    table.show()
+
+    # paper: LSVD mounted in all cases
+    assert all(lsvd_ok)
+    # paper: bcache lost an image in 1 of 3 runs; over more seeds we
+    # must observe at least one corruption
+    assert not all(bcache_ok)

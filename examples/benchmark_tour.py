@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""A five-minute tour of the simulated performance stack.
+
+Runs miniature versions of three headline experiments — the in-cache
+random-write microbenchmark (Figure 6), the backend-load test (Figures
+12-13), and the write-back drain comparison (Figure 11) — and prints the
+same comparisons the paper makes.
+
+    python examples/benchmark_tour.py
+"""
+
+from repro.cluster import StorageCluster
+from repro.core import LSVDConfig
+from repro.devices.hdd import HDD, HDDSpec
+from repro.devices.ssd import SSD, SSDSpec
+from repro.runtime import (
+    BcacheRBDRuntime,
+    ClientMachine,
+    LSVDRuntime,
+    RBDRuntime,
+    SimulatedObjectStore,
+    run_fio,
+)
+from repro.sim import Simulator
+from repro.workloads import FioJob
+
+GiB = 1 << 30
+MiB = 1 << 20
+
+
+def ssd_pool(sim):
+    return StorageCluster(sim, 4, 8, lambda s, n: SSD(s, SSDSpec.sata_consumer(), name=n))
+
+
+def hdd_pool(sim):
+    return StorageCluster(sim, 9, 7, lambda s, n: HDD(s, HDDSpec.sas_10k(), name=n))
+
+
+def lsvd_stack(cluster_fn, cache=8 * GiB):
+    sim = Simulator()
+    machine = ClientMachine(sim)
+    cluster = cluster_fn(sim)
+    backend = SimulatedObjectStore(sim, cluster, machine.network)
+    dev = LSVDRuntime(sim, machine, backend, 4 * GiB, cache, LSVDConfig(), name="vd")
+    return sim, machine, cluster, dev
+
+
+def bcache_stack(cluster_fn, cache=8 * GiB):
+    sim = Simulator()
+    machine = ClientMachine(sim)
+    cluster = cluster_fn(sim)
+    rbd = RBDRuntime(sim, machine, cluster)
+    dev = BcacheRBDRuntime(sim, machine, rbd, cache_size=cache)
+    return sim, machine, cluster, dev
+
+
+def tour_fig6() -> None:
+    print("== in-cache 4K random writes (Figure 6) ==")
+    job = FioJob(rw="randwrite", bs=4096, iodepth=32, size=4 * GiB, seed=1)
+    sim, _m, _c, dev = lsvd_stack(ssd_pool)
+    lsvd = run_fio(sim, dev, job, duration=1.0, warmup=0.2)
+    sim, _m, _c, dev = bcache_stack(ssd_pool)
+    bc = run_fio(sim, dev, job, duration=1.0, warmup=0.2)
+    print(f"  LSVD   {lsvd.iops / 1e3:5.1f}K IOPS")
+    print(f"  bcache {bc.iops / 1e3:5.1f}K IOPS   (LSVD {lsvd.iops / bc.iops:.2f}x)\n")
+
+
+def tour_backend_load() -> None:
+    print("== 16K random-write backend load, 62-HDD pool (Figures 12-13) ==")
+    job = FioJob(rw="randwrite", bs=16384, iodepth=32, size=4 * GiB, seed=1)
+    sim, _m, cluster, dev = lsvd_stack(hdd_pool)
+    lsvd = run_fio(sim, dev, job, duration=2.0, warmup=0.5)
+    l_amp = cluster.totals().writes / max(dev.client_writes, 1)
+    l_util = cluster.mean_utilization()
+
+    sim2 = Simulator()
+    machine2 = ClientMachine(sim2)
+    cluster2 = hdd_pool(sim2)
+    rbd = RBDRuntime(sim2, machine2, cluster2)
+    r = run_fio(sim2, rbd, job, duration=2.0, warmup=0.5)
+    r_amp = cluster2.totals().writes / max(rbd.client_writes, 1)
+    r_util = cluster2.mean_utilization()
+
+    print(f"  LSVD  {lsvd.iops / 1e3:5.1f}K IOPS, backend {l_util:5.1%} busy, "
+          f"{l_amp:.2f} backend IOs per write")
+    print(f"  RBD   {r.iops / 1e3:5.1f}K IOPS, backend {r_util:5.1%} busy, "
+          f"{r_amp:.2f} backend IOs per write")
+    eff = (lsvd.iops / max(l_util, 1e-9)) / (r.iops / max(r_util, 1e-9))
+    print(f"  I/O-efficiency advantage: {eff:.0f}x (paper: ~25x)\n")
+
+
+def tour_writeback() -> None:
+    print("== write-back drain after a 128 MiB burst (Figure 11) ==")
+    from repro.runtime.blockdev import drive_ops
+
+    n = 128 * MiB // 4096
+    for name, stack in (("LSVD", lsvd_stack), ("bcache", bcache_stack)):
+        sim, _m, _c, dev = stack(hdd_pool, cache=4 * GiB)
+        job = FioJob(rw="randwrite", bs=4096, iodepth=32, size=2 * GiB, seed=5)
+        stream = job.ops()
+        drive_ops(sim, dev, (next(stream) for _ in range(n)), iodepth=32)
+        burst_end = sim.now
+        while dev.dirty_bytes > 0 and sim.now < burst_end + 600:
+            sim.run(until=sim.now + 1.0)
+        print(f"  {name:<7} burst {burst_end:6.1f}s, fully drained at "
+              f"{sim.now:7.1f}s")
+    print()
+
+
+if __name__ == "__main__":
+    tour_fig6()
+    tour_backend_load()
+    tour_writeback()

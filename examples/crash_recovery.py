@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Crash-consistency demo: LSVD vs a bcache-style write-back cache.
+
+Reproduces the essence of the paper's Table 4 interactively: both systems
+take the same write history, both lose their cache device, and we check
+whether what survives on the backend is a *consistent prefix* of the
+acknowledged writes (the property a filesystem journal needs to mount).
+
+    python examples/crash_recovery.py
+"""
+
+import random
+
+from repro.baselines import make_bcache_rbd
+from repro.core import LSVDConfig, LSVDVolume
+from repro.crash import HistoryRecorder, PrefixChecker
+from repro.devices.image import DiskImage
+from repro.objstore import InMemoryObjectStore
+
+MiB = 1 << 20
+
+
+def lsvd_run(seed: int) -> bool:
+    store = InMemoryObjectStore()
+    image = DiskImage(2 * MiB)
+    cfg = LSVDConfig(batch_size=64 * 1024, checkpoint_interval=16)
+    vol = LSVDVolume.create(store, "vd", 16 * MiB, image, cfg)
+    rec = HistoryRecorder(vol.write, vol.flush)
+    rng = random.Random(seed)
+    for _ in range(300):
+        rec.write(rng.randrange(0, 2048) * 4096, 4096)
+        if rng.random() < 0.1:
+            rec.barrier()
+    # catastrophic failure: the cache SSD is gone entirely
+    recovered = LSVDVolume.open(
+        store, "vd", DiskImage(2 * MiB), cfg, cache_lost=True
+    )
+    verdict = PrefixChecker(rec).check(recovered.read)
+    return verdict.ok_prefix
+
+
+def bcache_run(seed: int) -> bool:
+    cache, backing, _img = make_bcache_rbd("b", 16 * MiB, 2 * MiB)
+    rec = HistoryRecorder(cache.write, cache.flush)
+    rng = random.Random(seed)
+    for _ in range(300):
+        rec.write(rng.randrange(0, 2048) * 4096, 4096)
+        if rng.random() < 0.15:
+            # background write-back destages in LBA order, not write order
+            cache.writeback_step(max_blocks=4)
+    cache.lose_cache()
+    verdict = PrefixChecker(rec).check(lambda off, n: backing.read(off, n)[0])
+    return verdict.ok_prefix
+
+
+def main() -> None:
+    print("crash + cache loss: is the surviving image a consistent prefix?")
+    print(f"{'seed':>6}  {'LSVD':>8}  {'bcache+RBD':>12}")
+    lsvd_score = bcache_score = 0
+    trials = 6
+    for seed in range(trials):
+        ok_l = lsvd_run(seed)
+        ok_b = bcache_run(seed)
+        lsvd_score += ok_l
+        bcache_score += ok_b
+        print(f"{seed:>6}  {'mounts' if ok_l else 'CORRUPT':>8}  "
+              f"{'mounts' if ok_b else 'CORRUPT':>12}")
+    print(f"\nLSVD: {lsvd_score}/{trials} consistent; "
+          f"bcache+RBD: {bcache_score}/{trials} consistent")
+    print("(the paper's Table 4: LSVD 3/3, bcache lost one image of three)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Geographic replication by lazy object copy (§4.8).
+
+Because the LSVD backend is an ordered stream of immutable objects, a
+second site can be kept (slightly stale but always consistent) by copying
+objects with plain S3 COPY commands — no block-level replication protocol.
+
+    python examples/geo_replication.py
+"""
+
+import random
+
+from repro.core import LSVDConfig, LSVDVolume
+from repro.core.replication import Replicator
+from repro.crash import HistoryRecorder, PrefixChecker
+from repro.devices.image import DiskImage
+from repro.objstore import InMemoryObjectStore
+
+MiB = 1 << 20
+
+
+def main() -> None:
+    primary_s3 = InMemoryObjectStore()  # e.g. us-east-1
+    replica_s3 = InMemoryObjectStore()  # e.g. eu-west-1
+    cfg = LSVDConfig(batch_size=128 * 1024, checkpoint_interval=16)
+    vol = LSVDVolume.create(primary_s3, "vd", 64 * MiB, DiskImage(4 * MiB), cfg)
+    rep = Replicator(primary_s3, replica_s3, "vd", min_age=2.0)
+    rec = HistoryRecorder(vol.write, vol.flush)
+    rng = random.Random(7)
+
+    print("epoch  primary objects  replica objects  replica MiB")
+    for epoch in range(12):
+        for _ in range(400):
+            rec.write(rng.randrange(0, 4096) * 4096, 4096)
+        vol.poll()
+        rep.step(now=float(epoch))
+        print(f"{epoch:>5}  {len(primary_s3.list('vd.')):>15}  "
+              f"{len(replica_s3.list('vd.')):>15}  "
+              f"{rep.stats.bytes_copied / MiB:>10.1f}")
+    vol.drain()
+
+    skipped = rep.stats.objects_skipped_deleted
+    print(f"\nobjects deleted by GC before they could ship: {skipped}")
+    print("(the paper wrote 103 GB but only 85 GB crossed the wire)")
+
+    # mount the replica: recovery handles the missing tail + any holes
+    replica = LSVDVolume.open(
+        replica_s3, "vd", DiskImage(4 * MiB), cfg, cache_lost=True
+    )
+    verdict = PrefixChecker(rec).check(replica.read)
+    state = "a consistent prefix" if verdict.ok_prefix else "CORRUPT"
+    print(f"replica mounts as {state}: reflects {verdict.cut} of "
+          f"{rec.writes_issued} writes")
+    assert verdict.ok_prefix
+
+
+if __name__ == "__main__":
+    main()

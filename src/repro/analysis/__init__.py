@@ -1,0 +1,10 @@
+"""Result formatting and summarisation for the benchmark harness."""
+
+from repro.analysis.report import (
+    Table,
+    format_bytes,
+    format_rate,
+    size_histogram_table,
+)
+
+__all__ = ["Table", "format_bytes", "format_rate", "size_histogram_table"]

@@ -1,0 +1,70 @@
+"""Plain-text tables matching the paper's figures and tables.
+
+Each benchmark prints the same rows/series the paper reports, so the
+output of ``pytest benchmarks/ --benchmark-only -s`` can be laid next to
+the published figures for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024 or unit == "TiB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{int(n)}B"
+        n /= 1024
+    return f"{n:.1f}TiB"
+
+
+def format_rate(bytes_per_sec: float) -> str:
+    return f"{bytes_per_sec / 1e6:.1f}MB/s"
+
+
+class Table:
+    """A fixed-width text table with a caption."""
+
+    def __init__(self, caption: str, columns: Sequence[str]):
+        self.caption = caption
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError("cell count does not match columns")
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.caption, ""]
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print("\n" + self.render() + "\n")
+
+
+def size_histogram_table(
+    caption: str, histograms: Dict[str, Dict[int, int]], buckets: Optional[List[int]] = None
+) -> Table:
+    """Figure 14-style table: bytes written per I/O-size bucket."""
+    if buckets is None:
+        keys = set()
+        for hist in histograms.values():
+            keys.update(hist)
+        buckets = sorted(keys)
+    table = Table(caption, ["IO size", *histograms.keys()])
+    for bucket in buckets:
+        table.add(
+            format_bytes(bucket),
+            *(format_bytes(h.get(bucket, 0)) for h in histograms.values()),
+        )
+    return table

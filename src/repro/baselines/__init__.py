@@ -1,0 +1,20 @@
+"""Baseline systems the paper compares against (§4.1, §5).
+
+* :class:`~repro.baselines.rbd.RBDVolume` — a Ceph-RBD-like virtual disk:
+  the image is split into mutable 4 MiB objects, every write is performed
+  immediately at three replicas with a journal entry each (6 device I/Os
+  per client write).
+* :class:`~repro.baselines.bcache.BCache` — a bcache-like write-back SSD
+  cache: B-tree-indexed cache blocks, metadata persisted only on commit
+  barriers, write-back paused under load, and **no ordering guarantee**
+  between cache and backing device — losing the cache can leave the
+  backing image unrecoverable (Table 4).
+* :func:`~repro.baselines.stacked.make_bcache_rbd` — the combined
+  bcache-over-RBD stack used as the paper's main comparison point.
+"""
+
+from repro.baselines.bcache import BCache, BCacheStats
+from repro.baselines.rbd import BackendWrite, RBDVolume
+from repro.baselines.stacked import make_bcache_rbd
+
+__all__ = ["BCache", "BCacheStats", "BackendWrite", "RBDVolume", "make_bcache_rbd"]

@@ -1,0 +1,228 @@
+"""A bcache-like write-back SSD cache baseline (§4.1, §5).
+
+Behaviours the paper contrasts with LSVD, all modelled here:
+
+* **update-in-place cache blocks** indexed by a B-tree: cache writes land
+  wherever the allocator points, not in a log, so small random client
+  writes stay random at the device;
+* **metadata persistence on every commit barrier**: dirty B-tree nodes
+  must be written out before the flush completes — the extra I/Os that
+  make bcache up to 4x slower on sync-heavy workloads (§4.2.2);
+* **write-back throttling**: under client load, write-back is paused
+  entirely (the paper observed no destaging until the benchmark ended,
+  Figure 11), and destaging proceeds in *LBA order*, not arrival order;
+* **no ordering contract with the backing device**: if the cache device
+  dies, the backing image contains an arbitrary subset of writes —
+  possibly violating prefix consistency, which is how Table 4's
+  unmountable filesystem happens.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.rbd import RBDVolume
+from repro.core.extent_map import ExtentMap
+from repro.devices.image import DiskImage
+
+BLOCK = 4096
+
+
+@dataclass
+class BCacheStats:
+    client_writes: int = 0
+    client_reads: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    metadata_writes: int = 0  # B-tree node writes (on barriers)
+    destaged_writes: int = 0
+    destaged_bytes: int = 0
+    barriers: int = 0
+
+
+@dataclass
+class _DirtyBlock:
+    lba: int
+    cache_offset: int
+    arrival: int  # global arrival index (to demonstrate reordering)
+
+
+class BCache:
+    """Write-back cache over a backing volume, bcache-style."""
+
+    #: approximate number of extents indexed per 4 KiB B-tree node
+    EXTENTS_PER_BTREE_NODE = 128
+
+    def __init__(
+        self,
+        cache_image: DiskImage,
+        backing: RBDVolume,
+        writeback: bool = True,
+    ):
+        self.cache = cache_image
+        self.backing = backing
+        self.writeback = writeback
+        self.map = ExtentMap()  # vLBA -> ("cache", cache offset)
+        self._by_offset: Dict[int, int] = {}  # cache offset -> block lba
+        self.dirty: Dict[int, _DirtyBlock] = {}  # keyed by lba
+        self._alloc = 0
+        self._arrival = 0
+        self._dirty_btree_nodes: set = set()
+        self._meta_region = self._meta_size()
+        self.stats = BCacheStats()
+
+    def _meta_size(self) -> int:
+        # reserve ~1/64 of the cache device for B-tree nodes
+        return max(BLOCK * 16, self.cache.size // 64 // BLOCK * BLOCK)
+
+    @property
+    def data_size(self) -> int:
+        return (self.cache.size - self._meta_region) // BLOCK * BLOCK
+
+    # ------------------------------------------------------------------
+    # client operations
+    # ------------------------------------------------------------------
+    def write(self, offset: int, data: bytes) -> None:
+        """Cache the write; durable mapping only after a barrier."""
+        self._check(offset, len(data))
+        self.stats.client_writes += 1
+        pos = 0
+        while pos < len(data):
+            take = min(BLOCK - (offset + pos) % BLOCK, len(data) - pos)
+            self._write_block(offset + pos, data[pos : pos + take])
+            pos += take
+
+    def _write_block(self, lba: int, data: bytes) -> None:
+        block_lba = lba // BLOCK * BLOCK
+        existing = [e for e in self.map.lookup(block_lba, BLOCK)]
+        if existing and existing[0].lba == block_lba and existing[0].length == BLOCK:
+            cache_off = existing[0].offset
+        else:
+            cache_off = self._allocate(block_lba)
+        # read-modify-write within the 4K cache block
+        current = bytearray(self.cache.read(cache_off, BLOCK))
+        current[lba - block_lba : lba - block_lba + len(data)] = data
+        self.cache.write(cache_off, bytes(current))
+        self.map.update(block_lba, BLOCK, "cache", cache_off)
+        self._by_offset[cache_off] = block_lba
+        entry = self.dirty.get(block_lba)
+        if entry is None:
+            self.dirty[block_lba] = _DirtyBlock(block_lba, cache_off, self._arrival)
+        else:
+            entry.cache_offset = cache_off
+        self._arrival += 1
+        self._dirty_btree_nodes.add(block_lba // (BLOCK * self.EXTENTS_PER_BTREE_NODE))
+
+    def _allocate(self, block_lba: int) -> int:
+        """Bump allocator over the data area; evicts clean blocks."""
+        for _ in range(self.data_size // BLOCK):
+            offset = self._meta_region + self._alloc
+            self._alloc = (self._alloc + BLOCK) % self.data_size
+            victim_lba = self._by_offset.get(offset)
+            if victim_lba is not None and victim_lba in self.dirty:
+                continue  # cannot evict dirty blocks
+            if victim_lba is not None:
+                self.map.remove(victim_lba, BLOCK)
+                del self._by_offset[offset]
+            return offset
+        raise RuntimeError("cache full of dirty data; write-back required")
+
+    def read(self, offset: int, length: int) -> bytes:
+        self._check(offset, length)
+        self.stats.client_reads += 1
+        out = bytearray(length)
+        cursor = offset
+        for start, piece_len, ext in self.map.lookup_with_gaps(offset, length):
+            if ext is not None:
+                self.stats.cache_hits += 1
+                data = self.cache.read(
+                    ext.offset + (start - ext.lba), piece_len
+                )
+            else:
+                self.stats.cache_misses += 1
+                data, _ops = self.backing.read(start, piece_len)
+                self._insert_clean(start, data)
+            out[start - offset : start - offset + piece_len] = data
+        return bytes(out)
+
+    def _insert_clean(self, lba: int, data: bytes) -> None:
+        pos = 0
+        while pos < len(data):
+            block_lba = (lba + pos) // BLOCK * BLOCK
+            if block_lba >= lba and block_lba + BLOCK <= lba + len(data):
+                off = self._allocate(block_lba)
+                self.cache.write(off, data[block_lba - lba : block_lba - lba + BLOCK])
+                self.map.update(block_lba, BLOCK, "cache", off)
+                self._by_offset[off] = block_lba
+            pos += BLOCK
+
+    def flush(self) -> int:
+        """Commit barrier: persist dirty B-tree nodes, then flush.
+
+        Returns the number of metadata writes performed — the extra cost
+        LSVD's pure log avoids (§4.2.2).
+        """
+        meta_writes = len(self._dirty_btree_nodes)
+        for node in sorted(self._dirty_btree_nodes):
+            node_off = (node * BLOCK) % self._meta_region
+            self.cache.write(node_off, b"\xb7" * BLOCK)  # btree node image
+            self.stats.metadata_writes += 1
+        self._dirty_btree_nodes.clear()
+        self.cache.flush()
+        self.stats.barriers += 1
+        return meta_writes
+
+    # ------------------------------------------------------------------
+    # write-back
+    # ------------------------------------------------------------------
+    def writeback_step(self, max_blocks: int = 64, under_load: bool = False) -> int:
+        """Destage up to ``max_blocks`` dirty blocks to the backing volume.
+
+        bcache throttles write-back under client load — with ``under_load``
+        nothing is destaged (Figure 11's red curve).  Destaging proceeds in
+        **LBA order** (bcache scans its B-tree), not arrival order, which
+        is precisely why the backing image is not prefix-consistent.
+        """
+        if under_load or not self.writeback:
+            return 0
+        destaged = 0
+        for lba in sorted(self.dirty):
+            if destaged >= max_blocks:
+                break
+            entry = self.dirty.pop(lba)
+            data = self.cache.read(entry.cache_offset, BLOCK)
+            self.backing.write(lba, data)
+            self.stats.destaged_writes += 1
+            self.stats.destaged_bytes += BLOCK
+            destaged += 1
+        return destaged
+
+    @property
+    def dirty_blocks(self) -> int:
+        return len(self.dirty)
+
+    @property
+    def dirty_bytes(self) -> int:
+        return len(self.dirty) * BLOCK
+
+    # ------------------------------------------------------------------
+    # failure
+    # ------------------------------------------------------------------
+    def lose_cache(self) -> None:
+        """Cache device dies: all cached-but-not-destaged data is gone.
+
+        The backing volume is left with whatever arbitrary subset of
+        writes happened to be destaged — the unmountable-filesystem
+        scenario of Table 4.
+        """
+        self.cache.lose()
+        self.map.clear()
+        self._by_offset.clear()
+        self.dirty.clear()
+        self._dirty_btree_nodes.clear()
+
+    def _check(self, offset: int, length: int) -> None:
+        if offset < 0 or offset + length > self.backing.size:
+            raise ValueError("I/O beyond end of volume")

@@ -1,0 +1,107 @@
+"""A Ceph-RBD-like baseline virtual disk (§2.1, §5).
+
+The disk image is striped over mutable, fixed-size (4 MiB) objects placed
+by consistent hashing; every client write is applied synchronously and
+replicated, pairing a write-ahead-journal append with the data write at
+each replica.  The pure class keeps the image content (for correctness
+checks) and emits :class:`BackendWrite` descriptors describing the device
+I/O each operation generates; the timed runtime replays those descriptors
+against the cluster simulator.
+
+RBD acknowledges a write only after all replicas persist it, so — unlike
+a write-back cache — a bare RBD volume is always crash-consistent, just
+slow for small writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.devices.image import DiskImage
+
+MiB = 1 << 20
+
+
+@dataclass(frozen=True)
+class BackendWrite:
+    """One logical backend operation (pre-replication)."""
+
+    object_key: str
+    offset: int  # offset within the object
+    nbytes: int
+    io_class: str  # "data" | "journal" | "read"
+
+
+@dataclass
+class RBDStats:
+    client_writes: int = 0
+    client_reads: int = 0
+    client_bytes_written: int = 0
+    client_bytes_read: int = 0
+
+
+class RBDVolume:
+    """Replicated mutable-object virtual disk."""
+
+    def __init__(self, name: str, size: int, object_size: int = 4 * MiB):
+        if size <= 0 or object_size <= 0:
+            raise ValueError("size and object_size must be positive")
+        self.name = name
+        self.size = size
+        self.object_size = object_size
+        self.image = DiskImage(size, name=f"rbd-{name}")
+        self.stats = RBDStats()
+
+    # ------------------------------------------------------------------
+    def object_key(self, index: int) -> str:
+        return f"{self.name}.obj{index:08d}"
+
+    def _split(self, offset: int, length: int) -> List[Tuple[int, int, int]]:
+        """Split a range into (object index, offset in object, length)."""
+        out = []
+        while length > 0:
+            index = offset // self.object_size
+            obj_off = offset % self.object_size
+            take = min(length, self.object_size - obj_off)
+            out.append((index, obj_off, take))
+            offset += take
+            length -= take
+        return out
+
+    # ------------------------------------------------------------------
+    def write(self, offset: int, data: bytes) -> List[BackendWrite]:
+        """Apply a client write; returns the backend ops it generates.
+
+        The returned descriptors are per-replica-set: the layout multiplies
+        them by the replica count and adds the journal copies.
+        """
+        self._check(offset, len(data))
+        self.image.write(offset, data)
+        self.image.flush()  # replicated+journaled: durable on ack
+        self.stats.client_writes += 1
+        self.stats.client_bytes_written += len(data)
+        ops = []
+        pos = 0
+        for index, obj_off, take in self._split(offset, len(data)):
+            ops.append(BackendWrite(self.object_key(index), obj_off, take, "data"))
+            pos += take
+        return ops
+
+    def read(self, offset: int, length: int) -> Tuple[bytes, List[BackendWrite]]:
+        self._check(offset, length)
+        self.stats.client_reads += 1
+        self.stats.client_bytes_read += length
+        ops = [
+            BackendWrite(self.object_key(index), obj_off, take, "read")
+            for index, obj_off, take in self._split(offset, length)
+        ]
+        return self.image.read(offset, length), ops
+
+    def flush(self) -> List[BackendWrite]:
+        """Commit barrier: a no-op, RBD writes are durable when acked."""
+        return []
+
+    def _check(self, offset: int, length: int) -> None:
+        if offset < 0 or offset + length > self.size:
+            raise ValueError("I/O beyond end of volume")

@@ -1,0 +1,22 @@
+"""The bcache-over-RBD stack the paper benchmarks against (§4.1)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.baselines.bcache import BCache
+from repro.baselines.rbd import RBDVolume
+from repro.devices.image import DiskImage
+
+
+def make_bcache_rbd(
+    name: str,
+    volume_size: int,
+    cache_size: int,
+) -> Tuple[BCache, RBDVolume, DiskImage]:
+    """Build the paper's comparison stack: bcache in write-back mode over
+    a triple-replicated RBD volume.  Returns (cache, backing, cache image)."""
+    backing = RBDVolume(name, volume_size)
+    cache_image = DiskImage(cache_size, name=f"bcache-{name}")
+    cache = BCache(cache_image, backing, writeback=True)
+    return cache, backing, cache_image

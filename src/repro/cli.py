@@ -1,0 +1,227 @@
+"""Command-line interface for LSVD volumes on a directory object store.
+
+Gives the library the operational surface of a real block-storage tool::
+
+    python -m repro.cli ROOT create  VOLUME --size 64M
+    python -m repro.cli ROOT info    VOLUME
+    python -m repro.cli ROOT import  VOLUME FILE [--offset N]
+    python -m repro.cli ROOT export  VOLUME FILE [--offset N --length N]
+    python -m repro.cli ROOT snapshot VOLUME NAME
+    python -m repro.cli ROOT clone   BASE NEW [--snapshot NAME]
+    python -m repro.cli ROOT replicate VOLUME TARGET_ROOT
+    python -m repro.cli ROOT fsck    VOLUME
+    python -m repro.cli ROOT scrub   VOLUME
+
+``ROOT`` is a directory acting as the S3 bucket; the cache SSD is an
+ephemeral in-memory image (each invocation mounts with ``cache_lost``,
+i.e. from the backend's consistent prefix — exactly the crash-safe path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import LSVDConfig, LSVDVolume
+from repro.core.errors import LSVDError, VolumeExistsError, VolumeNotFoundError
+from repro.core.replication import Replicator
+from repro.core.scrub import Scrubber
+from repro.devices.image import DiskImage
+from repro.objstore.directory import DirectoryObjectStore
+from repro.tools import fsck_volume
+
+MiB = 1 << 20
+DEFAULT_CACHE = 16 * MiB
+
+
+def parse_size(text: str) -> int:
+    """'64M', '1G', '512K', or plain bytes."""
+    text = text.strip().upper()
+    factor = 1
+    if text and text[-1] in "KMGT":
+        factor = 1024 ** ("KMGT".index(text[-1]) + 1)
+        text = text[:-1]
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad size {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError("size must be positive")
+    return value * factor
+
+
+def _config() -> LSVDConfig:
+    return LSVDConfig(batch_size=1 * MiB, checkpoint_interval=16)
+
+
+def _open(store: DirectoryObjectStore, name: str) -> LSVDVolume:
+    return LSVDVolume.open(
+        store, name, DiskImage(DEFAULT_CACHE), _config(), cache_lost=True
+    )
+
+
+def cmd_create(store, args) -> int:
+    LSVDVolume.create(store, args.volume, args.size, DiskImage(DEFAULT_CACHE), _config())
+    print(f"created {args.volume!r}: {args.size} bytes")
+    return 0
+
+
+def cmd_info(store, args) -> int:
+    from repro.core.block_store import BlockStore
+
+    meta = BlockStore.read_super(store, args.volume)
+    vol = _open(store, args.volume)
+    live, total = vol.occupancy()
+    print(f"volume:     {args.volume}")
+    print(f"size:       {meta['size']} bytes")
+    print(f"uuid:       {meta['uuid']}")
+    print(f"snapshots:  {', '.join(meta.get('snapshots', {})) or '-'}")
+    print(f"base chain: {meta.get('base_chain') or '-'}")
+    print(f"objects:    {len(store.list(args.volume + '.'))}")
+    print(f"backend:    {store.total_bytes(args.volume + '.') / MiB:.2f} MiB "
+          f"({live / MiB:.2f} MiB live, {max(total - live, 0) / MiB:.2f} MiB garbage)")
+    return 0
+
+
+def cmd_import(store, args) -> int:
+    vol = _open(store, args.volume)
+    with open(args.file, "rb") as fh:
+        data = fh.read()
+    pad = (-len(data)) % 512
+    vol.write(args.offset, data + b"\x00" * pad)
+    vol.close()
+    print(f"imported {len(data)} bytes at offset {args.offset}")
+    return 0
+
+
+def cmd_export(store, args) -> int:
+    vol = _open(store, args.volume)
+    length = args.length if args.length else vol.size - args.offset
+    with open(args.file, "wb") as fh:
+        pos = args.offset
+        remaining = length
+        while remaining > 0:
+            take = min(remaining, 4 * MiB)
+            fh.write(vol.read(pos, take))
+            pos += take
+            remaining -= take
+    print(f"exported {length} bytes to {args.file}")
+    return 0
+
+
+def cmd_snapshot(store, args) -> int:
+    vol = _open(store, args.volume)
+    seq = vol.snapshot(args.name)
+    vol.close()
+    print(f"snapshot {args.name!r} at sequence {seq}")
+    return 0
+
+
+def cmd_clone(store, args) -> int:
+    LSVDVolume.clone(
+        store, args.base, args.new, DiskImage(DEFAULT_CACHE), _config(),
+        at_snapshot=args.snapshot,
+    )
+    origin = f"{args.base}@{args.snapshot}" if args.snapshot else args.base
+    print(f"cloned {origin} -> {args.new}")
+    return 0
+
+
+def cmd_replicate(store, args) -> int:
+    target = DirectoryObjectStore(args.target_root)
+    rep = Replicator(store, target, args.volume, min_age=0.0)
+    rep.observe(now=0.0)
+    copied = rep.step(now=1.0)
+    print(f"replicated {len(copied)} objects "
+          f"({rep.stats.bytes_copied / MiB:.2f} MiB) to {args.target_root}")
+    if rep.stats.checkpoints_deferred:
+        print(f"deferred {rep.stats.checkpoints_deferred} checkpoint(s); "
+              "run again after the source checkpoints")
+    return 0
+
+
+def cmd_fsck(store, args) -> int:
+    report = fsck_volume(store, args.volume)
+    print(report.summary())
+    return 0 if report.healthy else 1
+
+
+def cmd_scrub(store, args) -> int:
+    vol = _open(store, args.volume)
+    scrubber = Scrubber(vol.bs)
+    findings = scrubber.full_pass()
+    print(f"scrubbed {scrubber.stats.objects_checked} objects, "
+          f"{scrubber.stats.bytes_verified / MiB:.2f} MiB")
+    for finding in findings:
+        print(f"  seq {finding.seq}: {finding.problem}")
+    return 0 if not findings else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="LSVD volume management"
+    )
+    parser.add_argument("root", help="object-store directory (the 'bucket')")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("create", help="create a new volume")
+    p.add_argument("volume")
+    p.add_argument("--size", type=parse_size, default=64 * MiB)
+    p.set_defaults(fn=cmd_create)
+
+    p = sub.add_parser("info", help="show volume metadata and usage")
+    p.add_argument("volume")
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("import", help="write a file's bytes into the volume")
+    p.add_argument("volume")
+    p.add_argument("file")
+    p.add_argument("--offset", type=parse_size, default=0)
+    p.set_defaults(fn=cmd_import)
+
+    p = sub.add_parser("export", help="read volume bytes out to a file")
+    p.add_argument("volume")
+    p.add_argument("file")
+    p.add_argument("--offset", type=parse_size, default=0)
+    p.add_argument("--length", type=parse_size, default=0)
+    p.set_defaults(fn=cmd_export)
+
+    p = sub.add_parser("snapshot", help="create a snapshot")
+    p.add_argument("volume")
+    p.add_argument("name")
+    p.set_defaults(fn=cmd_snapshot)
+
+    p = sub.add_parser("clone", help="create a copy-on-write clone")
+    p.add_argument("base")
+    p.add_argument("new")
+    p.add_argument("--snapshot", default=None)
+    p.set_defaults(fn=cmd_clone)
+
+    p = sub.add_parser("replicate", help="copy the object stream elsewhere")
+    p.add_argument("volume")
+    p.add_argument("target_root")
+    p.set_defaults(fn=cmd_replicate)
+
+    p = sub.add_parser("fsck", help="verify the object stream")
+    p.add_argument("volume")
+    p.set_defaults(fn=cmd_fsck)
+
+    p = sub.add_parser("scrub", help="deep-verify every object's CRC")
+    p.add_argument("volume")
+    p.set_defaults(fn=cmd_scrub)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    store = DirectoryObjectStore(args.root)
+    try:
+        return args.fn(store, args)
+    except (VolumeNotFoundError, VolumeExistsError, LSVDError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

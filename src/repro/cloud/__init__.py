@@ -1,0 +1,17 @@
+"""Cloud deployability cost model (§4.9)."""
+
+from repro.cloud.cost import (
+    EBSPricing,
+    EC2Pricing,
+    S3Pricing,
+    ebs_monthly_cost,
+    lsvd_monthly_cost,
+)
+
+__all__ = [
+    "EBSPricing",
+    "EC2Pricing",
+    "S3Pricing",
+    "ebs_monthly_cost",
+    "lsvd_monthly_cost",
+]

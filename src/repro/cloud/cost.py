@@ -1,0 +1,123 @@
+"""Price model for §4.9 (Deployability).
+
+The paper's argument: LSVD's peak random-I/O rate on an EC2 instance with
+local NVMe plus S3 approaches EBS's maximum provisioned-IOPS tier, but EBS
+charges for *provisioned* IOPS around the clock (50K IOPS ≈ $3,250/month
+on io1 at 2022 list prices), while LSVD pays only S3 storage plus
+per-request fees that scale with actual use — a few dollars a month for
+bursty workloads, because batching turns thousands of client writes into
+a single S3 PUT.
+
+Prices are 2022 us-east-1 list prices (the paper's experiments ran in
+us-east-1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SECONDS_PER_MONTH = 30 * 24 * 3600
+
+
+@dataclass(frozen=True)
+class EBSPricing:
+    """AWS EBS io1 provisioned-IOPS volume (2022 us-east-1)."""
+
+    per_iops_month: float = 0.065
+    per_gb_month: float = 0.125
+
+
+@dataclass(frozen=True)
+class S3Pricing:
+    """AWS S3 standard (2022 us-east-1)."""
+
+    per_gb_month: float = 0.023
+    per_1k_put: float = 0.005
+    per_1k_get: float = 0.0004
+
+
+@dataclass(frozen=True)
+class EC2Pricing:
+    """m5d.xlarge on-demand (included for completeness; the paper's
+    comparison is volume-vs-volume, the instance exists either way)."""
+
+    per_hour: float = 0.226
+
+
+def ebs_monthly_cost(
+    provisioned_iops: int, size_gb: float, pricing: EBSPricing = EBSPricing()
+) -> float:
+    """Monthly cost of an EBS io1 volume: you pay IOPS whether used or not."""
+    if provisioned_iops < 0 or size_gb < 0:
+        raise ValueError("negative inputs")
+    return provisioned_iops * pricing.per_iops_month + size_gb * pricing.per_gb_month
+
+
+def lsvd_monthly_cost(
+    size_gb: float,
+    write_iops: float,
+    write_size: int = 16 * 1024,
+    batch_size: int = 8 << 20,
+    read_iops: float = 0.0,
+    read_hit_rate: float = 0.95,
+    duty_cycle: float = 0.01,
+    gc_waf: float = 1.2,
+    ec_expansion: float = 1.0,
+    pricing: S3Pricing = S3Pricing(),
+) -> float:
+    """Monthly cost of an LSVD volume on S3.
+
+    ``duty_cycle`` is the fraction of the month the volume actually runs
+    at ``write_iops``/``read_iops``; batching divides write requests by
+    ``batch_size / write_size``; the local cache absorbs ``read_hit_rate``
+    of reads.  GC costs extra PUTs (``gc_waf``); erasure coding or
+    versioning expansion can be folded into ``ec_expansion``.
+    """
+    if not 0 <= duty_cycle <= 1:
+        raise ValueError("duty_cycle must be within [0, 1]")
+    active_seconds = SECONDS_PER_MONTH * duty_cycle
+    client_bytes = write_iops * write_size * active_seconds
+    backend_bytes = client_bytes * gc_waf
+    puts = backend_bytes / batch_size
+    misses = read_iops * (1.0 - read_hit_rate) * active_seconds
+    storage = size_gb * ec_expansion * pricing.per_gb_month
+    requests = puts / 1000 * pricing.per_1k_put + misses / 1000 * pricing.per_1k_get
+    return storage + requests
+
+
+def breakeven_duty_cycle(
+    provisioned_iops: int,
+    size_gb: float,
+    write_size: int = 16 * 1024,
+    batch_size: int = 8 << 20,
+    gc_waf: float = 1.2,
+    ebs: EBSPricing = EBSPricing(),
+    s3: S3Pricing = S3Pricing(),
+) -> float:
+    """Duty cycle at which LSVD's request costs reach the EBS bill.
+
+    Above 1.0 means LSVD is cheaper even running flat-out all month.
+    """
+    ebs_cost = ebs_monthly_cost(provisioned_iops, size_gb, ebs)
+    full = lsvd_monthly_cost(
+        size_gb,
+        provisioned_iops,
+        write_size=write_size,
+        batch_size=batch_size,
+        duty_cycle=1.0,
+        gc_waf=gc_waf,
+        pricing=s3,
+    )
+    base = lsvd_monthly_cost(
+        size_gb,
+        provisioned_iops,
+        write_size=write_size,
+        batch_size=batch_size,
+        duty_cycle=0.0,
+        gc_waf=gc_waf,
+        pricing=s3,
+    )
+    variable = full - base
+    if variable <= 0:
+        return float("inf")
+    return (ebs_cost - base) / variable

@@ -1,0 +1,32 @@
+"""Backend storage cluster simulator.
+
+Models the paper's Ceph pools (Table 1): a set of servers holding
+IOPS-limited devices, a placement function distributing named chunks over
+those devices, and per-device utilisation accounting equivalent to
+``/proc/diskstats`` — the measurement behind the backend-load experiment
+(§4.5, Figures 12-14).
+
+Two data layouts translate logical operations into device I/O:
+
+* :class:`~repro.cluster.layouts.ReplicationLayout` — what RBD uses: each
+  small client write becomes a journal write plus a data write at each of
+  three replicas (6 device I/Os, the paper's measured amplification);
+* :class:`~repro.cluster.layouts.ErasureCodedLayout` — what LSVD's RGW
+  pool uses: a large object PUT becomes k data + m parity chunk writes
+  plus a tail of small metadata writes (the paper observes ~64 device
+  writes per 4 MiB object under a 4,2 code).
+"""
+
+from repro.cluster.cluster import StorageCluster
+from repro.cluster.layouts import (
+    ErasureCodedLayout,
+    ReplicatedObjectLayout,
+    ReplicationLayout,
+)
+
+__all__ = [
+    "ErasureCodedLayout",
+    "ReplicatedObjectLayout",
+    "ReplicationLayout",
+    "StorageCluster",
+]

@@ -1,0 +1,44 @@
+"""The paper's primary contribution: the Log-Structured Virtual Disk.
+
+Layout mirrors Figure 1 of the paper:
+
+* :mod:`~repro.core.write_cache` — log-structured write-back cache on SSD
+  (Figure 2: records = header {seq, CRC, LBA list} + data blocks).
+* :mod:`~repro.core.read_cache` — FIFO read cache sharing the SSD.
+* :mod:`~repro.core.block_store` — log-structured block store over an
+  S3-like object store (Figures 3-4: batches become immutable numbered
+  objects whose headers list contained extents).
+* :mod:`~repro.core.gc` — greedy garbage collection with snapshot-aware
+  deferred deletes and optional hole-plugging defragmentation.
+* :mod:`~repro.core.volume` — the virtual-disk facade gluing it together,
+  including crash recovery, snapshots, clones, and async replication.
+
+All of this is *pure logic*: deterministic and synchronous, operating on
+:class:`~repro.devices.image.DiskImage` content and an object-store
+interface.  The timed behaviour (queue depths, background destage and GC)
+is added by :mod:`repro.runtime` which drives the same code under the
+discrete-event simulator.
+"""
+
+from repro.core.config import LSVDConfig
+from repro.core.errors import (
+    CacheFullError,
+    CorruptRecordError,
+    LSVDError,
+    RecoveryError,
+    SnapshotInUseError,
+)
+from repro.core.extent_map import Extent, ExtentMap
+from repro.core.volume import LSVDVolume
+
+__all__ = [
+    "CacheFullError",
+    "CorruptRecordError",
+    "Extent",
+    "ExtentMap",
+    "LSVDConfig",
+    "LSVDError",
+    "LSVDVolume",
+    "RecoveryError",
+    "SnapshotInUseError",
+]

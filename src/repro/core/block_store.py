@@ -1,0 +1,674 @@
+"""Log-structured block store over an object store (Figures 3-4, §3.1-3.3).
+
+Client writes are batched and stored in an ordered stream of immutable
+objects named ``{volume}.{seq:08d}``; the name encodes log order.  The
+stream carries three object kinds:
+
+* ``KIND_DATA`` — a sealed write batch,
+* ``KIND_GC`` — live data relocated by the garbage collector (each extent
+  records the victim object it came from, so crash replay applies it only
+  where the map still points at that victim — newer writes always win),
+* ``KIND_CHECKPOINT`` — a serialised object map + GC/snapshot metadata,
+  bounding replay time.
+
+A small mutable ``{volume}.super`` object holds volume identity, the clone
+base chain, the snapshot list, and a hint to the newest checkpoint; losing
+an update to it is harmless because recovery can rediscover everything by
+listing and reading stream headers.
+
+Recovery (§3.3) finds the newest checkpoint at or below the mount point,
+restores the map, replays the consecutive run of objects after it, and
+deletes any stranded objects beyond the first hole — in-flight PUTs that
+completed out of order before the crash.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core import checkpoint as ckpt
+from repro.core.batch import SealedBatch, WriteBatch
+from repro.core.config import LSVDConfig
+from repro.core.errors import (
+    RecoveryError,
+    SnapshotInUseError,
+    VolumeExistsError,
+    VolumeNotFoundError,
+)
+from repro.core.log import (
+    KIND_CHECKPOINT,
+    KIND_DATA,
+    KIND_GC,
+    ObjectExtent,
+    ObjectHeader,
+    decode_object,
+    decode_object_header,
+    encode_object,
+    object_name,
+)
+from repro.core.object_map import ObjectMap
+from repro.objstore.s3 import NoSuchKeyError, ObjectStore
+
+
+@dataclass
+class StoreStats:
+    """Aggregate write-amplification accounting (Table 5, §4.2.2)."""
+
+    client_bytes: int = 0  # bytes entering batches
+    merged_bytes: int = 0  # eliminated by intra-batch coalescing
+    data_bytes: int = 0  # payload bytes in DATA objects
+    gc_bytes: int = 0  # payload bytes in GC objects
+    ckpt_bytes: int = 0
+    objects_put: int = 0
+    objects_deleted: int = 0
+
+    @property
+    def backend_bytes(self) -> int:
+        return self.data_bytes + self.gc_bytes + self.ckpt_bytes
+
+    @property
+    def write_amplification(self) -> float:
+        if self.client_bytes == 0:
+            return 0.0
+        return self.backend_bytes / self.client_bytes
+
+    @property
+    def merge_ratio(self) -> float:
+        if self.client_bytes == 0:
+            return 0.0
+        return self.merged_bytes / self.client_bytes
+
+
+@dataclass
+class RecoveredState:
+    """What recovery learned (feeds cache rewind/replay, §3.3)."""
+
+    last_seq: int  # newest object in the consistent prefix
+    last_record_seq: int  # cache-log high-water mark in the backend
+    stranded_deleted: List[str] = field(default_factory=list)
+
+
+class BlockStore:
+    """The log-structured block store for one volume (or clone)."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        name: str,
+        uuid: bytes,
+        size: int,
+        config: Optional[LSVDConfig] = None,
+        base_chain: Optional[List[Tuple[str, int]]] = None,
+    ):
+        self.store = store
+        self.name = name
+        self.uuid = uuid
+        self.size = size
+        self.config = config or LSVDConfig()
+        #: clone lineage: [(ancestor volume name, its last seq)], oldest first
+        self.base_chain: List[Tuple[str, int]] = list(base_chain or [])
+        self.omap = ObjectMap()
+        self.batch = WriteBatch(self.config.batch_size)
+        self.next_seq = 1
+        self.last_ckpt_seq = 0
+        self.last_record_seq_destaged = 0
+        self.snapshots: Dict[str, int] = {}
+        #: deferred GC deletes: victim seq -> newest seq at GC time (§3.6)
+        self.deferred_deletes: Dict[int, int] = {}
+        self._ckpt_history: List[int] = []
+        self._objects_since_ckpt = 0
+        self._header_cache: Dict[int, ObjectHeader] = {}
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    # naming / clone chain
+    # ------------------------------------------------------------------
+    def name_for_seq(self, seq: int) -> str:
+        """Resolve a sequence number across the clone base chain (§3.6)."""
+        for base_name, base_last in self.base_chain:
+            if seq <= base_last:
+                return object_name(base_name, seq)
+        return object_name(self.name, seq)
+
+    @property
+    def first_own_seq(self) -> int:
+        """Lowest sequence number belonging to this volume (not a base)."""
+        if self.base_chain:
+            return self.base_chain[-1][1] + 1
+        return 1
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def add_write(self, lba: int, data: bytes, record_seq: int = 0) -> Optional[SealedBatch]:
+        """Buffer one write; returns a sealed batch when size is reached."""
+        if lba < 0 or lba + len(data) > self.size:
+            raise ValueError("write beyond volume bounds")
+        self.batch.add(lba, data, record_seq)
+        if self.batch.should_seal():
+            return self.seal()
+        return None
+
+    def seal(self) -> Optional[SealedBatch]:
+        """Seal the current batch (even partial); None when empty."""
+        if self.batch.is_empty:
+            return None
+        sealed = self.batch.seal(self._take_seq(), self.uuid)
+        return sealed
+
+    def commit(self, sealed: SealedBatch):
+        """PUT the sealed object and update the map/accounting.
+
+        Returns whatever ``store.put`` returned (a handle for unsettled
+        stores, None for immediate ones); the caller decides when the
+        cache may release the covered records.
+        """
+        name = object_name(self.name, sealed.seq)
+        result = self.store.put(name, sealed.payload)
+        self.omap.add_object(sealed.seq, sealed.kind, sealed.data_len, sealed.extents)
+        offset = 0
+        for ext in sealed.extents:
+            if sealed.kind == KIND_GC:
+                self.omap.apply_gc_extent(sealed.seq, ext.lba, ext.length, offset, ext.src_seq)
+            else:
+                self.omap.apply_extent(sealed.seq, ext.lba, ext.length, offset)
+            offset += ext.length
+        self.stats.objects_put += 1
+        if sealed.kind == KIND_DATA:
+            self.stats.client_bytes += sealed.bytes_in
+            self.stats.merged_bytes += sealed.merged_bytes
+            self.stats.data_bytes += sealed.data_len
+        else:
+            self.stats.gc_bytes += sealed.data_len
+        if sealed.last_record_seq:
+            self.last_record_seq_destaged = max(
+                self.last_record_seq_destaged, sealed.last_record_seq
+            )
+        self._objects_since_ckpt += 1
+        return result
+
+    @property
+    def checkpoint_due(self) -> bool:
+        """Enough stream objects since the last checkpoint.
+
+        Checkpoints are *not* written from :meth:`commit`: the volume
+        issues them only once all prior PUTs have settled, so a visible
+        checkpoint always implies its whole prefix is visible — the
+        invariant recovery's checkpoint selection relies on.
+        """
+        return self._objects_since_ckpt >= self.config.checkpoint_interval
+
+    def _take_seq(self) -> int:
+        seq = self.next_seq
+        self.next_seq += 1
+        return seq
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def lookup(self, lba: int, length: int):
+        return self.omap.lookup(lba, length)
+
+    def lookup_with_gaps(self, lba: int, length: int):
+        return self.omap.lookup_with_gaps(lba, length)
+
+    def fetch(self, seq: int, offset: int, length: int) -> bytes:
+        """Ranged GET of object data (offset is into the *data* area)."""
+        header = self.header_of(seq)
+        name = self.name_for_seq(seq)
+        return self.store.get_range(name, header.header_size + offset, length)
+
+    def fetch_with_prefetch(
+        self, seq: int, offset: int, length: int, request_lba: Optional[int] = None
+    ) -> List[Tuple[int, bytes]]:
+        """Fetch a mapped extent plus temporally adjacent data (§3.2).
+
+        Reads a window of up to ``config.prefetch_bytes`` around the
+        requested data-range of the object and translates every byte that
+        falls inside the window back to its vLBA using the object header.
+        Because objects hold data in write order, this prefetches by
+        *temporal* locality.  Returns (vLBA, data) pieces, the requested
+        range guaranteed covered.
+        """
+        header = self.header_of(seq)
+        window = max(self.config.prefetch_bytes, length)
+        start = max(0, offset - (window - length) // 2)
+        end = min(header.data_len, start + window)
+        blob = self.fetch(seq, start, end - start)
+        pieces: List[Tuple[int, bytes]] = []
+        data_off = 0
+        for ext in header.extents:
+            ext_start, ext_end = data_off, data_off + ext.length
+            lo, hi = max(ext_start, start), min(ext_end, end)
+            if lo < hi:
+                vlba = ext.lba + (lo - ext_start)
+                # only return ranges the map still assigns to this object
+                # at these offsets: prefetched neighbours may have been
+                # overwritten by newer objects and must not be surfaced.
+                for live in self.omap.lookup(vlba, hi - lo):
+                    if live.target != seq:
+                        continue
+                    if live.offset != lo + (live.lba - vlba):
+                        continue
+                    rel = live.offset - start
+                    pieces.append((live.lba, blob[rel : rel + live.length]))
+            data_off = ext_end
+        if request_lba is not None:
+            # de-duplicated aliases point at data the header attributes to
+            # a *different* vLBA; the header translation above cannot find
+            # them, so guarantee the caller's requested range explicitly
+            covered = any(
+                lba <= request_lba and lba + len(d) >= request_lba + length
+                for lba, d in pieces
+            )
+            if not covered:
+                rel = offset - start
+                pieces.append((request_lba, blob[rel : rel + length]))
+        return pieces
+
+    def header_of(self, seq: int) -> ObjectHeader:
+        """Object header, fetched lazily and cached (GC uses this, §3.5)."""
+        header = self._header_cache.get(seq)
+        if header is None:
+            name = self.name_for_seq(seq)
+            blob = self.store.get_range(name, 0, 64 * 1024)
+            header = decode_object_header(blob)
+            self._header_cache[seq] = header
+        return header
+
+    def object_data(self, seq: int) -> bytes:
+        """Whole-object read (GC bulk path)."""
+        name = self.name_for_seq(seq)
+        header, data = decode_object(self.store.get(name))
+        self._header_cache[seq] = header
+        return data
+
+    def delete_object(self, seq: int) -> None:
+        if seq < self.first_own_seq:
+            raise SnapshotInUseError("refusing to delete clone-base object")
+        self.store.delete(object_name(self.name, seq))
+        self._header_cache.pop(seq, None)
+        self.stats.objects_deleted += 1
+
+    # ------------------------------------------------------------------
+    # snapshots (§3.6)
+    # ------------------------------------------------------------------
+    def create_snapshot(self, snap_name: str) -> int:
+        """Designate the current stream head as a snapshot; returns its seq."""
+        if snap_name in self.snapshots:
+            raise VolumeExistsError(f"snapshot {snap_name!r} exists")
+        seq = self.next_seq - 1
+        self.snapshots[snap_name] = seq
+        self.write_super()
+        return seq
+
+    def delete_snapshot(self, snap_name: str) -> List[int]:
+        """Remove a snapshot and perform newly allowable deferred deletes."""
+        if snap_name not in self.snapshots:
+            raise VolumeNotFoundError(f"no snapshot {snap_name!r}")
+        del self.snapshots[snap_name]
+        self.write_super()
+        return self.run_deferred_deletes()
+
+    def snapshot_blocks_delete(self, victim_seq: int, newest_seq: int) -> bool:
+        """Paper's §3.6 rule: defer the delete of victim N0 if a snapshot
+        N_x intervenes (N0 <= N_x < N_gc): that snapshot still references
+        the victim's data."""
+        return any(
+            victim_seq <= snap_seq < newest_seq
+            for snap_seq in self.snapshots.values()
+        )
+
+    def run_deferred_deletes(self) -> List[int]:
+        """Re-examine the deferred list after a snapshot deletion."""
+        deleted = []
+        for victim, gc_seq in sorted(self.deferred_deletes.items()):
+            if not self.snapshot_blocks_delete(victim, gc_seq):
+                self.delete_object(victim)
+                deleted.append(victim)
+        for victim in deleted:
+            del self.deferred_deletes[victim]
+        return deleted
+
+    # ------------------------------------------------------------------
+    # checkpoints & superblock
+    # ------------------------------------------------------------------
+    def write_checkpoint(self):
+        """Write a KIND_CHECKPOINT object into the stream.
+
+        Returns ``(seq, put_result)``.  Callers must only invoke this when
+        every prior PUT has settled (the volume enforces it), and must
+        call :meth:`retire_old_checkpoints` only once this checkpoint's
+        PUT itself has settled — otherwise a crash window exists with no
+        visible checkpoint at all.
+        """
+        seq = self._take_seq()
+        sections = {
+            "meta": ckpt.pack_json(
+                {
+                    "next_seq": seq + 1,
+                    "last_record_seq": self.last_record_seq_destaged,
+                    "snapshots": self.snapshots,
+                    "deferred": sorted(self.deferred_deletes.items()),
+                    "ckpt_history": self._ckpt_history[-2:],
+                    "stats": {
+                        "client_bytes": self.stats.client_bytes,
+                        "merged_bytes": self.stats.merged_bytes,
+                        "data_bytes": self.stats.data_bytes,
+                        "gc_bytes": self.stats.gc_bytes,
+                    },
+                }
+            ),
+            "map": ckpt.pack_rows("<QQQQ", self.omap.entries()),
+            "objects": ckpt.pack_rows(
+                "<QQQQQ",
+                [
+                    (seq_, kind, data, live, int(in_base))
+                    for seq_, kind, data, live, in_base in self.omap.object_table()
+                ],
+            ),
+        }
+        payload = ckpt.encode_sections(sections)
+        header = ObjectHeader(
+            kind=KIND_CHECKPOINT,
+            uuid=self.uuid,
+            seq=seq,
+            last_record_seq=self.last_record_seq_destaged,
+        )
+        put_result = self.store.put(
+            object_name(self.name, seq), encode_object(header, payload)
+        )
+        self.stats.ckpt_bytes += len(payload)
+        self.stats.objects_put += 1
+        self._ckpt_history.append(seq)
+        self.last_ckpt_seq = seq
+        self._objects_since_ckpt = 0
+        self.write_super()
+        return seq, put_result
+
+    def retire_old_checkpoints(self) -> List[int]:
+        """Delete superseded checkpoints, keeping the newest two plus any
+        checkpoint a snapshot mount still needs (the newest checkpoint at
+        or below each snapshot's sequence number, §3.6).
+
+        Only call after the newest checkpoint's PUT has settled.
+        """
+        pinned = set(self._ckpt_history[-2:])
+        for snap_seq in self.snapshots.values():
+            older = [c for c in self._ckpt_history if c <= snap_seq]
+            if older:
+                pinned.add(max(older))
+        retired = []
+        for old in list(self._ckpt_history[:-2]):
+            if old in pinned or old < self.first_own_seq:
+                continue
+            try:
+                self.delete_object(old)
+                retired.append(old)
+            except NoSuchKeyError:
+                pass
+            self._ckpt_history.remove(old)
+        return retired
+
+    def write_super(self) -> None:
+        blob = ckpt.encode_sections(
+            {
+                "super": ckpt.pack_json(
+                    {
+                        "uuid": self.uuid.hex(),
+                        "size": self.size,
+                        "base_chain": self.base_chain,
+                        "last_ckpt_seq": self.last_ckpt_seq,
+                        "snapshots": self.snapshots,
+                    }
+                )
+            }
+        )
+        self.store.put(f"{self.name}.super", blob)
+
+    @staticmethod
+    def read_super(store: ObjectStore, name: str) -> dict:
+        try:
+            blob = store.get(f"{name}.super")
+        except NoSuchKeyError:
+            raise VolumeNotFoundError(f"volume {name!r} has no superblock") from None
+        sections = ckpt.decode_sections(blob)
+        return ckpt.unpack_json(sections["super"])
+
+    # ------------------------------------------------------------------
+    # creation / recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        store: ObjectStore,
+        name: str,
+        size: int,
+        config: Optional[LSVDConfig] = None,
+        uuid: Optional[bytes] = None,
+    ) -> "BlockStore":
+        if store.exists(f"{name}.super") or store.list(f"{name}."):
+            raise VolumeExistsError(f"volume {name!r} already exists")
+        bs = cls(store, name, uuid or os.urandom(16), size, config)
+        bs.write_checkpoint()  # seq 1: recovery always finds a checkpoint
+        return bs
+
+    @classmethod
+    def open(
+        cls,
+        store: ObjectStore,
+        name: str,
+        config: Optional[LSVDConfig] = None,
+        upto: Optional[int] = None,
+        read_only: bool = False,
+    ) -> Tuple["BlockStore", RecoveredState]:
+        """Mount an existing volume, running log recovery (§3.3)."""
+        meta = cls.read_super(store, name)
+        bs = cls(
+            store,
+            name,
+            bytes.fromhex(meta["uuid"]),
+            meta["size"],
+            config,
+            base_chain=[tuple(x) for x in meta.get("base_chain", [])],
+        )
+        bs.snapshots = dict(meta.get("snapshots", {}))
+        state = bs._recover(
+            super_ckpt_hint=meta.get("last_ckpt_seq", 0),
+            upto=upto,
+            read_only=read_only,
+        )
+        return bs, state
+
+    def _listed_seqs(self) -> List[int]:
+        seqs = []
+        for obj in self.store.list(f"{self.name}."):
+            suffix = obj[len(self.name) + 1 :]
+            if suffix.isdigit():
+                seqs.append(int(suffix))
+        return sorted(seqs)
+
+    def _recover(
+        self, super_ckpt_hint: int, upto: Optional[int], read_only: bool
+    ) -> RecoveredState:
+        seqs = self._listed_seqs()
+        if upto is not None:
+            seqs = [s for s in seqs if s <= upto]
+        if not seqs:
+            raise RecoveryError(f"volume {self.name!r} has no stream objects")
+        ckpt_seq = self._find_checkpoint(seqs, super_ckpt_hint)
+        self._load_checkpoint(ckpt_seq)
+        # replay the consecutive run after the checkpoint
+        present = set(seqs)
+        last = ckpt_seq
+        last_record_seq = self.last_record_seq_destaged
+        seq = ckpt_seq + 1
+        while seq in present:
+            header = self._read_full_header(seq)
+            last_record_seq = max(last_record_seq, header.last_record_seq)
+            self._replay_object(header)
+            last = seq
+            seq += 1
+        self.next_seq = last + 1
+        self.last_record_seq_destaged = last_record_seq
+        # prune accounting entries for objects the GC deleted after the
+        # checkpoint we loaded was written; a still-referenced missing
+        # object means real data loss and must abort the mount.
+        for obj_seq in sorted(self.omap.objects):
+            info = self.omap.objects[obj_seq]
+            if info.in_base or obj_seq in present:
+                continue
+            if info.live_bytes > 0:
+                raise RecoveryError(
+                    f"object {obj_seq} is referenced by the map but missing"
+                )
+            del self.omap.objects[obj_seq]
+        # delete stranded objects beyond the first hole (§3.3) — unless we
+        # are mounting a historical snapshot read-only.
+        stranded = []
+        if not read_only and upto is None:
+            for s in sorted(present):
+                if s > last:
+                    name = object_name(self.name, s)
+                    self.store.delete(name)
+                    stranded.append(name)
+        return RecoveredState(
+            last_seq=last,
+            last_record_seq=last_record_seq,
+            stranded_deleted=stranded,
+        )
+
+    def _find_checkpoint(self, seqs: List[int], hint: int) -> int:
+        """Locate the newest checkpoint: try the superblock hint, else scan
+        backwards from the newest object reading headers."""
+        present = set(seqs)
+        if hint in present and self._kind_of(hint) == KIND_CHECKPOINT:
+            # a newer checkpoint may exist if the super update was lost
+            newer = [s for s in seqs if s > hint]
+            for s in sorted(newer, reverse=True):
+                if self._kind_of(s) == KIND_CHECKPOINT and self._consecutive_from(
+                    present, hint, s
+                ):
+                    return s
+            return hint
+        for s in sorted(seqs, reverse=True):
+            if self._kind_of(s) == KIND_CHECKPOINT:
+                return s
+        raise RecoveryError(f"volume {self.name!r}: no checkpoint found")
+
+    @staticmethod
+    def _consecutive_from(present: set, start: int, end: int) -> bool:
+        return all(s in present for s in range(start, end + 1))
+
+    def _kind_of(self, seq: int) -> int:
+        try:
+            return self.header_of(seq).kind
+        except Exception:
+            return -1
+
+    def _read_full_header(self, seq: int) -> ObjectHeader:
+        return self.header_of(seq)
+
+    def _load_checkpoint(self, seq: int) -> None:
+        name = self.name_for_seq(seq)
+        header, payload = decode_object(self.store.get(name))
+        if header.kind != KIND_CHECKPOINT:
+            raise RecoveryError(f"object {seq} is not a checkpoint")
+        sections = ckpt.decode_sections(payload)
+        meta = ckpt.unpack_json(sections["meta"])
+        map_entries = ckpt.unpack_rows("<QQQQ", sections["map"])
+        object_table = [
+            (s, kind, data, live, bool(in_base))
+            for s, kind, data, live, in_base in ckpt.unpack_rows(
+                "<QQQQQ", sections["objects"]
+            )
+        ]
+        self.omap = ObjectMap.restore(map_entries, object_table, {})
+        self.next_seq = meta["next_seq"]
+        self.last_record_seq_destaged = meta["last_record_seq"]
+        self.snapshots = dict(meta.get("snapshots", {}))
+        self.deferred_deletes = {int(v): g for v, g in meta.get("deferred", [])}
+        self._ckpt_history = list(meta.get("ckpt_history", [])) + [seq]
+        self.last_ckpt_seq = seq
+        stats = meta.get("stats", {})
+        self.stats.client_bytes = stats.get("client_bytes", 0)
+        self.stats.merged_bytes = stats.get("merged_bytes", 0)
+        self.stats.data_bytes = stats.get("data_bytes", 0)
+        self.stats.gc_bytes = stats.get("gc_bytes", 0)
+
+    def _replay_object(self, header: ObjectHeader) -> None:
+        """Apply one stream object's header during recovery."""
+        if header.kind == KIND_CHECKPOINT:
+            # state already reflects everything <= this point, but the map
+            # we restored may be older; reload to stay exact.
+            self._load_checkpoint(header.seq)
+            return
+        if header.seq in self.omap.objects:
+            return  # already reflected in the checkpoint we loaded
+        self.omap.add_object(header.seq, header.kind, header.data_len, header.extents)
+        offset = 0
+        for ext in header.extents:
+            if header.kind == KIND_GC:
+                self.omap.apply_gc_extent(
+                    header.seq, ext.lba, ext.length, offset, ext.src_seq
+                )
+            else:
+                self.omap.apply_extent(header.seq, ext.lba, ext.length, offset)
+            offset += ext.length
+
+    # ------------------------------------------------------------------
+    # clone creation (§3.6, Figure 5)
+    # ------------------------------------------------------------------
+    @classmethod
+    def clone_from(
+        cls,
+        store: ObjectStore,
+        base_name: str,
+        clone_name: str,
+        config: Optional[LSVDConfig] = None,
+        at_snapshot: Optional[str] = None,
+    ) -> "BlockStore":
+        """Create a copy-on-write clone sharing the base's object prefix."""
+        base_meta = cls.read_super(store, base_name)
+        upto = None
+        if at_snapshot is not None:
+            snaps = base_meta.get("snapshots", {})
+            if at_snapshot not in snaps:
+                raise VolumeNotFoundError(
+                    f"base {base_name!r} has no snapshot {at_snapshot!r}"
+                )
+            upto = snaps[at_snapshot]
+        base, state = cls.open(store, base_name, config, upto=upto, read_only=True)
+        if store.exists(f"{clone_name}.super") or store.list(f"{clone_name}."):
+            raise VolumeExistsError(f"volume {clone_name!r} already exists")
+        chain = base.base_chain + [(base_name, state.last_seq)]
+        clone = cls(
+            store,
+            clone_name,
+            os.urandom(16),
+            base.size,
+            config,
+            base_chain=chain,
+        )
+        clone.omap = base.omap
+        for info in clone.omap.objects.values():
+            info.in_base = True  # the GC must never clean shared objects
+        clone.next_seq = state.last_seq + 1
+        clone.last_record_seq_destaged = 0
+        clone.write_checkpoint()
+        return clone
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def occupancy(self) -> Tuple[int, int]:
+        """(live bytes, total data bytes) over cleanable objects (Fig 15)."""
+        live = total = 0
+        for info in self.omap.objects.values():
+            if info.in_base or info.kind == KIND_CHECKPOINT:
+                continue
+            live += info.live_bytes
+            total += info.data_bytes
+        return live, total

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the LSVD core."""
+
+
+class LSVDError(Exception):
+    """Base class for all LSVD errors."""
+
+
+class CacheFullError(LSVDError):
+    """The write-back cache log has no room; destage must run first."""
+
+
+class CorruptRecordError(LSVDError):
+    """A log record or object failed CRC / magic / sequence validation."""
+
+
+class RecoveryError(LSVDError):
+    """Recovery could not reconstruct a consistent volume state."""
+
+
+class SnapshotInUseError(LSVDError):
+    """Operation would destroy data still referenced by a snapshot."""
+
+
+class VolumeExistsError(LSVDError):
+    """Attempt to create a volume whose object stream already exists."""
+
+
+class VolumeNotFoundError(LSVDError):
+    """The named volume has no superblock in the object store."""

@@ -1,0 +1,204 @@
+"""Extent maps: the three in-memory translation maps of Figure 1.
+
+An :class:`ExtentMap` maps ranges of a virtual address space to ranges of a
+target space: vLBA -> pLBA for the write cache, vLBA -> cache slot for the
+read cache, and vLBA -> (object sequence number, offset) for the block
+store.  The paper's prototype uses red-black trees at 40 bytes/entry and
+the production rewrite a B+-tree at 24 bytes/entry; here a sorted list with
+binary search gives the same semantics with O(log n) lookup.
+
+Keys and offsets are plain integers (bytes throughout this codebase).  The
+``target`` is any hashable (e.g. an object sequence number); splitting an
+extent shifts ``offset`` so that ``offset + (addr - lba)`` always locates
+``addr``'s bytes inside the target.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A mapped run: ``length`` addresses at ``lba`` live at
+    ``target[offset : offset + length]``."""
+
+    lba: int
+    length: int
+    target: Hashable
+    offset: int
+
+    @property
+    def end(self) -> int:
+        return self.lba + self.length
+
+    def slice(self, lba: int, length: int) -> "Extent":
+        """Sub-extent clipped to [lba, lba+length); must overlap."""
+        start = max(self.lba, lba)
+        stop = min(self.end, lba + length)
+        if start >= stop:
+            raise ValueError("slice does not overlap extent")
+        return Extent(start, stop - start, self.target, self.offset + (start - self.lba))
+
+
+class ExtentMap:
+    """Ordered, non-overlapping map from address ranges to target ranges."""
+
+    def __init__(self) -> None:
+        # parallel arrays sorted by lba; kept non-overlapping at all times
+        self._lbas: List[int] = []
+        self._exts: List[Extent] = []
+
+    # -- queries -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._exts)
+
+    def __iter__(self) -> Iterator[Extent]:
+        return iter(self._exts)
+
+    def lookup(self, lba: int, length: int) -> List[Extent]:
+        """Mapped pieces overlapping [lba, lba+length), clipped, in order.
+
+        Unmapped gaps are simply absent from the result.
+        """
+        if length <= 0:
+            return []
+        out: List[Extent] = []
+        idx = bisect_right(self._lbas, lba) - 1
+        if idx < 0:
+            idx = 0
+        end = lba + length
+        while idx < len(self._exts):
+            ext = self._exts[idx]
+            if ext.lba >= end:
+                break
+            if ext.end > lba:
+                out.append(ext.slice(lba, length))
+            idx += 1
+        return out
+
+    def lookup_with_gaps(
+        self, lba: int, length: int
+    ) -> List[Tuple[int, int, Optional[Extent]]]:
+        """Cover [lba, lba+length) completely: (start, len, extent-or-None)."""
+        pieces: List[Tuple[int, int, Optional[Extent]]] = []
+        cursor = lba
+        for ext in self.lookup(lba, length):
+            if ext.lba > cursor:
+                pieces.append((cursor, ext.lba - cursor, None))
+            pieces.append((ext.lba, ext.length, ext))
+            cursor = ext.end
+        end = lba + length
+        if cursor < end:
+            pieces.append((cursor, end - cursor, None))
+        return pieces
+
+    def mapped_bytes(self) -> int:
+        """Total mapped address space (bytes, since addresses are bytes)."""
+        return sum(ext.length for ext in self._exts)
+
+    def bounds(self) -> Tuple[int, int]:
+        """(lowest mapped address, highest mapped end); (0, 0) if empty."""
+        if not self._exts:
+            return (0, 0)
+        return (self._exts[0].lba, self._exts[-1].end)
+
+    # -- mutation ----------------------------------------------------------
+    def update(
+        self, lba: int, length: int, target: Hashable, offset: int = 0
+    ) -> List[Extent]:
+        """Map [lba, lba+length) to target[offset:]; return displaced pieces.
+
+        The displaced list (clipped old mappings that this update shadows)
+        lets callers maintain per-target live-byte accounting, which drives
+        garbage collection.
+        """
+        displaced = self._carve(lba, length)
+        new = Extent(lba, length, target, offset)
+        idx = bisect_right(self._lbas, lba)
+        self._insert_coalescing(idx, new)
+        return displaced
+
+    def remove(self, lba: int, length: int) -> List[Extent]:
+        """Unmap [lba, lba+length); return the displaced pieces (trim)."""
+        return self._carve(lba, length)
+
+    def clear(self) -> None:
+        self._lbas.clear()
+        self._exts.clear()
+
+    # -- internals -----------------------------------------------------
+    def _carve(self, lba: int, length: int) -> List[Extent]:
+        """Remove every mapping overlapping [lba, lba+length)."""
+        if length <= 0:
+            raise ValueError("length must be positive")
+        end = lba + length
+        displaced: List[Extent] = []
+        idx = bisect_right(self._lbas, lba) - 1
+        if idx < 0:
+            idx = 0
+        # skip extents entirely before the carve range
+        while idx < len(self._exts) and self._exts[idx].end <= lba:
+            idx += 1
+        while idx < len(self._exts) and self._exts[idx].lba < end:
+            ext = self._exts[idx]
+            displaced.append(ext.slice(lba, length))
+            left: Optional[Extent] = None
+            right: Optional[Extent] = None
+            if ext.lba < lba:
+                left = Extent(ext.lba, lba - ext.lba, ext.target, ext.offset)
+            if ext.end > end:
+                right = Extent(
+                    end, ext.end - end, ext.target, ext.offset + (end - ext.lba)
+                )
+            # replace ext with surviving fragments
+            del self._lbas[idx], self._exts[idx]
+            for frag in (left, right):
+                if frag is not None:
+                    self._lbas.insert(idx, frag.lba)
+                    self._exts.insert(idx, frag)
+                    idx += 1
+        return displaced
+
+    def _insert_coalescing(self, idx: int, new: Extent) -> None:
+        """Insert ``new`` at idx, merging with contiguous neighbours."""
+        prev = self._exts[idx - 1] if idx > 0 else None
+        if (
+            prev is not None
+            and prev.end == new.lba
+            and prev.target == new.target
+            and prev.offset + prev.length == new.offset
+        ):
+            new = Extent(prev.lba, prev.length + new.length, new.target, prev.offset)
+            idx -= 1
+            del self._lbas[idx], self._exts[idx]
+        nxt = self._exts[idx] if idx < len(self._exts) else None
+        if (
+            nxt is not None
+            and new.end == nxt.lba
+            and nxt.target == new.target
+            and new.offset + new.length == nxt.offset
+        ):
+            new = Extent(new.lba, new.length + nxt.length, new.target, new.offset)
+            del self._lbas[idx], self._exts[idx]
+        self._lbas.insert(idx, new.lba)
+        self._exts.insert(idx, new)
+
+    # -- (de)serialisation ------------------------------------------------
+    def entries(self) -> List[Tuple[int, int, Any, int]]:
+        """Plain-tuple dump for checkpointing."""
+        return [(e.lba, e.length, e.target, e.offset) for e in self._exts]
+
+    @classmethod
+    def from_entries(cls, entries) -> "ExtentMap":
+        m = cls()
+        for lba, length, target, offset in entries:
+            m._lbas.append(lba)
+            m._exts.append(Extent(lba, length, target, offset))
+        # defensive: verify sortedness and non-overlap
+        for a, b in zip(m._exts, m._exts[1:]):
+            if b.lba < a.end:
+                raise ValueError("entries overlap or are unsorted")
+        return m

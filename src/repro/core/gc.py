@@ -1,0 +1,221 @@
+"""Greedy garbage collection for the block store (§3.5, §4.6).
+
+Cleaning is triggered when overall utilisation (live bytes / total data
+bytes across cleanable objects) drops below the low watermark (70 % in the
+paper) and runs until it climbs back above the high watermark (75 %).
+Victims are the least-utilised objects (the Greedy policy of Rosenblum &
+Ousterhout); their remaining live extents — found by re-checking only the
+ranges listed in the object's creation-time header against the map — are
+copied into new ``KIND_GC`` objects, then the victims are deleted, or the
+delete is *deferred* when a snapshot still references them (§3.6).
+
+Two refinements the paper evaluates are implemented here:
+
+* **cache-assisted cleaning** — live data still resident in the local
+  write cache is copied from SSD instead of being fetched from the
+  backend (§3.5 / §6.3);
+* **hole plugging** — when two live pieces are separated by a small
+  mapped gap (<= ``defrag_hole_bytes``), the gap is copied too, merging
+  the pieces into one extent and shrinking the map (§4.6 cut w01's map
+  size by >2x for ~zero extra write amplification).
+
+The collector is *two-phase* so the timed runtime can charge I/O latencies
+between phases: :meth:`plan` gathers victims and live data (reads),
+:meth:`execute` writes relocation objects and updates the map, and the
+volume performs the deferred victim deletion once the covering checkpoint
+has settled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.batch import seal_gc_batch
+from repro.core.block_store import BlockStore
+from repro.core.config import LSVDConfig
+
+
+@dataclass
+class GCPlan:
+    """One cleaning round: victims and the live data to relocate."""
+
+    victims: List[int]
+    # (vLBA, length, src_seq, data) in ascending vLBA order
+    pieces: List[Tuple[int, int, int, bytes]]
+    bytes_read_backend: int = 0
+    bytes_read_cache: int = 0
+    holes_plugged: int = 0
+
+    @property
+    def live_bytes(self) -> int:
+        return sum(length for _l, length, _s, _d in self.pieces)
+
+
+@dataclass
+class GCStats:
+    """Cumulative collector statistics."""
+
+    rounds: int = 0
+    victims_cleaned: int = 0
+    bytes_relocated: int = 0
+    bytes_read_backend: int = 0
+    bytes_read_cache: int = 0
+    holes_plugged: int = 0
+    deletes_deferred: int = 0
+
+
+class GarbageCollector:
+    """Greedy cleaner bound to one :class:`BlockStore`."""
+
+    def __init__(
+        self,
+        store: BlockStore,
+        config: Optional[LSVDConfig] = None,
+        cache_reader: Optional[Callable[[int, int], Optional[bytes]]] = None,
+    ):
+        self.store = store
+        self.config = config or store.config
+        #: optional hook: cache_reader(lba, length) -> bytes | None, used to
+        #: satisfy GC reads from the local cache instead of the backend.
+        self.cache_reader = cache_reader
+        self.stats = GCStats()
+
+    # ------------------------------------------------------------------
+    def needs_gc(self) -> bool:
+        live, total = self.store.occupancy()
+        if total == 0:
+            return False
+        return live / total < self.config.gc_low_watermark
+
+    def reached_target(self) -> bool:
+        live, total = self.store.occupancy()
+        if total == 0:
+            return True
+        return live / total >= self.config.gc_high_watermark
+
+    # ------------------------------------------------------------------
+    def plan(self) -> Optional[GCPlan]:
+        """Select victims (greedy) and gather their live data."""
+        candidates = self.store.omap.cleaning_candidates(
+            max_seq=self.store.next_seq
+        )
+        # objects at or above the stop watermark are never worth cleaning:
+        # copying their (mostly live) data cannot raise overall utilisation
+        victims = [
+            c.seq
+            for c in candidates[: self.config.gc_window]
+            if c.utilization < self.config.gc_high_watermark
+        ]
+        if not victims:
+            return None
+        plan = GCPlan(victims=victims, pieces=[])
+        raw: List[Tuple[int, int, int]] = []  # (lba, length, src_seq)
+        for seq in victims:
+            info = self.store.omap.objects[seq]
+            if not info.extents:
+                # header extents were not retained across a restart; the
+                # paper's optimisation — fetch just the header (§3.5)
+                info.extents = self.store.header_of(seq).extents
+            for lba, length, _off in self.store.omap.live_extents_of(seq):
+                raw.append((lba, length, seq))
+        raw.sort()
+        raw = self._plug_holes(raw, plan)
+        for lba, length, src_seq in raw:
+            data = self._read_live(lba, length, src_seq, plan)
+            plan.pieces.append((lba, length, src_seq, data))
+        return plan
+
+    def _plug_holes(
+        self, pieces: List[Tuple[int, int, int]], plan: GCPlan
+    ) -> List[Tuple[int, int, int]]:
+        """Insert small mapped gaps between live pieces (§4.6 defrag)."""
+        limit = self.config.defrag_hole_bytes
+        if limit <= 0 or len(pieces) < 2:
+            return pieces
+        out: List[Tuple[int, int, int]] = [pieces[0]]
+        for lba, length, src in pieces[1:]:
+            prev_lba, prev_len, _prev_src = out[-1]
+            gap_start = prev_lba + prev_len
+            gap = lba - gap_start
+            if 0 < gap <= limit:
+                for ext in self.store.omap.lookup(gap_start, gap):
+                    out.append((ext.lba, ext.length, ext.target))
+                    plan.holes_plugged += 1
+            out.append((lba, length, src))
+        out.sort()
+        return out
+
+    def _read_live(self, lba: int, length: int, src_seq: int, plan: GCPlan) -> bytes:
+        """Fetch live data, preferring the local cache (§3.5)."""
+        if self.cache_reader is not None:
+            cached = self.cache_reader(lba, length)
+            if cached is not None:
+                plan.bytes_read_cache += length
+                self.stats.bytes_read_cache += length
+                return cached
+        # locate within the source object(s) and range-read; a plugged
+        # hole may resolve to a different object than src_seq.
+        pieces = []
+        for ext in self.store.omap.lookup(lba, length):
+            pieces.append(self.store.fetch(ext.target, ext.offset, ext.length))
+        plan.bytes_read_backend += length
+        self.stats.bytes_read_backend += length
+        return b"".join(pieces)
+
+    # ------------------------------------------------------------------
+    def execute(self, plan: GCPlan):
+        """Write relocation object(s) and update the map.
+
+        Returns a list of (sealed_batch, put_result) pairs; the caller
+        must arrange victim deletion after the next settled checkpoint
+        (the volume does this) — GC never deletes objects newer than the
+        most recent checkpoint (§3.3).
+        """
+        results = []
+        chunk: List[Tuple[int, int, int, bytes]] = []
+        chunk_bytes = 0
+        for piece in plan.pieces:
+            chunk.append(piece)
+            chunk_bytes += piece[1]
+            if chunk_bytes >= self.config.batch_size:
+                results.append(self._commit_chunk(chunk))
+                chunk, chunk_bytes = [], 0
+        if chunk:
+            results.append(self._commit_chunk(chunk))
+        self.stats.rounds += 1
+        self.stats.victims_cleaned += len(plan.victims)
+        self.stats.bytes_relocated += plan.live_bytes
+        self.stats.holes_plugged += plan.holes_plugged
+        return results
+
+    def _commit_chunk(self, pieces: List[Tuple[int, int, int, bytes]]):
+        sealed = seal_gc_batch(
+            self.store._take_seq(),
+            self.store.uuid,
+            pieces,
+            last_record_seq=0,
+        )
+        result = self.store.commit(sealed)
+        return sealed, result
+
+    # ------------------------------------------------------------------
+    def delete_victims(self, victims: List[int]) -> Tuple[List[int], List[int]]:
+        """Delete victims, deferring any referenced by snapshots (§3.6).
+
+        Must only be called once a checkpoint newer than the victims is
+        durable.  Returns (deleted, deferred) sequence lists.
+        """
+        newest = self.store.next_seq - 1
+        deleted, deferred = [], []
+        for seq in victims:
+            if self.store.snapshot_blocks_delete(seq, newest):
+                self.store.deferred_deletes[seq] = newest
+                deferred.append(seq)
+                self.stats.deletes_deferred += 1
+            else:
+                self.store.delete_object(seq)
+                deleted.append(seq)
+            # either way the object no longer participates in accounting
+            self.store.omap.drop_object(seq)
+        return deleted, deferred

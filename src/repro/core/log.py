@@ -1,0 +1,271 @@
+"""Wire formats for the cache log and backend objects.
+
+Two serialised structures, both self-describing and CRC-protected so the
+in-memory maps can always be rebuilt from the logs themselves (§3.3):
+
+* **cache log record** (Figure 2): a 4 KiB-aligned header carrying magic,
+  sequence number, CRC, and the list of (vLBA, length) extents, followed by
+  the 4 KiB-aligned data blocks.  The CRC covers header and data, so
+  recovery stops at the first torn or stale record.
+
+* **backend object** (Figure 4): header with volume UUID, kind
+  (data / GC / checkpoint / superblock), sequence number, the extent table
+  — each entry optionally naming the *source* object a GC copy came from —
+  and the cache-log high-water mark (``last_record_seq``) used to rewind
+  and replay the cache after a crash.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.config import BLOCK
+from repro.core.errors import CorruptRecordError
+
+MAGIC = b"LSVD"
+VERSION = 1
+
+#: object / record kinds
+KIND_DATA = 1
+KIND_GC = 2
+KIND_CHECKPOINT = 3
+KIND_SUPERBLOCK = 4
+
+_REC_HDR = struct.Struct("<4sHHQQIII")  # magic ver kind seq epoch crc n_ext data_len
+_REC_EXT = struct.Struct("<QI")  # lba, length
+_OBJ_HDR = struct.Struct("<4sHH16sQQIII")  # magic ver kind uuid seq last_rec n_ext data_len crc
+_OBJ_EXT = struct.Struct("<QIQ")  # lba, length, src_seq (0 = fresh data)
+
+
+def _crc(*chunks: bytes) -> int:
+    value = 0
+    for chunk in chunks:
+        value = zlib.crc32(chunk, value)
+    return value & 0xFFFFFFFF
+
+
+def align_up(n: int, granularity: int = BLOCK) -> int:
+    return (n + granularity - 1) // granularity * granularity
+
+
+# ---------------------------------------------------------------------------
+# Cache log records
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CacheRecord:
+    """One write-cache log record: a batch of write extents plus data.
+
+    ``epoch`` is the cache's recovery generation: it changes on every
+    recovery, so log replay can distinguish records of the current chain
+    from stale same-sequence records surviving from before an earlier
+    crash (which must never be resurrected — they were already rolled
+    back once).
+    """
+
+    seq: int
+    extents: List[Tuple[int, int]]  # (vLBA, length-in-bytes)
+    data: bytes  # concatenated extent payloads, block-padded per extent
+    epoch: int = 0
+
+    @property
+    def header_size(self) -> int:
+        raw = _REC_HDR.size + _REC_EXT.size * len(self.extents)
+        return align_up(raw)
+
+    @property
+    def size(self) -> int:
+        """Total on-SSD footprint (header + block-aligned data)."""
+        return self.header_size + len(self.data)
+
+    def data_offset_of(self, index: int) -> int:
+        """Offset of extent ``index``'s payload within ``data``."""
+        off = 0
+        for lba, length in self.extents[:index]:
+            off += align_up(length)
+        return off
+
+
+def pack_record(
+    seq: int, writes: List[Tuple[int, bytes]], epoch: int = 0
+) -> CacheRecord:
+    """Build a cache record from (vLBA, payload) writes.
+
+    Each payload is padded to the 4 KiB block grid — the space expansion
+    for small writes the paper accepts as the price of a pure log (§3.1).
+    """
+    extents = [(lba, len(data)) for lba, data in writes]
+    chunks = []
+    for _lba, data in writes:
+        pad = align_up(len(data)) - len(data)
+        chunks.append(data + b"\x00" * pad)
+    return CacheRecord(seq=seq, extents=extents, data=b"".join(chunks), epoch=epoch)
+
+
+def encode_record(record: CacheRecord) -> bytes:
+    ext_blob = b"".join(_REC_EXT.pack(l, n) for l, n in record.extents)
+    hdr_no_crc = _REC_HDR.pack(
+        MAGIC, VERSION, KIND_DATA, record.seq, record.epoch, 0,
+        len(record.extents), len(record.data),
+    )
+    crc = _crc(hdr_no_crc, ext_blob, record.data)
+    hdr = _REC_HDR.pack(
+        MAGIC, VERSION, KIND_DATA, record.seq, record.epoch, crc,
+        len(record.extents), len(record.data),
+    )
+    raw = hdr + ext_blob
+    pad = align_up(len(raw)) - len(raw)
+    return raw + b"\x00" * pad + record.data
+
+
+def decode_record(buf: bytes, offset: int = 0) -> Optional[CacheRecord]:
+    """Decode the record at ``offset``; None if invalid/torn (end of log)."""
+    if offset + _REC_HDR.size > len(buf):
+        return None
+    magic, ver, kind, seq, epoch, crc, n_ext, data_len = _REC_HDR.unpack_from(
+        buf, offset
+    )
+    if magic != MAGIC or ver != VERSION or kind != KIND_DATA:
+        return None
+    ext_off = offset + _REC_HDR.size
+    ext_end = ext_off + _REC_EXT.size * n_ext
+    hdr_size = align_up(ext_end - offset)
+    if offset + hdr_size + data_len > len(buf):
+        return None
+    extents = [
+        _REC_EXT.unpack_from(buf, ext_off + i * _REC_EXT.size) for i in range(n_ext)
+    ]
+    data = bytes(buf[offset + hdr_size : offset + hdr_size + data_len])
+    hdr_no_crc = _REC_HDR.pack(MAGIC, ver, kind, seq, epoch, 0, n_ext, data_len)
+    if _crc(hdr_no_crc, bytes(buf[ext_off:ext_end]), data) != crc:
+        return None
+    expected_data = sum(align_up(n) for _l, n in extents)
+    if expected_data != data_len:
+        return None
+    return CacheRecord(seq=seq, extents=list(extents), data=data, epoch=epoch)
+
+
+# ---------------------------------------------------------------------------
+# Backend objects
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ObjectExtent:
+    """One extent inside a backend object."""
+
+    lba: int
+    length: int
+    src_seq: int = 0  # for GC objects: the victim the data was copied from
+
+
+@dataclass
+class ObjectHeader:
+    """Parsed header of a backend object."""
+
+    kind: int
+    uuid: bytes
+    seq: int
+    last_record_seq: int
+    extents: List[ObjectExtent] = field(default_factory=list)
+    data_len: int = 0
+
+    @property
+    def header_size(self) -> int:
+        return _OBJ_HDR.size + _OBJ_EXT.size * len(self.extents)
+
+    def data_offset_of(self, index: int) -> int:
+        """Offset of extent ``index``'s payload within the object's data."""
+        return self.header_size + sum(e.length for e in self.extents[:index])
+
+
+def encode_object(header: ObjectHeader, data: bytes) -> bytes:
+    """Serialise header+data into the immutable object payload."""
+    ext_blob = b"".join(
+        _OBJ_EXT.pack(e.lba, e.length, e.src_seq) for e in header.extents
+    )
+    base = _OBJ_HDR.pack(
+        MAGIC,
+        VERSION,
+        header.kind,
+        header.uuid,
+        header.seq,
+        header.last_record_seq,
+        len(header.extents),
+        len(data),
+        0,
+    )
+    crc = _crc(base, ext_blob, data)
+    base = _OBJ_HDR.pack(
+        MAGIC,
+        VERSION,
+        header.kind,
+        header.uuid,
+        header.seq,
+        header.last_record_seq,
+        len(header.extents),
+        len(data),
+        crc,
+    )
+    return base + ext_blob + data
+
+
+def decode_object_header(buf: bytes) -> ObjectHeader:
+    """Parse an object header (a prefix of the object is enough)."""
+    if len(buf) < _OBJ_HDR.size:
+        raise CorruptRecordError("object shorter than fixed header")
+    magic, ver, kind, uuid, seq, last_rec, n_ext, data_len, _crc_ = _OBJ_HDR.unpack_from(
+        buf, 0
+    )
+    if magic != MAGIC:
+        raise CorruptRecordError("bad object magic")
+    if ver != VERSION:
+        raise CorruptRecordError(f"unsupported object version {ver}")
+    need = _OBJ_HDR.size + _OBJ_EXT.size * n_ext
+    if len(buf) < need:
+        raise CorruptRecordError("object truncated inside extent table")
+    extents = [
+        ObjectExtent(*_OBJ_EXT.unpack_from(buf, _OBJ_HDR.size + i * _OBJ_EXT.size))
+        for i in range(n_ext)
+    ]
+    return ObjectHeader(
+        kind=kind,
+        uuid=uuid,
+        seq=seq,
+        last_record_seq=last_rec,
+        extents=extents,
+        data_len=data_len,
+    )
+
+
+def decode_object(buf: bytes) -> Tuple[ObjectHeader, bytes]:
+    """Parse a whole object, verifying the CRC over header and data."""
+    header = decode_object_header(buf)
+    hdr_size = header.header_size
+    if len(buf) < hdr_size + header.data_len:
+        raise CorruptRecordError("object truncated inside data")
+    data = bytes(buf[hdr_size : hdr_size + header.data_len])
+    magic, ver, kind, uuid, seq, last_rec, n_ext, data_len, crc = _OBJ_HDR.unpack_from(
+        buf, 0
+    )
+    base = _OBJ_HDR.pack(MAGIC, ver, kind, uuid, seq, last_rec, n_ext, data_len, 0)
+    if _crc(base, bytes(buf[_OBJ_HDR.size : hdr_size]), data) != crc:
+        raise CorruptRecordError(f"object seq={seq} CRC mismatch")
+    return header, data
+
+
+def object_name(volume: str, seq: int) -> str:
+    """Stream object name: order is encoded in the name (§3.1)."""
+    return f"{volume}.{seq:08d}"
+
+
+def parse_object_name(name: str) -> Tuple[str, int]:
+    """Inverse of :func:`object_name`."""
+    volume, _, seq = name.rpartition(".")
+    if not volume or not seq.isdigit():
+        raise ValueError(f"not a stream object name: {name!r}")
+    return volume, int(seq)

@@ -1,0 +1,159 @@
+"""FIFO read cache sharing the cache SSD (§3.1).
+
+The paper's prototype re-uses the write-cache implementation for the read
+cache with static partitioning and FIFO replacement; this module follows
+that design: the cache region is a byte ring, insertions append at a ring
+pointer, and whatever the pointer overwrites is evicted.  Extents inserted
+come from backend range-reads, so a single insertion often carries
+prefetched data written *temporally* adjacent to the missed block (§3.2).
+
+Correctness rules:
+
+* the write path must call :meth:`invalidate` so newly written LBAs never
+  read stale from here (write-after-read hazard, §3.1), and
+* the map is persisted only on clean shutdown; after a crash the cache
+  starts cold (loss never affects correctness — the data is always also in
+  the backend).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core import checkpoint as ckpt
+from repro.core.config import BLOCK
+from repro.core.errors import CorruptRecordError
+from repro.core.extent_map import ExtentMap
+from repro.core.log import align_up
+from repro.devices.image import DiskImage
+
+#: target identifier used in the read-cache extent map
+RC_TARGET = "rc"
+
+
+class ReadCache:
+    """A FIFO byte-ring read cache over a DiskImage region."""
+
+    def __init__(
+        self,
+        image: DiskImage,
+        region_offset: int = 0,
+        region_size: Optional[int] = None,
+        map_slot_size: int = 1 << 20,
+    ):
+        self.image = image
+        self.region_offset = region_offset
+        total = region_size if region_size is not None else image.size - region_offset
+        self.slot_size = align_up(map_slot_size)
+        if total <= self.slot_size + 4 * BLOCK:
+            raise ValueError("read cache region too small")
+        self.data_offset = region_offset + self.slot_size
+        self.data_size = (total - self.slot_size) // BLOCK * BLOCK
+
+        self.map = ExtentMap()  # vLBA -> (RC_TARGET, absolute image offset)
+        self._ring_virt = 0
+        # statistics
+        self.hits = 0
+        self.misses = 0
+        self.inserted_bytes = 0
+        self.evicted_bytes = 0
+
+    # ------------------------------------------------------------------
+    def _phys(self, virt: int) -> int:
+        return self.data_offset + (virt % self.data_size)
+
+    def read(self, lba: int, length: int) -> List[Tuple[int, int, bytes]]:
+        """Cached pieces of [lba, lba+length): (lba, length, data)."""
+        out = []
+        for ext in self.map.lookup(lba, length):
+            out.append((ext.lba, ext.length, self.image.read(ext.offset, ext.length)))
+        if out:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return out
+
+    def insert(self, lba: int, data: bytes) -> None:
+        """Add backend data to the cache, evicting FIFO as needed."""
+        length = len(data)
+        if length == 0:
+            return
+        footprint = align_up(length)
+        if footprint > self.data_size:
+            return  # larger than the whole cache: do not cache
+        virt = self._reserve(footprint)
+        phys = self._phys(virt)
+        self._evict_range(phys, footprint)
+        self.image.write(phys, data)
+        self.map.update(lba, length, RC_TARGET, phys)
+        self.inserted_bytes += length
+
+    def invalidate(self, lba: int, length: int) -> None:
+        """Drop cached data for a written range (write-after-read hazard)."""
+        self.map.remove(lba, length)
+
+    # ------------------------------------------------------------------
+    def _reserve(self, footprint: int) -> int:
+        virt = self._ring_virt
+        room = self.data_size - (virt % self.data_size)
+        if room < footprint:
+            # evict the wrap slack too, then start at the boundary
+            self._evict_range(self._phys(virt), room)
+            virt += room
+        self._ring_virt = virt + footprint
+        return virt
+
+    def _evict_range(self, phys: int, length: int) -> None:
+        """Remove map entries whose data lives in [phys, phys+length)."""
+        end = phys + length
+        stale = [
+            ext for ext in list(self.map) if not (ext.offset + ext.length <= phys or ext.offset >= end)
+        ]
+        for ext in stale:
+            # clip precisely: only the overlapping part is evicted
+            lo = max(ext.offset, phys)
+            hi = min(ext.offset + ext.length, end)
+            lba_lo = ext.lba + (lo - ext.offset)
+            self.map.remove(lba_lo, hi - lo)
+            self.evicted_bytes += hi - lo
+
+    # ------------------------------------------------------------------
+    # persistence (clean shutdown only; see module docstring)
+    # ------------------------------------------------------------------
+    def save_map(self) -> None:
+        sections = {
+            "meta": ckpt.pack_json({"ring": self._ring_virt}),
+            "map": ckpt.pack_rows(
+                "<QQQ", [(e.lba, e.length, e.offset) for e in self.map]
+            ),
+        }
+        blob = ckpt.encode_sections(sections)
+        if len(blob) > self.slot_size:
+            # degrade gracefully: an oversized map simply is not persisted
+            return
+        self.image.write(self.region_offset, blob)
+        self.image.flush()
+
+    def load_map(self) -> bool:
+        """Try to warm the map from a clean-shutdown save; False if cold."""
+        blob = self.image.read(self.region_offset, self.slot_size)
+        try:
+            sections = ckpt.decode_sections(blob)
+            meta = ckpt.unpack_json(sections["meta"])
+            entries = ckpt.unpack_rows("<QQQ", sections["map"])
+        except (CorruptRecordError, KeyError, ValueError):
+            return False
+        self._ring_virt = meta["ring"]
+        self.map = ExtentMap()
+        for lba, length, offset in entries:
+            self.map.update(lba, length, RC_TARGET, offset)
+        return True
+
+    def clear(self) -> None:
+        self.map.clear()
+        self._ring_virt = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

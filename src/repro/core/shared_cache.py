@@ -1,0 +1,151 @@
+"""Cache sharing across clones (§6.3 "Cache Sharing").
+
+A host often runs many virtual machines whose disks are cloned from the
+same base image; each clone's reads of un-diverged blocks fetch the *same
+backend objects*.  The paper proposes caching that data once per host.
+
+:class:`SharedObjectCache` is keyed by (object name, data offset) —
+content identity in LSVD's immutable world — so any volume whose map
+points at a shared base object can hit data another volume fetched.
+Because objects are immutable, shared entries can never be stale; each
+volume's own write cache still takes priority for its divergent writes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass
+class SharedCacheStats:
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class SharedObjectCache:
+    """A host-wide LRU cache of immutable object data.
+
+    Keys are (object name, aligned data offset); values are fixed-size
+    chunks.  Immutability makes invalidation unnecessary — entries only
+    leave by eviction.
+    """
+
+    def __init__(self, capacity: int, chunk_size: int = 64 * 1024):
+        if capacity < chunk_size:
+            raise ValueError("capacity smaller than one chunk")
+        self.capacity = capacity
+        self.chunk_size = chunk_size
+        self._chunks: OrderedDict[Tuple[str, int], bytes] = OrderedDict()
+        self._bytes = 0
+        #: decoded object headers, shared across attached volumes (they
+        #: are immutable too, and every reader needs them)
+        self.headers: dict = {}
+        self.stats = SharedCacheStats()
+
+    # ------------------------------------------------------------------
+    def get(self, object_name: str, offset: int, length: int) -> Optional[bytes]:
+        """Return ``length`` bytes at ``offset`` of the object, if fully
+        cached; None on any gap."""
+        pieces = []
+        for chunk_off, lo, hi in self._chunk_ranges(offset, length):
+            chunk = self._chunks.get((object_name, chunk_off))
+            if chunk is None or len(chunk) < hi:
+                self.stats.misses += 1
+                return None
+            pieces.append(chunk[lo:hi])
+        self.stats.hits += 1
+        self._touch(object_name, offset, length)
+        return b"".join(pieces)
+
+    def insert(self, object_name: str, offset: int, data: bytes) -> None:
+        """Cache object data; offset may be unaligned (clipped to chunks).
+
+        Only whole chunks are stored, except a final partial chunk which
+        is kept if it starts at its chunk boundary (objects have tails).
+        """
+        end = offset + len(data)
+        for chunk_off, lo, hi in self._chunk_ranges(offset, len(data)):
+            if chunk_off < offset or (chunk_off + self.chunk_size > end and hi != self.chunk_size):
+                # partial at the front, or a tail that is not the object's
+                # natural end: skip rather than cache a hole-y chunk
+                if chunk_off < offset:
+                    continue
+            key = (object_name, chunk_off)
+            if key in self._chunks:
+                continue
+            chunk = data[chunk_off - offset : chunk_off - offset + self.chunk_size]
+            self._chunks[key] = chunk
+            self._bytes += len(chunk)
+            self.stats.insertions += 1
+        while self._bytes > self.capacity and self._chunks:
+            _key, evicted = self._chunks.popitem(last=False)
+            self._bytes -= len(evicted)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    def _chunk_ranges(self, offset: int, length: int):
+        """Yield (chunk_offset, lo, hi) covering [offset, offset+length)."""
+        pos = offset
+        end = offset + length
+        while pos < end:
+            chunk_off = pos // self.chunk_size * self.chunk_size
+            lo = pos - chunk_off
+            hi = min(end - chunk_off, self.chunk_size)
+            yield chunk_off, lo, hi
+            pos = chunk_off + self.chunk_size
+
+    def _touch(self, object_name: str, offset: int, length: int) -> None:
+        for chunk_off, _lo, _hi in self._chunk_ranges(offset, length):
+            key = (object_name, chunk_off)
+            if key in self._chunks:
+                self._chunks.move_to_end(key)
+
+    @property
+    def cached_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+
+def attach_shared_cache(volume, shared: SharedObjectCache) -> None:
+    """Wire a volume's backend fetches through a shared cache.
+
+    Reads served from the shared cache skip the object store entirely;
+    misses fetch as usual and populate the cache for the other volumes
+    cloned from the same base.
+    """
+    bs = volume.bs
+    original_fetch = bs.fetch
+    original_header_of = bs.header_of
+
+    def caching_fetch(seq: int, offset: int, length: int) -> bytes:
+        name = bs.name_for_seq(seq)
+        cached = shared.get(name, offset, length)
+        if cached is not None:
+            return cached
+        data = original_fetch(seq, offset, length)
+        shared.insert(name, offset, data)
+        return data
+
+    def caching_header_of(seq: int):
+        name = bs.name_for_seq(seq)
+        header = shared.headers.get(name)
+        if header is None:
+            header = original_header_of(seq)
+            shared.headers[name] = header
+        else:
+            bs._header_cache[seq] = header
+        return header
+
+    bs.fetch = caching_fetch
+    bs.header_of = caching_header_of

@@ -1,0 +1,549 @@
+"""The LSVD virtual-disk facade (Figure 1).
+
+:class:`LSVDVolume` glues together the log-structured write cache, the
+read cache, the log-structured block store, and the garbage collector, and
+implements the three block-device operations (§3.2):
+
+* **write** — logged to the cache (completing the I/O), then copied into
+  the current batch; a full batch is sealed and PUT as one object.
+* **commit barrier** — a single cache-device flush.
+* **read** — write cache, then read cache, then a backend range-read with
+  temporal prefetch; unmapped blocks read as zeros.
+
+Settlement ledger
+-----------------
+With a real object store, PUTs complete asynchronously and out of order.
+The volume tracks every outstanding PUT and enforces the orderings that
+make recovery sound:
+
+1. a cache record may be *released* (freed from the write log) only once
+   every batch up to and including the one covering it has settled —
+   otherwise a crash could lose an acknowledged write that is in neither
+   the cache nor the backend;
+2. a checkpoint is written only when no other PUT is outstanding, so a
+   visible checkpoint implies its entire prefix is visible;
+3. GC victims are deleted only after a checkpoint that no longer
+   references them has settled (§3.3's "GC only deletes objects older
+   than the most recent checkpoint").
+
+With the plain in-memory store every PUT settles immediately and the
+ledger degenerates to synchronous execution; the
+:class:`~repro.objstore.s3.UnsettledObjectStore` and the timed runtime
+exercise the asynchronous paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.batch import SealedBatch
+from repro.core.block_store import BlockStore
+from repro.core.config import SECTOR, LSVDConfig
+from repro.core.errors import CacheFullError, LSVDError
+from repro.core.gc import GarbageCollector, GCPlan
+from repro.core.read_cache import ReadCache
+from repro.core.write_cache import WriteCache
+from repro.devices.image import DiskImage
+
+
+@dataclass
+class _BatchEntry:
+    """One committed batch awaiting settlement."""
+
+    seq: int
+    last_record_seq: int
+    settled: bool = False
+
+
+@dataclass
+class _GCRound:
+    """An in-flight garbage-collection round."""
+
+    victims: List[int]
+    pending_puts: int = 0
+    stage: str = "relocating"  # relocating -> await_ckpt -> done
+    ckpt_seq: Optional[int] = None
+
+
+class LSVDVolume:
+    """A log-structured virtual disk."""
+
+    def __init__(
+        self,
+        block_store: BlockStore,
+        write_cache: WriteCache,
+        read_cache: ReadCache,
+        config: Optional[LSVDConfig] = None,
+        read_only: bool = False,
+    ):
+        self.bs = block_store
+        self.wc = write_cache
+        self.rc = read_cache
+        self.config = config or block_store.config
+        self.read_only = read_only
+        self.gc = GarbageCollector(
+            block_store, self.config, cache_reader=self._gc_cache_read
+        )
+        self.gc_enabled = True
+        # settlement ledger
+        self._pending: Dict[object, Tuple[str, object]] = {}
+        self._batches: List[_BatchEntry] = []
+        self._gc_round: Optional[_GCRound] = None
+        self._ckpt_requested = False
+
+    # ------------------------------------------------------------------
+    # factory methods
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        store,
+        name: str,
+        size: int,
+        cache_image: DiskImage,
+        config: Optional[LSVDConfig] = None,
+    ) -> "LSVDVolume":
+        """Create a brand-new virtual disk backed by ``store``."""
+        config = config or LSVDConfig()
+        bs = BlockStore.create(store, name, size, config)
+        wc, rc = cls._partition_cache(cache_image, config)
+        wc.format()
+        return cls(bs, wc, rc, config)
+
+    @classmethod
+    def open(
+        cls,
+        store,
+        name: str,
+        cache_image: DiskImage,
+        config: Optional[LSVDConfig] = None,
+        cache_lost: bool = False,
+    ) -> "LSVDVolume":
+        """Mount an existing disk, running full crash recovery (§3.3).
+
+        With ``cache_lost`` (or an unformattable cache) the volume comes
+        back as the backend's consistent prefix — the worst-case
+        prefix-consistency guarantee.  Otherwise the cache log is
+        recovered, rewound to the backend's high-water mark, and every
+        later record is replayed so the backend catches up with all
+        locally persisted writes.
+        """
+        config = config or LSVDConfig()
+        bs, state = BlockStore.open(store, name, config)
+        wc, rc = cls._partition_cache(cache_image, config)
+        vol = cls(bs, wc, rc, config)
+        if cache_lost:
+            wc.format()
+            wc.next_seq = state.last_record_seq + 1
+            wc.checkpoint()
+            return vol
+        wc.recover()
+        # The cache may have rolled back records that were already
+        # destaged: a fresh write must never reuse one of their sequence
+        # numbers, or the backend's high-water mark would release it as
+        # "already destaged" and lose it.  Jump past the backend's mark.
+        if wc.next_seq <= state.last_record_seq:
+            wc.next_seq = state.last_record_seq + 1
+            wc.checkpoint()
+        if wc._clean:
+            rc.load_map()
+        # rewind & replay: push cache records the backend has not seen
+        for record, _ref in wc.records_after(state.last_record_seq):
+            for index, (lba, length) in enumerate(record.extents):
+                data = wc.record_data(record, index)
+                sealed = bs.add_write(lba, data, record.seq)
+                if sealed is not None:
+                    vol._commit_data(sealed)
+        # anything at or below the backend high-water mark is already safe
+        wc.release_through(state.last_record_seq)
+        return vol
+
+    @classmethod
+    def clone(
+        cls,
+        store,
+        base_name: str,
+        clone_name: str,
+        cache_image: DiskImage,
+        config: Optional[LSVDConfig] = None,
+        at_snapshot: Optional[str] = None,
+    ) -> "LSVDVolume":
+        """Create a copy-on-write clone of ``base_name`` (§3.6)."""
+        config = config or LSVDConfig()
+        bs = BlockStore.clone_from(
+            store, base_name, clone_name, config, at_snapshot=at_snapshot
+        )
+        wc, rc = cls._partition_cache(cache_image, config)
+        wc.format()
+        return cls(bs, wc, rc, config)
+
+    @classmethod
+    def open_snapshot(
+        cls,
+        store,
+        name: str,
+        snapshot: str,
+        cache_image: DiskImage,
+        config: Optional[LSVDConfig] = None,
+    ) -> "LSVDVolume":
+        """Mount a snapshot read-only (§3.6)."""
+        config = config or LSVDConfig()
+        meta = BlockStore.read_super(store, name)
+        snaps = meta.get("snapshots", {})
+        if snapshot not in snaps:
+            raise LSVDError(f"volume {name!r} has no snapshot {snapshot!r}")
+        bs, _state = BlockStore.open(
+            store, name, config, upto=snaps[snapshot], read_only=True
+        )
+        wc, rc = cls._partition_cache(cache_image, config)
+        wc.format()
+        vol = cls(bs, wc, rc, config, read_only=True)
+        vol.gc_enabled = False
+        return vol
+
+    @staticmethod
+    def _partition_cache(image: DiskImage, config: LSVDConfig):
+        wc_size = int(image.size * config.write_cache_fraction) // 4096 * 4096
+        wc_slot = max(64 * 1024, min(1 << 20, wc_size // 8)) // 4096 * 4096
+        rc_size = image.size - wc_size
+        rc_slot = max(64 * 1024, min(1 << 20, rc_size // 8)) // 4096 * 4096
+        wc = WriteCache(image, 0, wc_size, ckpt_slot_size=wc_slot)
+        rc = ReadCache(image, wc_size, rc_size, map_slot_size=rc_slot)
+        return wc, rc
+
+    # ------------------------------------------------------------------
+    # block-device operations
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.bs.size
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Write ``data`` at byte ``offset``; durable after :meth:`flush`."""
+        self._check_io(offset, len(data))
+        if self.read_only:
+            raise LSVDError("volume is read-only")
+        if not data:
+            return
+        try:
+            record = self.wc.append([(offset, data)])
+        except CacheFullError:
+            self._make_room(len(data))
+            record = self.wc.append([(offset, data)])
+        self.rc.invalidate(offset, len(data))
+        sealed = self.bs.add_write(offset, data, record.seq)
+        if sealed is not None:
+            self._commit_data(sealed)
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset`` (unwritten space is zeros)."""
+        self._check_io(offset, length)
+        if length == 0:
+            return b""
+        out = bytearray(length)
+        # 1: write cache (always the newest data)
+        covered = _Coverage(offset, length)
+        for lba, piece_len, data in self.wc.read(offset, length):
+            out[lba - offset : lba - offset + piece_len] = data
+            covered.fill(lba, piece_len)
+        # 2: read cache
+        for gap_lba, gap_len in covered.gaps():
+            for lba, piece_len, data in self.rc.read(gap_lba, gap_len):
+                out[lba - offset : lba - offset + piece_len] = data
+                covered.fill(lba, piece_len)
+        # 3: backend (with temporal prefetch into the read cache)
+        for gap_lba, gap_len in covered.gaps():
+            for piece in self.bs.lookup(gap_lba, gap_len):
+                fetched = self.bs.fetch_with_prefetch(
+                    piece.target, piece.offset, piece.length,
+                    request_lba=piece.lba,
+                )
+                for vlba, data in fetched:
+                    self._insert_read_cache(vlba, data)
+                    lo = max(vlba, gap_lba)
+                    hi = min(vlba + len(data), gap_lba + gap_len)
+                    if lo < hi:
+                        out[lo - offset : hi - offset] = data[
+                            lo - vlba : hi - vlba
+                        ]
+                covered.fill(piece.lba, piece.length)
+        return bytes(out)
+
+    def writev(self, writes: List[Tuple[int, bytes]]) -> None:
+        """Vectored write: several extents in one cache log record.
+
+        All extents share one record (one header), so a scattered burst
+        costs a single sequential SSD write — the "series of data blocks"
+        record format of Figure 2.
+        """
+        if self.read_only:
+            raise LSVDError("volume is read-only")
+        writes = [(off, data) for off, data in writes if data]
+        for offset, data in writes:
+            self._check_io(offset, len(data))
+        if not writes:
+            return
+        try:
+            record = self.wc.append(writes)
+        except CacheFullError:
+            self._make_room(sum(len(d) for _o, d in writes))
+            record = self.wc.append(writes)
+        for offset, data in writes:
+            self.rc.invalidate(offset, len(data))
+            sealed = self.bs.add_write(offset, data, record.seq)
+            if sealed is not None:
+                self._commit_data(sealed)
+
+    def trim(self, offset: int, length: int) -> None:
+        """Discard a range: subsequent reads return zeros (TRIM/unmap).
+
+        Drops cache mappings and live-byte accounting immediately; the
+        discarded backend data becomes garbage for the collector.  Note
+        the trim itself is a volatile metadata operation here (as on many
+        real devices): it is not persisted in the logs, so a crash may
+        resurrect discarded data — callers needing durable discard should
+        overwrite with zeros instead.
+        """
+        self._check_io(offset, length)
+        if self.read_only:
+            raise LSVDError("volume is read-only")
+        self.wc.map.remove(offset, length)
+        self.rc.invalidate(offset, length)
+        self.bs.omap.trim(offset, length)
+
+    def flush(self) -> None:
+        """Commit barrier: one flush of the cache SSD (§3.2)."""
+        self.wc.barrier()
+
+    # ------------------------------------------------------------------
+    # background work (destage / GC / checkpoints)
+    # ------------------------------------------------------------------
+    def poll(self) -> None:
+        """Advance background machinery (GC, due checkpoints)."""
+        self._maybe_checkpoint()
+        self._advance_gc()
+
+    def drain(self) -> None:
+        """Push all buffered data to the backend and finish GC.
+
+        Only meaningful with an immediately-settling store; the timed
+        runtime drives the same steps through simulated time.
+        """
+        sealed = self.bs.seal()
+        if sealed is not None:
+            self._commit_data(sealed)
+        self.poll()
+        # run GC to its target utilisation
+        guard = 0
+        while (
+            self.gc_enabled
+            and self._gc_round is None
+            and self.gc.needs_gc()
+            and not self.gc.reached_target()
+        ):
+            before = self.bs.stats.objects_deleted
+            self._start_gc_round()
+            self._advance_gc()
+            guard += 1
+            if guard > 10_000 or (
+                self._gc_round is None
+                and self.bs.stats.objects_deleted == before
+            ):
+                break
+
+    def close(self) -> None:
+        """Clean shutdown: drain, checkpoint, persist warm maps."""
+        if not self.read_only:
+            self.drain()
+            self.flush()
+            if not self._pending:
+                self._write_checkpoint()
+            self.rc.save_map()
+            self.wc.close()
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self, name: str) -> int:
+        """Designate the current stream head as snapshot ``name``."""
+        self.drain()
+        return self.bs.create_snapshot(name)
+
+    def delete_snapshot(self, name: str) -> List[int]:
+        return self.bs.delete_snapshot(name)
+
+    # ------------------------------------------------------------------
+    # settlement ledger
+    # ------------------------------------------------------------------
+    def settle_put(self, handle) -> None:
+        """Notify the volume that an outstanding PUT completed."""
+        kind, payload = self._pending.pop(handle)
+        if kind == "data":
+            payload.settled = True
+            self._advance_release_frontier()
+        elif kind == "gc":
+            if self._gc_round is not None:
+                self._gc_round.pending_puts -= 1
+        elif kind == "ckpt":
+            self.bs.retire_old_checkpoints()
+            if (
+                self._gc_round is not None
+                and self._gc_round.stage == "await_ckpt"
+                and self._gc_round.ckpt_seq == payload
+            ):
+                self._finish_gc_round()
+        self._maybe_checkpoint()
+        self._advance_gc()
+
+    @property
+    def pending_puts(self) -> int:
+        return len(self._pending)
+
+    # -- internals ------------------------------------------------------
+    def _commit_data(self, sealed: SealedBatch) -> None:
+        entry = _BatchEntry(sealed.seq, sealed.last_record_seq)
+        self._batches.append(entry)
+        result = self.bs.commit(sealed)
+        if result is None:
+            entry.settled = True
+            self._advance_release_frontier()
+            self._maybe_checkpoint()
+            self._advance_gc()
+        else:
+            self._pending[result] = ("data", entry)
+
+    def _advance_release_frontier(self) -> None:
+        while self._batches and self._batches[0].settled:
+            entry = self._batches.pop(0)
+            if entry.last_record_seq:
+                self.wc.release_through(entry.last_record_seq)
+
+    def _maybe_checkpoint(self) -> None:
+        if (self.bs.checkpoint_due or self._ckpt_requested) and not self._pending:
+            self._ckpt_requested = False
+            self._write_checkpoint()
+
+    def _write_checkpoint(self) -> int:
+        seq, result = self.bs.write_checkpoint()
+        if result is None:
+            self.bs.retire_old_checkpoints()
+            if (
+                self._gc_round is not None
+                and self._gc_round.stage == "await_ckpt"
+            ):
+                self._gc_round.ckpt_seq = seq
+                self._finish_gc_round()
+        else:
+            self._pending[result] = ("ckpt", seq)
+        return seq
+
+    def _advance_gc(self) -> None:
+        if not self.gc_enabled or self.read_only:
+            return
+        if self._gc_round is None:
+            if self.gc.needs_gc():
+                self._start_gc_round()
+            return
+        rnd = self._gc_round
+        if rnd.stage == "relocating" and rnd.pending_puts == 0:
+            rnd.stage = "await_ckpt"
+            if not self._pending:
+                rnd.ckpt_seq = self._write_checkpoint()
+                # immediate stores finish inside _write_checkpoint
+            else:
+                self._ckpt_requested = True
+
+    def _start_gc_round(self) -> None:
+        plan = self.gc.plan()
+        if plan is None:
+            return
+        rnd = _GCRound(victims=plan.victims)
+        self._gc_round = rnd
+        for sealed, result in self.gc.execute(plan):
+            if result is not None:
+                rnd.pending_puts += 1
+                self._pending[result] = ("gc", sealed.seq)
+        self._advance_gc()
+
+    def _finish_gc_round(self) -> None:
+        rnd = self._gc_round
+        self._gc_round = None
+        if rnd is not None:
+            self.gc.delete_victims(rnd.victims)
+
+    def _make_room(self, needed: int) -> None:
+        """Cache log full: force destage so records can be released."""
+        sealed = self.bs.seal()
+        if sealed is not None:
+            self._commit_data(sealed)
+        if self.wc.free_bytes < needed + 2 * 4096 and self._pending:
+            raise CacheFullError(
+                "cache log full with PUTs outstanding; destage in progress"
+            )
+
+    def _gc_cache_read(self, lba: int, length: int) -> Optional[bytes]:
+        """GC cache-assist: serve only from the read cache (§3.5).
+
+        The read cache is invalidated on every write, so a full hit is
+        guaranteed to equal the currently mapped (victim) version.  The
+        write cache may hold *newer* data than the victim's and must not
+        be used: relocating it could surface a write without its
+        predecessors after a crash, breaking prefix consistency.
+        """
+        pieces = self.rc.read(lba, length)
+        if len(pieces) == 1 and pieces[0][0] == lba and pieces[0][1] == length:
+            return pieces[0][2]
+        return None
+
+    def _insert_read_cache(self, lba: int, data: bytes) -> None:
+        """Insert backend data, clipped against newer write-cache data."""
+        cursor = 0
+        for start, length, ext in _clip_against(self.wc.map, lba, len(data)):
+            if ext is None:
+                self.rc.insert(start, data[start - lba : start - lba + length])
+
+    def _check_io(self, offset: int, length: int) -> None:
+        if offset % SECTOR or length % SECTOR:
+            raise ValueError("I/O must be 512-byte aligned")
+        if offset < 0 or offset + length > self.size:
+            raise ValueError("I/O beyond end of volume")
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def occupancy(self) -> Tuple[int, int]:
+        return self.bs.occupancy()
+
+    @property
+    def write_amplification(self) -> float:
+        return self.bs.stats.write_amplification
+
+
+def _clip_against(extent_map, lba: int, length: int):
+    """Yield (start, length, extent-or-None) covering the range."""
+    return extent_map.lookup_with_gaps(lba, length)
+
+
+class _Coverage:
+    """Tracks which parts of a read range are still unfilled."""
+
+    def __init__(self, offset: int, length: int):
+        self._gaps: List[Tuple[int, int]] = [(offset, length)]
+
+    def fill(self, lba: int, length: int) -> None:
+        end = lba + length
+        new: List[Tuple[int, int]] = []
+        for g_lba, g_len in self._gaps:
+            g_end = g_lba + g_len
+            if end <= g_lba or lba >= g_end:
+                new.append((g_lba, g_len))
+                continue
+            if g_lba < lba:
+                new.append((g_lba, lba - g_lba))
+            if end < g_end:
+                new.append((end, g_end - end))
+        self._gaps = new
+
+    def gaps(self) -> List[Tuple[int, int]]:
+        return list(self._gaps)

@@ -1,0 +1,30 @@
+"""Failure injection and consistency verification (§2.2, §3.4, Table 4).
+
+The paper's crash tests copy a 74K-file tree, reset the VM, delete the
+cache, and check whether the filesystem still mounts.  We verify the
+underlying guarantee directly and exhaustively:
+
+* every write carries a unique, self-describing stamp;
+* :class:`~repro.crash.consistency.HistoryRecorder` remembers the global
+  acknowledgement order and commit-barrier positions;
+* :class:`~repro.crash.consistency.PrefixChecker` reads the recovered
+  image and decides whether it equals ``apply(history[:k])`` for some k —
+  prefix consistency — and, when the cache survived, whether k covers the
+  last commit barrier (no committed write lost).
+"""
+
+from repro.crash.consistency import (
+    HistoryRecorder,
+    PrefixChecker,
+    Verdict,
+    decode_stamp,
+    stamp_data,
+)
+
+__all__ = [
+    "HistoryRecorder",
+    "PrefixChecker",
+    "Verdict",
+    "decode_stamp",
+    "stamp_data",
+]

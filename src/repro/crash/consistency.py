@@ -1,0 +1,175 @@
+"""Prefix-consistency verification via stamped writes.
+
+Definition (§2.2): if the system crashes at time t, the recovered state
+must reflect (a) *all* writes acknowledged before some t' <= t and (b)
+*no* writes issued after t'.  With the local cache intact the stronger
+property holds: t' must lie at or after the last completed commit barrier
+(no committed write may be lost).
+
+Method: every write's payload is a repetition of its 16-byte stamp
+(magic + write id), so the final writer of any 512-byte sector can be read
+back from the image.  The checker derives the only possible cut point —
+the largest observed id — and verifies every sector against the history
+prefix up to that cut.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+_STAMP = struct.Struct("<8sQ")
+_MAGIC = b"LSVDSTMP"
+SECTOR = 512
+
+
+def stamp_data(write_id: int, length: int) -> bytes:
+    """Build a payload of ``length`` bytes carrying ``write_id``.
+
+    Each 512-byte sector is filled with repetitions of the stamp, so any
+    aligned fragment of the write identifies its writer.
+    """
+    if length % SECTOR:
+        raise ValueError("stamped writes must be sector aligned")
+    unit = _STAMP.pack(_MAGIC, write_id)
+    sector = (unit * (SECTOR // len(unit) + 1))[:SECTOR]
+    return sector * (length // SECTOR)
+
+
+def decode_stamp(sector: bytes) -> Optional[int]:
+    """Recover the writer id from one sector; None if unwritten/garbage."""
+    if len(sector) < _STAMP.size:
+        return None
+    magic, write_id = _STAMP.unpack_from(sector, 0)
+    if magic != _MAGIC:
+        return None
+    # verify the whole sector is uniform (detects torn sectors)
+    unit = _STAMP.pack(_MAGIC, write_id)
+    expected = (unit * (SECTOR // len(unit) + 1))[: len(sector)]
+    if sector != expected:
+        return None
+    return write_id
+
+
+@dataclass
+class _WriteRecord:
+    write_id: int
+    offset: int
+    length: int
+
+
+@dataclass
+class Verdict:
+    """Outcome of a consistency check."""
+
+    consistent: bool
+    cut: int  # the prefix point k (write id) the state corresponds to
+    committed_through: int  # last write id covered by a commit barrier
+    lost_committed: bool  # True if a committed write is missing
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok_prefix(self) -> bool:
+        return self.consistent
+
+    @property
+    def ok_committed(self) -> bool:
+        return self.consistent and not self.lost_committed
+
+
+class HistoryRecorder:
+    """Issue stamped writes against a volume and remember the history."""
+
+    def __init__(self, write_fn: Callable[[int, bytes], None], flush_fn=None):
+        self._write_fn = write_fn
+        self._flush_fn = flush_fn
+        self.history: List[_WriteRecord] = []
+        self.barrier_after: int = 0  # highest write id covered by a barrier
+        self._next_id = 1
+
+    def write(self, offset: int, length: int) -> int:
+        """Perform one stamped write; returns its id."""
+        write_id = self._next_id
+        self._next_id += 1
+        self._write_fn(offset, stamp_data(write_id, length))
+        self.history.append(_WriteRecord(write_id, offset, length))
+        return write_id
+
+    def barrier(self) -> None:
+        """Commit barrier: everything so far becomes 'committed'."""
+        if self._flush_fn is not None:
+            self._flush_fn()
+        if self.history:
+            self.barrier_after = self.history[-1].write_id
+
+    @property
+    def writes_issued(self) -> int:
+        return len(self.history)
+
+
+class PrefixChecker:
+    """Verify a recovered image against a recorded history."""
+
+    def __init__(self, recorder: HistoryRecorder):
+        self.recorder = recorder
+
+    def check(
+        self,
+        read_fn: Callable[[int, int], bytes],
+        require_committed: bool = False,
+    ) -> Verdict:
+        """Read back every sector the history touched and validate.
+
+        ``require_committed`` additionally demands that the cut covers the
+        last commit barrier (the with-cache guarantee).
+        """
+        history = self.recorder.history
+        # last writer per sector as of each prefix: build per-sector writer
+        # lists once
+        writers: Dict[int, List[int]] = {}
+        spans: Dict[int, Tuple[int, int]] = {}
+        for rec in history:
+            spans[rec.write_id] = (rec.offset, rec.length)
+            for sector in range(rec.offset // SECTOR, (rec.offset + rec.length) // SECTOR):
+                writers.setdefault(sector, []).append(rec.write_id)
+
+        observed: Dict[int, Optional[int]] = {}
+        for sector, ids in writers.items():
+            data = read_fn(sector * SECTOR, SECTOR)
+            observed[sector] = decode_stamp(data) if any(data) else 0
+
+        problems: List[str] = []
+        cut = max((wid for wid in observed.values() if wid), default=0)
+        known_ids = {rec.write_id for rec in history}
+        for sector, wid in observed.items():
+            if wid is None:
+                problems.append(f"sector {sector}: torn/garbled content")
+                continue
+            if wid and wid not in known_ids:
+                problems.append(f"sector {sector}: unknown stamp {wid}")
+                continue
+            expected = 0
+            for candidate in writers[sector]:
+                if candidate <= cut:
+                    expected = candidate
+            if wid != expected:
+                problems.append(
+                    f"sector {sector}: has write {wid}, but prefix through "
+                    f"{cut} requires write {expected}"
+                )
+        committed_through = self.recorder.barrier_after
+        lost_committed = cut < committed_through
+        consistent = not problems
+        if require_committed and lost_committed:
+            problems.append(
+                f"cut {cut} < last committed write {committed_through}: "
+                "committed data lost"
+            )
+        return Verdict(
+            consistent=consistent,
+            cut=cut,
+            committed_through=committed_through,
+            lost_committed=lost_committed,
+            problems=problems,
+        )

@@ -1,0 +1,31 @@
+"""Device models: timing (SSD/HDD/network) and content (crash-faithful images).
+
+Two orthogonal planes:
+
+* **timing** — :class:`~repro.devices.ssd.SSD` and
+  :class:`~repro.devices.hdd.HDD` are queued service-time models running on
+  the simulator; they produce latency, throughput, and the per-device
+  op/byte/busy counters the paper reads from ``/proc/diskstats``.
+* **content** — :class:`~repro.devices.image.DiskImage` stores actual bytes
+  with volatile-write-cache semantics (writes are durable only after a
+  flush; a crash keeps an arbitrary subset of un-flushed writes, possibly
+  tearing the last one).  All consistency/recovery tests run on this plane.
+"""
+
+from repro.devices.base import DeviceStats, QueuedDevice
+from repro.devices.hdd import HDD, HDDSpec
+from repro.devices.image import DiskImage, TornWrite
+from repro.devices.network import NetworkLink
+from repro.devices.ssd import SSD, SSDSpec
+
+__all__ = [
+    "HDD",
+    "HDDSpec",
+    "SSD",
+    "SSDSpec",
+    "DeviceStats",
+    "DiskImage",
+    "NetworkLink",
+    "QueuedDevice",
+    "TornWrite",
+]

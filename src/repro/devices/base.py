@@ -1,0 +1,127 @@
+"""Common machinery for queued storage devices.
+
+A device is a :class:`~repro.sim.resources.Resource` of ``channels``
+service slots plus a per-operation service-time model supplied by the
+subclass.  Completion events fire after (queue wait + service time +
+pipeline latency); sustained throughput is ``channels / service_time``.
+
+Every device keeps :class:`DeviceStats` — the same counters the paper
+collects from ``/proc/diskstats`` (ops, sectors, busy time) to compute
+backend utilisation in §4.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import Resource
+
+READ = "read"
+WRITE = "write"
+#: journal/WAL append: group-committed sequential metadata write that
+#: does not move an HDD's head (WALs live on flash or are batched)
+LOGWRITE = "logwrite"
+FLUSH = "flush"
+
+
+@dataclass
+class DeviceStats:
+    """Operation and busy-time counters, /proc/diskstats style."""
+
+    reads: int = 0
+    writes: int = 0
+    flushes: int = 0
+    read_bytes: int = 0
+    written_bytes: int = 0
+    busy_time: float = 0.0
+    #: histogram of write sizes: {bucket_lower_bound_bytes: total_bytes}
+    write_size_bytes: Dict[int, int] = field(default_factory=dict)
+
+    def record(self, kind: str, nbytes: int, service: float) -> None:
+        if kind == READ:
+            self.reads += 1
+            self.read_bytes += nbytes
+        elif kind in (WRITE, LOGWRITE):
+            self.writes += 1
+            self.written_bytes += nbytes
+            bucket = 1
+            while bucket * 2 <= max(nbytes, 1):
+                bucket *= 2
+            self.write_size_bytes[bucket] = (
+                self.write_size_bytes.get(bucket, 0) + nbytes
+            )
+        elif kind == FLUSH:
+            self.flushes += 1
+        self.busy_time += service
+
+    @property
+    def total_ops(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.written_bytes
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of wall-clock time the device was servicing requests."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+
+class QueuedDevice:
+    """Base class: FIFO service channels + a service-time model."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        channels: int = 1,
+        pipeline_latency: float = 0.0,
+    ):
+        self.sim = sim
+        self.name = name
+        self.channels = Resource(sim, capacity=channels)
+        self.pipeline_latency = pipeline_latency
+        self.stats = DeviceStats()
+
+    # -- subclass hook ------------------------------------------------------
+    def service_time(self, kind: str, offset: int, nbytes: int) -> float:
+        raise NotImplementedError
+
+    # -- public API -----------------------------------------------------
+    def submit(self, kind: str, offset: int = 0, nbytes: int = 0) -> Event:
+        """Issue an operation; the returned event fires on completion."""
+        done = self.sim.event()
+        self.sim.process(self._serve(kind, offset, nbytes, done), name=self.name)
+        return done
+
+    def read(self, offset: int, nbytes: int) -> Event:
+        return self.submit(READ, offset, nbytes)
+
+    def write(self, offset: int, nbytes: int) -> Event:
+        return self.submit(WRITE, offset, nbytes)
+
+    def flush(self) -> Event:
+        return self.submit(FLUSH)
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        return self.stats.utilization(
+            elapsed if elapsed is not None else self.sim.now
+        )
+
+    # -- internals ------------------------------------------------------
+    def _serve(self, kind: str, offset: int, nbytes: int, done: Event):
+        req = self.channels.request()
+        yield req
+        try:
+            service = self.service_time(kind, offset, nbytes)
+            self.stats.record(kind, nbytes, service)
+            yield self.sim.timeout(service)
+        finally:
+            self.channels.release()
+        if self.pipeline_latency:
+            yield self.sim.timeout(self.pipeline_latency)
+        done.succeed()

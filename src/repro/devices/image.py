@@ -1,0 +1,124 @@
+"""Content plane: byte-faithful disk images with volatile write caches.
+
+Every consistency and recovery experiment in the paper (§2.2, §3.3, §4.4
+Table 4) hinges on what a real device guarantees: a write is durable only
+after a subsequent flush (commit barrier) completes; at a crash the device
+may have persisted **any subset** of the un-flushed writes, and the last
+record may be torn (partially written).  :class:`DiskImage` implements
+exactly those semantics so that LSVD's CRC/sequence-number log recovery and
+bcache's lack of ordering can be exercised for real.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class TornWrite:
+    """Description of a write persisted only partially at crash time."""
+
+    offset: int
+    full_length: int
+    kept_length: int
+
+
+class DiskImage:
+    """A fixed-size byte store with volatile-cache durability semantics.
+
+    Reads always observe the newest data (the device cache serves reads);
+    durability is tracked separately via a pending-write journal that
+    :meth:`flush` drains and :meth:`crash` samples.
+    """
+
+    def __init__(self, size: int, name: str = "disk"):
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self.size = size
+        self.name = name
+        self._data = bytearray(size)  # newest content (cache view)
+        self._durable = bytearray(size)  # content guaranteed after crash
+        self._pending: List[tuple] = []  # (offset, bytes) not yet durable
+        self.writes = 0
+        self.reads = 0
+        self.flushes = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # -- I/O ---------------------------------------------------------------
+    def write(self, offset: int, data: bytes) -> None:
+        """Buffer a write; durable only after :meth:`flush`."""
+        self._check_range(offset, len(data))
+        self._data[offset : offset + len(data)] = data
+        self._pending.append((offset, bytes(data)))
+        self.writes += 1
+        self.bytes_written += len(data)
+
+    def read(self, offset: int, length: int) -> bytes:
+        self._check_range(offset, length)
+        self.reads += 1
+        self.bytes_read += length
+        return bytes(self._data[offset : offset + length])
+
+    def flush(self) -> None:
+        """Commit barrier: all buffered writes become durable."""
+        for offset, data in self._pending:
+            self._durable[offset : offset + len(data)] = data
+        self._pending.clear()
+        self.flushes += 1
+
+    @property
+    def pending_writes(self) -> int:
+        return len(self._pending)
+
+    # -- failure injection ---------------------------------------------
+    def crash(
+        self,
+        rng: Optional[random.Random] = None,
+        survive_probability: float = 0.5,
+        allow_torn: bool = True,
+    ) -> Optional[TornWrite]:
+        """Simulate power loss: keep an arbitrary subset of pending writes.
+
+        Each un-flushed write independently survives with
+        ``survive_probability``; with ``allow_torn`` the final surviving
+        write may itself be cut short, modelling a torn sector run.  After
+        the call the image content equals the durable state.  Returns a
+        :class:`TornWrite` describing the tear, if one happened.
+        """
+        rng = rng or random.Random()
+        torn: Optional[TornWrite] = None
+        survivors = [
+            (off, data)
+            for off, data in self._pending
+            if rng.random() < survive_probability
+        ]
+        if survivors and allow_torn and rng.random() < 0.5:
+            off, data = survivors[-1]
+            keep = rng.randrange(0, len(data))
+            if keep == 0:
+                survivors.pop()
+            else:
+                survivors[-1] = (off, data[:keep])
+                torn = TornWrite(off, len(data), keep)
+        for off, data in survivors:
+            self._durable[off : off + len(data)] = data
+        self._pending.clear()
+        self._data = bytearray(self._durable)
+        return torn
+
+    def lose(self) -> None:
+        """Catastrophic device loss: all content gone (cache death, §4.4)."""
+        self._data = bytearray(self.size)
+        self._durable = bytearray(self.size)
+        self._pending.clear()
+
+    # -- helpers ---------------------------------------------------------
+    def _check_range(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise ValueError(
+                f"I/O beyond {self.name} bounds: offset={offset} "
+                f"length={length} size={self.size}"
+            )

@@ -1,0 +1,5 @@
+"""Fast trace-driven batching + garbage-collection simulator (§4.6, Table 5)."""
+
+from repro.gcsim.simulator import GCSimReport, GCSimulator
+
+__all__ = ["GCSimReport", "GCSimulator"]

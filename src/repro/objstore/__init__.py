@@ -1,0 +1,33 @@
+"""S3-like object stores.
+
+LSVD needs only five operations from its backend (§3): atomic PUT of an
+immutable object, GET, ranged GET, DELETE, and prefix LIST — plus
+server-side COPY for the asynchronous-replication experiment (§4.8).
+
+* :class:`~repro.objstore.s3.ObjectStore` — the abstract interface.
+* :class:`~repro.objstore.s3.InMemoryObjectStore` — immediate, pure store
+  used by all functional/consistency tests.
+* :class:`~repro.objstore.s3.UnsettledObjectStore` — wrapper that holds
+  PUTs "in flight" until explicitly settled, in any order, and drops
+  un-settled ones at a crash; this produces the stranded/holey object
+  streams whose recovery §3.3 describes.
+* :class:`~repro.objstore.simulated.SimulatedObjectStore` — timed facade
+  used by :mod:`repro.runtime`: charges network transfer and backend
+  cluster device time for every operation.
+"""
+
+from repro.objstore.s3 import (
+    InMemoryObjectStore,
+    NoSuchKeyError,
+    ObjectStore,
+    ObjectStoreStats,
+    UnsettledObjectStore,
+)
+
+__all__ = [
+    "InMemoryObjectStore",
+    "NoSuchKeyError",
+    "ObjectStore",
+    "ObjectStoreStats",
+    "UnsettledObjectStore",
+]

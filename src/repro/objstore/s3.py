@@ -1,0 +1,191 @@
+"""Pure, in-memory S3-like object stores.
+
+These implement the minimal S3 semantics LSVD depends on: PUTs are atomic
+and objects immutable-by-convention; LIST returns lexicographically sorted
+names; ranged GETs are cheap.  The :class:`UnsettledObjectStore` wrapper
+adds the failure behaviour of real object stores that §3.3 is written
+against: concurrent PUTs complete out of order, and a client crash loses
+any PUT that has not completed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+class NoSuchKeyError(KeyError):
+    """GET/DELETE of a missing object (S3 NoSuchKey)."""
+
+
+@dataclass
+class ObjectStoreStats:
+    """Operation counters, used for backend-load accounting."""
+
+    puts: int = 0
+    gets: int = 0
+    range_gets: int = 0
+    deletes: int = 0
+    lists: int = 0
+    copies: int = 0
+    bytes_put: int = 0
+    bytes_got: int = 0
+
+
+class ObjectStore:
+    """Abstract S3-ish interface (see module docstring)."""
+
+    def put(self, name: str, data: bytes) -> None:
+        raise NotImplementedError
+
+    def get(self, name: str) -> bytes:
+        raise NotImplementedError
+
+    def get_range(self, name: str, offset: int, length: int) -> bytes:
+        raise NotImplementedError
+
+    def delete(self, name: str) -> None:
+        raise NotImplementedError
+
+    def list(self, prefix: str = "") -> List[str]:
+        raise NotImplementedError
+
+    def exists(self, name: str) -> bool:
+        raise NotImplementedError
+
+    def size(self, name: str) -> int:
+        raise NotImplementedError
+
+    def copy(self, src: str, dst: str) -> None:
+        """Server-side copy (the replication primitive of §4.8)."""
+        self.put(dst, self.get(src))
+
+
+class InMemoryObjectStore(ObjectStore):
+    """Immediate in-memory store: every operation completes synchronously."""
+
+    def __init__(self) -> None:
+        self._objects: Dict[str, bytes] = {}
+        self.stats = ObjectStoreStats()
+
+    def put(self, name: str, data: bytes) -> None:
+        self._objects[name] = bytes(data)
+        self.stats.puts += 1
+        self.stats.bytes_put += len(data)
+
+    def get(self, name: str) -> bytes:
+        try:
+            data = self._objects[name]
+        except KeyError:
+            raise NoSuchKeyError(name) from None
+        self.stats.gets += 1
+        self.stats.bytes_got += len(data)
+        return data
+
+    def get_range(self, name: str, offset: int, length: int) -> bytes:
+        try:
+            data = self._objects[name]
+        except KeyError:
+            raise NoSuchKeyError(name) from None
+        if offset < 0 or length < 0:
+            raise ValueError("negative range")
+        piece = data[offset : offset + length]
+        self.stats.range_gets += 1
+        self.stats.bytes_got += len(piece)
+        return piece
+
+    def delete(self, name: str) -> None:
+        if name not in self._objects:
+            raise NoSuchKeyError(name)
+        del self._objects[name]
+        self.stats.deletes += 1
+
+    def list(self, prefix: str = "") -> List[str]:
+        self.stats.lists += 1
+        return sorted(n for n in self._objects if n.startswith(prefix))
+
+    def exists(self, name: str) -> bool:
+        return name in self._objects
+
+    def size(self, name: str) -> int:
+        try:
+            return len(self._objects[name])
+        except KeyError:
+            raise NoSuchKeyError(name) from None
+
+    def copy(self, src: str, dst: str) -> None:
+        if src not in self._objects:
+            raise NoSuchKeyError(src)
+        self._objects[dst] = self._objects[src]
+        self.stats.copies += 1
+
+    def total_bytes(self, prefix: str = "") -> int:
+        return sum(len(d) for n, d in self._objects.items() if n.startswith(prefix))
+
+
+@dataclass
+class _PendingPut:
+    name: str
+    data: bytes
+
+
+class UnsettledObjectStore(ObjectStore):
+    """Holds PUTs in flight until :meth:`settle`; crash drops the rest.
+
+    Models multiple overlapped PUTs completing out of order over the
+    network: object N+1 can become visible while object N is still in
+    flight, producing exactly the "stranded write" streams (e.g. objects
+    99, 100, 102 present but 101 lost) that LSVD's prefix-rule recovery
+    must clean up (§3.3).
+    """
+
+    def __init__(self, inner: ObjectStore):
+        self.inner = inner
+        self._pending: Dict[int, _PendingPut] = {}
+        self._next_handle = 0
+
+    # -- in-flight control ------------------------------------------------
+    def put(self, name: str, data: bytes) -> int:
+        """Start a PUT; returns a handle. NOT visible until settled."""
+        handle = self._next_handle
+        self._next_handle += 1
+        self._pending[handle] = _PendingPut(name, bytes(data))
+        return handle
+
+    def settle(self, handle: int) -> None:
+        """Complete one in-flight PUT (any order)."""
+        put = self._pending.pop(handle)
+        self.inner.put(put.name, put.data)
+
+    def settle_all(self) -> None:
+        for handle in sorted(self._pending):
+            self.settle(handle)
+
+    def crash(self) -> List[str]:
+        """Client crash: in-flight PUTs vanish; returns their names."""
+        lost = [p.name for p in self._pending.values()]
+        self._pending.clear()
+        return lost
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending)
+
+    # -- reads pass through (only settled objects are visible) ------------
+    def get(self, name: str) -> bytes:
+        return self.inner.get(name)
+
+    def get_range(self, name: str, offset: int, length: int) -> bytes:
+        return self.inner.get_range(name, offset, length)
+
+    def delete(self, name: str) -> None:
+        self.inner.delete(name)
+
+    def list(self, prefix: str = "") -> List[str]:
+        return self.inner.list(prefix)
+
+    def exists(self, name: str) -> bool:
+        return self.inner.exists(name)
+
+    def size(self, name: str) -> int:
+        return self.inner.size(name)

@@ -1,0 +1,46 @@
+"""Timed runtimes: the LSVD and baseline stacks under the simulator.
+
+These produce the performance numbers of §4: each runtime is a simulated
+block device whose write/read/flush paths charge calibrated CPU, SSD,
+network, and backend-device time, while the I/O *counts and sizes* come
+from the same batching/GC behaviour as the pure-logic core (via the
+page-map simulator).
+
+* :class:`~repro.runtime.machine.ClientMachine` — shared client CPU, cache
+  SSD, and network link (one per physical client host).
+* :class:`~repro.runtime.lsvd.LSVDRuntime` — the full LSVD stack: log
+  write cache with back-pressure, batched destage through the object
+  store, garbage collection, read cache with temporal prefetch.
+* :class:`~repro.runtime.rbd.RBDRuntime` — uncached RBD: every write is
+  replicated synchronously (6 backend I/Os).
+* :class:`~repro.runtime.bcache.BcacheRBDRuntime` — bcache over RBD:
+  update-in-place SSD cache, per-barrier metadata commits, write-back that
+  pauses under load and destages in LBA order.
+* :func:`~repro.runtime.blockdev.run_fio` — the benchmark driver keeping
+  ``iodepth`` operations outstanding and reporting IOPS / throughput.
+
+Calibration constants live in :mod:`~repro.runtime.params`, derived from
+the paper's Table 1 hardware and Table 6 overhead breakdown.
+"""
+
+from repro.runtime.backend import SimulatedObjectStore
+from repro.runtime.bcache import BcacheRBDRuntime
+from repro.runtime.blockdev import FioResult, run_fio, run_jobs
+from repro.runtime.lsvd import LSVDRuntime
+from repro.runtime.machine import ClientMachine
+from repro.runtime.params import BcacheParams, LSVDParams, RBDParams
+from repro.runtime.rbd import RBDRuntime
+
+__all__ = [
+    "BcacheParams",
+    "BcacheRBDRuntime",
+    "ClientMachine",
+    "FioResult",
+    "LSVDParams",
+    "LSVDRuntime",
+    "RBDParams",
+    "RBDRuntime",
+    "SimulatedObjectStore",
+    "run_fio",
+    "run_jobs",
+]

@@ -1,0 +1,224 @@
+"""Timed bcache-over-RBD stack (the paper's main comparison point).
+
+Three behaviours dominate its performance signature:
+
+* cache writes are **update-in-place** at B-tree-chosen locations — random
+  at the device, so small writes run at the SSD's random-write rate
+  instead of LSVD's sequential log rate (Figure 6);
+* a commit barrier persists dirty B-tree metadata with **ordered**
+  journal/node writes, each fenced by a device flush — several hundred
+  microseconds per fsync, vs LSVD's single flush (Figure 8, varmail 4x);
+* write-back **pauses while the client is active** and then destages
+  dirty blocks one small replicated write at a time (Figure 11: ~25
+  minutes to drain what LSVD drains in two).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.runtime.machine import ClientMachine
+from repro.runtime.params import BcacheParams
+from repro.runtime.rbd import RBDRuntime
+from repro.sim.engine import Event, Simulator
+from repro.workloads.base import FLUSH, READ, WRITE, IOOp
+
+
+class BcacheRBDRuntime:
+    """A simulated bcache write-back cache over an RBD volume."""
+
+    BLOCK = 4096
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: ClientMachine,
+        backing: RBDRuntime,
+        cache_size: int,
+        params: Optional[BcacheParams] = None,
+        name: str = "bcache",
+        read_hit_rate: float = 1.0,
+    ):
+        self.sim = sim
+        self.machine = machine
+        self.backing = backing
+        self.params = params or BcacheParams()
+        self.name = name
+        self.cache_capacity = cache_size
+        self.read_hit_rate = read_hit_rate
+
+        self.dirty_bytes = 0
+        self._space_waiters: Deque[Event] = deque()
+        self._inflight_writes = 0
+        self._drain_waiters: Deque[Event] = deque()
+        self._barrier_active = False
+        self._gate_waiters: Deque[Event] = deque()
+        self._writes_since_barrier = 0
+        self._last_client_op = -1e9
+        self._dirty_lbas: Deque[int] = deque()  # destaged in sorted order
+        self._dirty_set = set()
+        self._rng_state = 777
+
+        # statistics
+        self.client_writes = 0
+        self.client_reads = 0
+        self.client_bytes_written = 0
+        self.barriers = 0
+        self.metadata_writes = 0
+        self.destaged_writes = 0
+        self.destaged_bytes = 0
+
+        sim.process(self._writeback_daemon(), name=f"{name}-writeback")
+
+    # ------------------------------------------------------------------
+    def submit(self, op: IOOp) -> Event:
+        done = self.sim.event()
+        if op.kind == WRITE:
+            self.sim.process(self._write(op, done), name=f"{self.name}-w")
+        elif op.kind == READ:
+            self.sim.process(self._read(op, done), name=f"{self.name}-r")
+        elif op.kind == FLUSH:
+            self.sim.process(self._barrier(done), name=f"{self.name}-f")
+        else:
+            raise ValueError(f"unknown op kind {op.kind!r}")
+        return done
+
+    # ------------------------------------------------------------------
+    def _write(self, op: IOOp, done: Event):
+        # a commit barrier is an ordering point: new writes wait for it
+        while self._barrier_active:
+            gate = self.sim.event()
+            self._gate_waiters.append(gate)
+            yield gate
+        self._last_client_op = self.sim.now
+        self._inflight_writes += 1
+        try:
+            yield from self.machine.cpu_work(self.params.write_cpu)
+            yield from self._wait_for_space(op.length)
+            # update-in-place: the allocator scatters blocks over the device
+            yield self.machine.ssd.write(self._scatter(op.offset), op.length)
+            self.dirty_bytes += op.length
+            for block in range(op.offset // self.BLOCK, (op.offset + op.length + self.BLOCK - 1) // self.BLOCK):
+                if block not in self._dirty_set:
+                    self._dirty_set.add(block)
+                    self._dirty_lbas.append(block)
+            self._writes_since_barrier += 1
+            self.client_writes += 1
+            self.client_bytes_written += op.length
+            self._last_client_op = self.sim.now
+            done.succeed()
+        finally:
+            self._inflight_writes -= 1
+            if self._inflight_writes == 0:
+                while self._drain_waiters:
+                    self._drain_waiters.popleft().succeed()
+
+    def _read(self, op: IOOp, done: Event):
+        self._last_client_op = self.sim.now
+        yield from self.machine.cpu_work(self.params.read_cpu)
+        if self._chance() < self.read_hit_rate:
+            yield self.machine.ssd.read(self._scatter(op.offset), op.length)
+        else:
+            miss = self.sim.event()
+            yield from self.backing._read(op, miss)
+            yield self.machine.ssd.write(self._scatter(op.offset), op.length)
+        self.client_reads += 1
+        self._last_client_op = self.sim.now
+        done.succeed()
+
+    def _barrier(self, done: Event):
+        """Persist dirty B-tree metadata: ordered write+flush pairs."""
+        self._barrier_active = True
+        try:
+            yield from self.machine.cpu_work(self.params.barrier_cpu)
+            if self._inflight_writes:
+                waiter = self.sim.event()
+                self._drain_waiters.append(waiter)
+                yield waiter
+            if self._writes_since_barrier:
+                for i in range(self.params.meta_writes_per_barrier):
+                    yield self.machine.ssd.write(
+                        self._scatter(17 + i), self.params.meta_write_bytes
+                    )
+                    yield self.machine.ssd.flush()
+                    self.metadata_writes += 1
+                self._writes_since_barrier = 0
+            else:
+                yield self.machine.ssd.flush()
+            self.barriers += 1
+            self._last_client_op = self.sim.now
+            done.succeed()
+        finally:
+            self._barrier_active = False
+            while self._gate_waiters:
+                self._gate_waiters.popleft().succeed()
+
+    # ------------------------------------------------------------------
+    def _writeback_daemon(self):
+        """Destage dirty blocks — but only while the client is idle.
+
+        Exception: above ~90 % dirty the cache must destage regardless
+        (bcache's cutoff behaviour), otherwise a cache-full writer would
+        wait forever; throughput then collapses to backend (RBD) speed,
+        which is exactly what Figures 9-10 show.
+        """
+        while True:
+            idle_for = self.sim.now - self._last_client_op
+            pressure = self.dirty_bytes > 0.9 * self.cache_capacity
+            if not self._dirty_lbas or (
+                idle_for < self.params.idle_threshold and not pressure
+            ):
+                # daemon poll: background, so sim.run() can drain
+                yield self.sim.timeout(self.params.idle_threshold, background=True)
+                continue
+            # bcache scans its btree: destage in LBA order, merging
+            # contiguous dirty blocks into single backend writes and
+            # keeping many of them in flight
+            take = min(self.params.writeback_batch, len(self._dirty_lbas))
+            batch = sorted(self._dirty_lbas.popleft() for _ in range(take))
+            runs: list = []
+            for block in batch:
+                self._dirty_set.discard(block)
+                if runs and runs[-1][0] + runs[-1][1] == block:
+                    runs[-1][1] += 1
+                else:
+                    runs.append([block, 1])
+            done_events = []
+            for start, nblocks in runs:
+                done_events.append(
+                    self.sim.process(self._destage_run(start, nblocks))
+                )
+            for ev in done_events:
+                yield ev
+
+    def _destage_run(self, start_block: int, nblocks: int):
+        nbytes = nblocks * self.BLOCK
+        yield self.machine.ssd.read(self._scatter(start_block * self.BLOCK), nbytes)
+        sink = self.sim.event()
+        yield from self.backing._write(
+            IOOp(WRITE, start_block * self.BLOCK, nbytes), sink
+        )
+        self.destaged_writes += 1
+        self.destaged_bytes += nbytes
+        self._release_space(nbytes)
+
+    # ------------------------------------------------------------------
+    def _wait_for_space(self, needed: int):
+        while self.dirty_bytes + needed > self.cache_capacity:
+            waiter = self.sim.event()
+            self._space_waiters.append(waiter)
+            yield waiter
+
+    def _release_space(self, nbytes: int) -> None:
+        self.dirty_bytes = max(0, self.dirty_bytes - nbytes)
+        while self._space_waiters:
+            self._space_waiters.popleft().succeed()
+
+    def _chance(self) -> float:
+        self._rng_state = (self._rng_state * 1103515245 + 12345) % (1 << 31)
+        return self._rng_state / (1 << 31)
+
+    @staticmethod
+    def _scatter(offset: int) -> int:
+        return (offset * 2654435761) % (1 << 38)

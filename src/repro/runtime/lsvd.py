@@ -1,0 +1,308 @@
+"""The timed LSVD stack (Figure 1 under the simulator).
+
+Write path: client CPU -> (back-pressure if the cache log is full) ->
+sequential log write on the cache SSD -> acknowledge.  A background
+destage pipeline reads batched data back off the SSD (the prototype
+passes data through the SSD between kernel and user space, §3.7/§4.7),
+PUTs 8-32 MiB objects through the erasure-coded backend, and frees cache
+space when each PUT settles.
+
+Batching, garbage-collection triggering, and relocation volumes come from
+an embedded page-map simulator (:class:`~repro.gcsim.GCSimulator`), so
+backend object counts, GC reads/writes, and occupancy timelines (Figure
+15) all emerge from the same algorithm the pure-logic core implements.
+
+Read path: write-cache/read-cache hits are SSD reads; misses pay the S3
+range-GET latency and insert the fetched+prefetched data into the read
+cache (an SSD write — the §4.7 pass-through overhead).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.core.config import LSVDConfig
+from repro.core.log import align_up
+from repro.gcsim.simulator import GCSimulator
+from repro.runtime.backend import SimulatedObjectStore
+from repro.runtime.machine import ClientMachine
+from repro.runtime.params import LSVDParams
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import Store
+from repro.workloads.base import FLUSH, READ, WRITE, IOOp
+
+
+class _HookedGCSim(GCSimulator):
+    """Page-map simulator that reports object/GC I/O to the runtime."""
+
+    def __init__(self, runtime: "LSVDRuntime", *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._runtime = runtime
+
+    def _store_object(self, pages, gc: bool) -> int:
+        obj = super()._store_object(pages, gc)
+        self._runtime._on_object(len(pages) * 4096, gc)
+        return obj
+
+    def _clean(self, victims) -> None:
+        live = 0
+        for victim in victims:
+            pages = self.obj_pages[victim]
+            live += int((self.page_obj[pages] == victim).sum())
+        self._runtime._on_gc_read(live * 4096)
+        super()._clean(victims)
+        self._runtime._on_gc_delete(len(victims))
+
+
+class LSVDRuntime:
+    """A simulated LSVD virtual disk."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: ClientMachine,
+        backend: SimulatedObjectStore,
+        volume_size: int,
+        cache_size: int,
+        config: Optional[LSVDConfig] = None,
+        params: Optional[LSVDParams] = None,
+        name: str = "vd",
+        read_hit_rate: float = 1.0,
+        gc_enabled: bool = True,
+    ):
+        self.sim = sim
+        self.machine = machine
+        self.backend = backend
+        self.config = config or LSVDConfig()
+        self.params = params or LSVDParams()
+        self.name = name
+        self.volume_size = volume_size
+        self.read_hit_rate = read_hit_rate
+
+        self.write_cache_capacity = int(
+            cache_size * self.config.write_cache_fraction
+        )
+        self.dirty_bytes = 0
+        self._batch_log_bytes = 0  # log footprint of the accumulating batch
+        self._space_waiters: Deque[Event] = deque()
+        self._log_head = 0  # for sequential SSD writes
+        self._rc_head = 0
+
+        gc_low = self.config.gc_low_watermark if gc_enabled else 1e-9
+        gc_high = self.config.gc_high_watermark if gc_enabled else 2e-9
+        self.pagemap = _HookedGCSim(
+            self,
+            volume_size=volume_size,
+            batch_size=self.config.batch_size,
+            gc_low=gc_low,
+            gc_high=gc_high,
+        )
+        self._destage_q: Store = Store(sim)
+        self._pending_frees: Deque[Tuple[int, Event]] = deque()
+        for _ in range(self.params.destage_workers):
+            sim.process(self._destage_worker(), name=f"{name}-destage")
+        sim.process(self._idle_flusher(), name=f"{name}-flusher")
+        self._last_write_at = 0.0
+
+        self._inflight_writes = 0
+        self._drain_waiters: Deque[Event] = deque()
+        self._barrier_active = False
+        self._gate_waiters: Deque[Event] = deque()
+
+        # statistics
+        self.client_writes = 0
+        self.client_reads = 0
+        self.client_bytes_written = 0
+        self.client_bytes_read = 0
+        self.objects_put = 0
+        self.gc_objects_put = 0
+        self.backend_bytes_put = 0
+        self._seq = 0
+        self._rng_state = 12345
+
+    # ------------------------------------------------------------------
+    # block device interface
+    # ------------------------------------------------------------------
+    def submit(self, op: IOOp) -> Event:
+        done = self.sim.event()
+        if op.kind == WRITE:
+            self.sim.process(self._write(op, done), name=f"{self.name}-w")
+        elif op.kind == READ:
+            self.sim.process(self._read(op, done), name=f"{self.name}-r")
+        elif op.kind == FLUSH:
+            self.sim.process(self._barrier(done), name=f"{self.name}-f")
+        else:
+            raise ValueError(f"unknown op kind {op.kind!r}")
+        return done
+
+    # ------------------------------------------------------------------
+    def _write(self, op: IOOp, done: Event):
+        # a commit barrier is an ordering point: new writes wait for it
+        while self._barrier_active:
+            gate = self.sim.event()
+            self._gate_waiters.append(gate)
+            yield gate
+        self._inflight_writes += 1
+        try:
+            yield from self.machine.cpu_work(self.params.write_cpu)
+            footprint = align_up(op.length) + self.params.log_header_bytes
+            yield from self._wait_for_space(footprint)
+            self.dirty_bytes += footprint
+            yield self.machine.ssd.write(self._log_head, footprint)
+            self._log_head += footprint
+            self._last_write_at = self.sim.now
+            self.client_writes += 1
+            self.client_bytes_written += op.length
+            done.succeed()
+            # feed the batcher (synchronous map/batch state; PUTs are
+            # queued to the destage workers via the _on_object hook);
+            # the accumulated footprint is released exactly when the
+            # covering object's PUT settles
+            self._batch_log_bytes += footprint
+            self.pagemap.write(op.offset, op.length)
+        finally:
+            self._inflight_writes -= 1
+            if self._inflight_writes == 0:
+                while self._drain_waiters:
+                    self._drain_waiters.popleft().succeed()
+
+    def _read(self, op: IOOp, done: Event):
+        hit = self._chance() < self.read_hit_rate
+        if hit:
+            yield from self.machine.cpu_work(self.params.read_hit_cpu)
+            yield self.machine.ssd.read(self._scatter(op.offset), op.length)
+        else:
+            yield from self.machine.cpu_work(self.params.read_miss_cpu)
+            fetch = max(op.length, self.config.prefetch_bytes)
+            yield self.backend.get_range(
+                f"{self.name}.{self._seq:08d}", 0, fetch
+            )
+            # the prototype stores fetched data in the read cache before
+            # replying (pass-through SSD, §4.7)
+            yield self.machine.ssd.write(self._rc_slot(fetch), fetch)
+        self.client_reads += 1
+        self.client_bytes_read += op.length
+        done.succeed()
+
+    def _barrier(self, done: Event):
+        """Commit barrier: quiesce outstanding writes, one device flush."""
+        self._barrier_active = True
+        try:
+            yield from self.machine.cpu_work(self.params.barrier_cpu)
+            if self._inflight_writes:
+                waiter = self.sim.event()
+                self._drain_waiters.append(waiter)
+                yield waiter
+            yield self.machine.ssd.flush()
+            done.succeed()
+        finally:
+            self._barrier_active = False
+            while self._gate_waiters:
+                self._gate_waiters.popleft().succeed()
+
+    # ------------------------------------------------------------------
+    # destage / GC plumbing
+    # ------------------------------------------------------------------
+    def _on_object(self, nbytes: int, gc: bool) -> None:
+        """Hook: the page map sealed an object of ``nbytes``."""
+        self._seq += 1
+        if gc:
+            self._destage_q.put(("gcput", self._seq, nbytes, 0))
+        else:
+            log_bytes, self._batch_log_bytes = self._batch_log_bytes, 0
+            self._destage_q.put(("put", self._seq, nbytes, log_bytes))
+
+    def _on_gc_read(self, nbytes: int) -> None:
+        if nbytes > 0:
+            self._destage_q.put(("gcread", self._seq, nbytes, 0))
+
+    def _on_gc_delete(self, count: int) -> None:
+        for _ in range(count):
+            self._destage_q.put(("delete", self._seq, 0, 0))
+
+    def _destage_worker(self):
+        while True:
+            kind, seq, nbytes, log_bytes = yield self._destage_q.get()
+            key = f"{self.name}.{seq:08d}"
+            if kind == "put":
+                # the userspace daemon reads outgoing data from the cache
+                # SSD (§3.7), then PUTs the object
+                yield self.machine.ssd.read(self._log_head + seq, nbytes)
+                yield from self.machine.cpu_work(self.params.destage_user_cpu)
+                yield self.backend.put(key, nbytes)
+                self.objects_put += 1
+                self.backend_bytes_put += nbytes
+                self._release_space(log_bytes)
+            elif kind == "gcput":
+                yield from self.machine.cpu_work(self.params.destage_user_cpu)
+                yield self.backend.put(key, nbytes)
+                self.gc_objects_put += 1
+                self.backend_bytes_put += nbytes
+            elif kind == "gcread":
+                cached = int(nbytes * self.params.gc_cache_hit)
+                remote = nbytes - cached
+                if cached:
+                    yield self.machine.ssd.read(self._rc_slot(cached), cached)
+                if remote:
+                    yield self.backend.get_range(key, 0, remote)
+            elif kind == "delete":
+                yield self.backend.delete(key)
+
+    def _idle_flusher(self):
+        """Flush partial batches after a quiet period (batch_timeout).
+
+        A daemon: its wake-ups are background events, so an unbounded
+        ``sim.run()`` ends when the client work drains.
+        """
+        while True:
+            yield self.sim.timeout(self.config.batch_timeout, background=True)
+            quiet = self.sim.now - self._last_write_at
+            if quiet >= self.config.batch_timeout and self.pagemap._batch:
+                batch = self.pagemap._batch
+                self.pagemap._batch = []
+                self.pagemap._flush_batch(batch)
+
+    # ------------------------------------------------------------------
+    # cache-space accounting
+    # ------------------------------------------------------------------
+    def _wait_for_space(self, needed: int):
+        while self.dirty_bytes + needed > self.write_cache_capacity:
+            waiter = self.sim.event()
+            self._space_waiters.append(waiter)
+            yield waiter
+
+    def _release_space(self, nbytes: int) -> None:
+        self.dirty_bytes = max(0, self.dirty_bytes - nbytes)
+        while self._space_waiters:
+            self._space_waiters.popleft().succeed()
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _chance(self) -> float:
+        # deterministic cheap LCG (Date/random-free for reproducibility)
+        self._rng_state = (self._rng_state * 1103515245 + 12345) % (1 << 31)
+        return self._rng_state / (1 << 31)
+
+    def _scatter(self, offset: int) -> int:
+        """Map a volume offset to a pseudo-random cache SSD offset."""
+        return (offset * 2654435761) % (1 << 38)
+
+    def _rc_slot(self, nbytes: int) -> int:
+        slot = self._rc_head
+        self._rc_head += align_up(nbytes)
+        return (1 << 39) + slot
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> Tuple[int, int]:
+        """(live bytes, total backend data bytes) — Figure 15's curves."""
+        live = sum(self.pagemap.obj_live.values()) * 4096
+        total = sum(self.pagemap.obj_size.values()) * 4096
+        return live, total
+
+    @property
+    def write_amplification(self) -> float:
+        if self.client_bytes_written == 0:
+            return 0.0
+        return self.backend_bytes_put / self.client_bytes_written

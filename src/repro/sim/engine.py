@@ -1,0 +1,365 @@
+"""Core discrete-event simulation engine.
+
+Time is a float in **seconds**.  The :class:`Simulator` owns an event heap;
+:class:`Process` objects are generator-driven coroutines that yield
+:class:`Event` instances and resume when they trigger.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim, name, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.process(worker(sim, "a", 2.0))
+>>> _ = sim.process(worker(sim, "b", 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal engine operations (double trigger, bad yield)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that callbacks (and processes) can wait on.
+
+    An event moves through three states: *pending* -> *triggered* ->
+    *processed*.  ``succeed``/``fail`` trigger it; the simulator then runs
+    its callbacks at the current simulation time.
+
+    ``background`` marks daemon activity (periodic pollers): an
+    unbounded :meth:`Simulator.run` stops once only background events
+    remain, the way a program exits when only daemon threads are left.
+    """
+
+    __slots__ = (
+        "sim", "callbacks", "_value", "_ok", "_triggered", "_processed",
+        "background",
+    )
+
+    def __init__(self, sim: "Simulator", background: bool = False):
+        self.sim = sim
+        self.callbacks: Optional[list] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+        self.background = background
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if not self._triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional value."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.sim._queue_event(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to raise in waiters."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.sim._queue_event(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn(event)`` to run when the event is processed."""
+        if self.callbacks is None:
+            # Already processed: run immediately (still inside sim step).
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def _process(self) -> None:
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, None
+        for fn in callbacks or ():
+            fn(self)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        delay: float,
+        value: Any = None,
+        background: bool = False,
+    ):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(sim, background=background)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        sim._schedule_at(sim.now + delay, self)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when the generator ends.
+
+    The generator must yield :class:`Event` instances.  When a yielded
+    event succeeds the generator is resumed with its value; when it fails
+    the exception is thrown into the generator.
+    """
+
+    __slots__ = ("gen", "name", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        boot = Event(sim)
+        self._waiting_on: Optional[Event] = boot
+        boot.add_callback(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            return
+        poke = Event(self.sim)
+        poke.add_callback(lambda ev: self._throw(Interrupt(cause)))
+        poke.succeed()
+
+    # -- internal ----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if event is not self._waiting_on:
+            # Stale wake-up: the process was interrupted while waiting on
+            # this event and has already moved on.
+            return
+        self._waiting_on = None
+        if event._ok:
+            self._step(lambda: self.gen.send(event._value))
+        else:
+            self._step(lambda: self.gen.throw(event._value))
+
+    def _throw(self, exc: BaseException) -> None:
+        if not self.is_alive:
+            return
+        self._waiting_on = None
+        self._step(lambda: self.gen.throw(exc))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            self.fail(exc)
+            return
+        except BaseException as exc:
+            if self.sim.strict:
+                raise
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed([])
+            return
+        for ev in self.events:
+            ev.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every child event has fired; value = list of values."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([ev._value for ev in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires when the first child event fires; value = (event, value)."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._ok:
+            self.succeed((event, event._value))
+        else:
+            self.fail(event._value)
+
+
+class Simulator:
+    """Event loop with a monotonically advancing virtual clock."""
+
+    def __init__(self, strict: bool = False):
+        #: current simulation time in seconds
+        self.now: float = 0.0
+        #: re-raise process exceptions instead of failing the process event
+        self.strict = strict
+        self._heap: list = []  # (time, seq, event)
+        self._seq = 0
+        self._queue: list = []  # events triggered at `now`, FIFO
+        self._foreground = 0  # scheduled non-background events
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(
+        self, delay: float, value: Any = None, background: bool = False
+    ) -> Timeout:
+        return Timeout(self, delay, value, background=background)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule_at(self, when: float, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, event))
+        if not event.background:
+            self._foreground += 1
+
+    def _queue_event(self, event: Event) -> None:
+        self._queue.append(event)
+        if not event.background:
+            self._foreground += 1
+
+    # -- execution ---------------------------------------------------------
+    def step(self) -> bool:
+        """Process one event; return False when nothing remains."""
+        if self._queue:
+            event = self._queue.pop(0)
+            if not event.background:
+                self._foreground -= 1
+            event._process()
+            return True
+        if not self._heap:
+            return False
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            raise SimulationError("time went backwards")
+        self.now = when
+        if not event.background:
+            self._foreground -= 1
+        event._process()
+        return True
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the event queue drains or ``until`` seconds pass.
+
+        With no ``until``, the run ends once only *background* (daemon)
+        events remain — periodic pollers never hold the simulation open.
+        """
+        if until is None:
+            while self._foreground > 0 and self.step():
+                pass
+            return
+        while True:
+            if self._queue:
+                self._queue.pop(0)._process()
+                continue
+            if not self._heap or self._heap[0][0] > until:
+                break
+            self.step()
+        self.now = max(self.now, until)
+
+    def run_until_event(self, event: Event, limit: float = float("inf")) -> Any:
+        """Run until ``event`` is processed; return its value.
+
+        Raises the event's exception if it failed, or
+        :class:`SimulationError` if the queue drains first.
+        """
+        while not event.processed:
+            if self.now > limit:
+                raise SimulationError(f"event not triggered by t={limit}")
+            if not self.step():
+                raise SimulationError("simulation ended before event fired")
+        if not event._ok:
+            raise event._value
+        return event._value
+
+    @property
+    def queue_size(self) -> int:
+        return len(self._heap) + len(self._queue)

@@ -1,0 +1,58 @@
+"""Lightweight event tracing for the simulator.
+
+Useful when debugging a runtime: attach a :class:`Tracer` to record
+(time, tag, detail) tuples from instrumented components, then dump or
+summarise them.  Kept separate from the engine so tracing costs nothing
+when unused.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class Tracer:
+    """Append-only trace of (time, tag, detail)."""
+
+    sim: Simulator
+    max_events: int = 1_000_000
+    events: List[Tuple[float, str, Any]] = field(default_factory=list)
+    dropped: int = 0
+
+    def record(self, tag: str, detail: Any = None) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append((self.sim.now, tag, detail))
+
+    def counts(self) -> Counter:
+        return Counter(tag for _t, tag, _d in self.events)
+
+    def between(self, start: float, end: float) -> List[Tuple[float, str, Any]]:
+        return [e for e in self.events if start <= e[0] < end]
+
+    def rate(self, tag: str, window: Optional[Tuple[float, float]] = None) -> float:
+        """Events per second carrying ``tag`` over a window (or the run)."""
+        if window is None:
+            if not self.events:
+                return 0.0
+            window = (self.events[0][0], max(self.sim.now, self.events[0][0] + 1e-12))
+        start, end = window
+        if end <= start:
+            return 0.0
+        n = sum(1 for t, tg, _d in self.events if tg == tag and start <= t < end)
+        return n / (end - start)
+
+    def timeline(self, tag: str, bucket: float) -> List[Tuple[float, int]]:
+        """Histogram of ``tag`` occurrences into ``bucket``-second bins."""
+        bins: dict = {}
+        for t, tg, _d in self.events:
+            if tg == tag:
+                key = int(t / bucket)
+                bins[key] = bins.get(key, 0) + 1
+        return [(k * bucket, v) for k, v in sorted(bins.items())]

@@ -1,0 +1,10 @@
+"""Operational tooling around LSVD volumes."""
+
+from repro.tools.lsvdtool import (
+    StreamReport,
+    fsck_volume,
+    inspect_object,
+    inspect_stream,
+)
+
+__all__ = ["StreamReport", "fsck_volume", "inspect_object", "inspect_stream"]

@@ -1,0 +1,203 @@
+"""lsvdtool: inspect and verify LSVD object streams.
+
+The analogue of ``dumpe2fs``/``fsck`` for an LSVD volume: walk the object
+stream of a backend store, decode headers, verify CRCs, check the
+sequence chain for holes, and cross-check the superblock.  Because every
+object is self-describing (§3.3), all of this works on nothing but the
+object store contents.
+
+Also usable as a module::
+
+    python -m repro.tools.lsvdtool <directory> <volume>
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import checkpoint as ckpt_codec
+from repro.core.block_store import BlockStore
+from repro.core.errors import CorruptRecordError, VolumeNotFoundError
+from repro.core.log import (
+    KIND_CHECKPOINT,
+    KIND_DATA,
+    KIND_GC,
+    decode_object,
+    object_name,
+)
+from repro.objstore.s3 import ObjectStore
+
+_KIND_NAMES = {KIND_DATA: "data", KIND_GC: "gc", KIND_CHECKPOINT: "ckpt"}
+
+
+@dataclass
+class ObjectReport:
+    """Findings for one stream object."""
+
+    seq: int
+    kind: str
+    data_bytes: int
+    extents: int
+    last_record_seq: int
+    crc_ok: bool
+    error: Optional[str] = None
+
+
+@dataclass
+class StreamReport:
+    """Findings for a whole volume stream."""
+
+    volume: str
+    size: int
+    uuid: str
+    objects: List[ObjectReport] = field(default_factory=list)
+    holes: List[int] = field(default_factory=list)
+    stranded: List[int] = field(default_factory=list)
+    checkpoints: List[int] = field(default_factory=list)
+    snapshots: Dict[str, int] = field(default_factory=dict)
+    base_chain: List[Tuple[str, int]] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def consistent_prefix_end(self) -> int:
+        """Last sequence number of the mountable consecutive run."""
+        if not self.checkpoints:
+            return 0
+        start = max(self.checkpoints)
+        present = {o.seq for o in self.objects if o.crc_ok}
+        seq = start
+        while seq + 1 in present:
+            seq += 1
+        return seq
+
+    @property
+    def healthy(self) -> bool:
+        return not self.errors and all(o.crc_ok for o in self.objects)
+
+    def summary(self) -> str:
+        lines = [
+            f"volume {self.volume!r}: size {self.size} bytes, uuid {self.uuid[:16]}...",
+            f"  objects: {len(self.objects)}  checkpoints: {self.checkpoints}",
+            f"  snapshots: {self.snapshots or '-'}  base chain: {self.base_chain or '-'}",
+            f"  consistent prefix ends at seq {self.consistent_prefix_end}",
+        ]
+        if self.stranded:
+            lines.append(f"  stranded (beyond first hole): {self.stranded}")
+        if self.errors:
+            lines.append("  ERRORS:")
+            lines.extend(f"    - {e}" for e in self.errors)
+        else:
+            lines.append("  no errors")
+        return "\n".join(lines)
+
+
+def inspect_object(store: ObjectStore, name: str) -> ObjectReport:
+    """Decode and CRC-verify a single stream object."""
+    seq = int(name.rsplit(".", 1)[1])
+    try:
+        header, data = decode_object(store.get(name))
+        return ObjectReport(
+            seq=seq,
+            kind=_KIND_NAMES.get(header.kind, f"?{header.kind}"),
+            data_bytes=header.data_len,
+            extents=len(header.extents),
+            last_record_seq=header.last_record_seq,
+            crc_ok=True,
+        )
+    except (CorruptRecordError, KeyError, ValueError) as exc:
+        return ObjectReport(
+            seq=seq, kind="?", data_bytes=0, extents=0,
+            last_record_seq=0, crc_ok=False, error=str(exc),
+        )
+
+
+def inspect_stream(store: ObjectStore, volume: str) -> StreamReport:
+    """Walk a volume's object stream and report its health."""
+    meta = BlockStore.read_super(store, volume)
+    report = StreamReport(
+        volume=volume,
+        size=meta["size"],
+        uuid=meta["uuid"],
+        snapshots=dict(meta.get("snapshots", {})),
+        base_chain=[tuple(x) for x in meta.get("base_chain", [])],
+    )
+    names = [
+        n
+        for n in store.list(f"{volume}.")
+        if n.rsplit(".", 1)[1].isdigit()
+    ]
+    for name in sorted(names, key=lambda n: int(n.rsplit(".", 1)[1])):
+        obj = inspect_object(store, name)
+        report.objects.append(obj)
+        if not obj.crc_ok:
+            report.errors.append(f"object seq {obj.seq}: {obj.error}")
+        if obj.kind == "ckpt":
+            report.checkpoints.append(obj.seq)
+    # chain analysis: holes and stranded objects past the newest ckpt
+    if report.checkpoints:
+        newest_ckpt = max(report.checkpoints)
+        present = {o.seq for o in report.objects}
+        end = report.consistent_prefix_end
+        report.holes = [
+            s for s in range(newest_ckpt, end + 1) if s not in present
+        ]
+        report.stranded = sorted(s for s in present if s > end)
+    else:
+        report.errors.append("no checkpoint object found: volume unmountable")
+    hint = meta.get("last_ckpt_seq", 0)
+    if report.checkpoints and hint not in report.checkpoints:
+        report.errors.append(
+            f"superblock checkpoint hint {hint} does not exist "
+            "(a lost superblock update; recovery will rescan)"
+        )
+    return report
+
+
+def fsck_volume(store: ObjectStore, volume: str) -> StreamReport:
+    """inspect_stream + deep verification of checkpoint payloads."""
+    report = inspect_stream(store, volume)
+    for seq in report.checkpoints:
+        try:
+            _header, payload = decode_object(store.get(object_name(volume, seq)))
+            sections = ckpt_codec.decode_sections(payload)
+            ckpt_codec.unpack_rows("<QQQQ", sections["map"])
+            ckpt_codec.unpack_json(sections["meta"])
+        except (CorruptRecordError, KeyError, ValueError) as exc:
+            report.errors.append(f"checkpoint {seq}: payload damaged: {exc}")
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    from repro.objstore.directory import DirectoryObjectStore
+
+    parser = argparse.ArgumentParser(
+        prog="lsvdtool", description="inspect LSVD object streams"
+    )
+    parser.add_argument("root", help="directory object store root")
+    parser.add_argument("volume", help="volume name")
+    parser.add_argument("--objects", action="store_true", help="per-object detail")
+    args = parser.parse_args(argv)
+
+    store = DirectoryObjectStore(args.root)
+    try:
+        report = fsck_volume(store, args.volume)
+    except VolumeNotFoundError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(report.summary())
+    if args.objects:
+        for obj in report.objects:
+            flag = "ok " if obj.crc_ok else "BAD"
+            print(
+                f"  [{flag}] seq={obj.seq:>8} kind={obj.kind:<5} "
+                f"data={obj.data_bytes:>10} extents={obj.extents:>6} "
+                f"last_rec={obj.last_record_seq}"
+            )
+    return 0 if report.healthy else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""Workload generators standing in for the paper's benchmark tools.
+
+* :mod:`~repro.workloads.fio` — the fio microbenchmarks of §4.2/§4.3:
+  random/sequential read/write grids over block size and queue depth.
+* :mod:`~repro.workloads.filebench` — block-level models of the three
+  Filebench personalities (fileserver, oltp, varmail), calibrated against
+  the paper's own Table 3 block-trace statistics (writes and bytes between
+  commit barriers, mean merged write size).
+* :mod:`~repro.workloads.cloudphysics` — synthetic stand-ins for the nine
+  CloudPhysics week-long VM traces of Table 5 (the corpus itself is
+  proprietary), parameterised by footprint, skew, sequentiality and
+  overwrite behaviour.
+"""
+
+from repro.workloads.base import IOOp, TraceStats, collect_stats
+from repro.workloads.cloudphysics import TRACE_PRESETS, CloudPhysicsTrace, TraceSpec
+from repro.workloads.filebench import (
+    FILEBENCH_MODELS,
+    FilebenchModel,
+    fileserver,
+    oltp,
+    varmail,
+)
+from repro.workloads.fio import FioJob
+
+__all__ = [
+    "CloudPhysicsTrace",
+    "FILEBENCH_MODELS",
+    "FilebenchModel",
+    "FioJob",
+    "IOOp",
+    "TRACE_PRESETS",
+    "TraceSpec",
+    "TraceStats",
+    "collect_stats",
+    "fileserver",
+    "oltp",
+    "varmail",
+]

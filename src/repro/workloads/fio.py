@@ -1,0 +1,69 @@
+"""fio-style microbenchmark jobs (§4.2.1, §4.3).
+
+The paper's grid: rw in {randwrite, randread, write, read}, block size in
+{4 KiB, 16 KiB, 64 KiB}, queue depth in {4, 16, 32}, 120-second runs on an
+80 GiB volume.  A :class:`FioJob` yields an endless op stream; the timed
+runtime issues ops keeping ``iodepth`` of them outstanding.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.workloads.base import FLUSH, READ, WRITE, IOOp
+
+_MODES = {"randwrite", "randread", "write", "read", "randrw"}
+
+
+@dataclass
+class FioJob:
+    """One fio job definition."""
+
+    rw: str = "randwrite"
+    bs: int = 4096
+    iodepth: int = 16
+    size: int = 80 << 30  # volume span the job touches
+    seed: int = 0
+    rwmixread: float = 0.5  # for randrw
+    fsync_every: int = 0  # issue a FLUSH every N writes (0 = never)
+    #: the kernel block layer merges queued adjacent requests up to this
+    #: many bytes (0 disables); only sequential workloads benefit
+    elevator_merge_bytes: int = 512 * 1024
+
+    def __post_init__(self) -> None:
+        if self.rw not in _MODES:
+            raise ValueError(f"unknown rw mode {self.rw!r}")
+        if self.bs <= 0 or self.bs % 512:
+            raise ValueError("bs must be a positive multiple of 512")
+        if self.size < self.bs:
+            raise ValueError("size smaller than one block")
+
+    def ops(self) -> Iterator[IOOp]:
+        """Endless operation stream."""
+        rng = random.Random(self.seed)
+        blocks = self.size // self.bs
+        cursor = 0
+        writes_since_sync = 0
+        while True:
+            if self.rw in ("write", "read"):
+                offset = (cursor % blocks) * self.bs
+                cursor += 1
+            else:
+                offset = rng.randrange(blocks) * self.bs
+            if self.rw in ("randwrite", "write"):
+                kind = WRITE
+            elif self.rw in ("randread", "read"):
+                kind = READ
+            else:
+                kind = READ if rng.random() < self.rwmixread else WRITE
+            yield IOOp(kind, offset, self.bs)
+            if kind == WRITE and self.fsync_every:
+                writes_since_sync += 1
+                if writes_since_sync >= self.fsync_every:
+                    writes_since_sync = 0
+                    yield IOOp(FLUSH)
+
+    def label(self) -> str:
+        return f"{self.rw}-bs{self.bs // 1024}K-qd{self.iodepth}"

@@ -1,0 +1,105 @@
+"""Block-trace serialisation: record, save, load, and replay op streams.
+
+A tiny interchange format so workloads can be captured once and replayed
+against any stack (pure volume, timed runtime, gcsim) or shared between
+machines.  One line per operation::
+
+    W <offset> <length>
+    R <offset> <length>
+    F
+
+Comment lines start with '#'.  The format is deliberately greppable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Union
+
+from repro.workloads.base import FLUSH, READ, WRITE, IOOp
+
+_KIND_TO_CODE = {WRITE: "W", READ: "R", FLUSH: "F"}
+_CODE_TO_KIND = {v: k for k, v in _KIND_TO_CODE.items()}
+
+
+def dump_trace(ops: Iterable[IOOp], destination: Union[str, Path, IO[str]]) -> int:
+    """Write ops to a file (or file-like); returns the op count."""
+    own = isinstance(destination, (str, Path))
+    fh = open(destination, "w") if own else destination
+    count = 0
+    try:
+        fh.write("# repro block trace v1\n")
+        for op in ops:
+            code = _KIND_TO_CODE[op.kind]
+            if op.kind == FLUSH:
+                fh.write("F\n")
+            else:
+                fh.write(f"{code} {op.offset} {op.length}\n")
+            count += 1
+    finally:
+        if own:
+            fh.close()
+    return count
+
+
+def load_trace(source: Union[str, Path, IO[str]]) -> Iterator[IOOp]:
+    """Stream ops back from a trace file (or file-like)."""
+    own = isinstance(source, (str, Path))
+    fh = open(source) if own else source
+    try:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            code = parts[0].upper()
+            if code == "F":
+                yield IOOp(FLUSH)
+                continue
+            if code not in _CODE_TO_KIND or len(parts) != 3:
+                raise ValueError(f"bad trace line {lineno}: {line!r}")
+            yield IOOp(_CODE_TO_KIND[code], int(parts[1]), int(parts[2]))
+    finally:
+        if own:
+            fh.close()
+
+
+class TraceRecorder:
+    """Wrap a volume-like object, recording every operation it serves."""
+
+    def __init__(self, volume):
+        self._volume = volume
+        self.ops: List[IOOp] = []
+
+    def write(self, offset: int, data: bytes) -> None:
+        self.ops.append(IOOp(WRITE, offset, len(data)))
+        self._volume.write(offset, data)
+
+    def read(self, offset: int, length: int) -> bytes:
+        self.ops.append(IOOp(READ, offset, length))
+        return self._volume.read(offset, length)
+
+    def flush(self) -> None:
+        self.ops.append(IOOp(FLUSH))
+        self._volume.flush()
+
+    def save(self, path: Union[str, Path]) -> int:
+        return dump_trace(self.ops, path)
+
+
+def replay_trace(ops: Iterable[IOOp], volume, fill_byte: int = 0xAB) -> int:
+    """Apply a trace to a volume; writes carry deterministic filler.
+
+    Returns the number of operations applied.
+    """
+    fill = bytes([fill_byte])
+    count = 0
+    for op in ops:
+        if op.kind == WRITE:
+            volume.write(op.offset, fill * op.length)
+        elif op.kind == READ:
+            volume.read(op.offset, op.length)
+        else:
+            volume.flush()
+        count += 1
+    return count

@@ -1,0 +1,44 @@
+"""Tests for result-formatting helpers."""
+
+import pytest
+
+from repro.analysis import Table, format_bytes, format_rate, size_histogram_table
+
+
+def test_format_bytes():
+    assert format_bytes(512) == "512B"
+    assert format_bytes(4096) == "4.0KiB"
+    assert format_bytes(8 << 20) == "8.0MiB"
+    assert format_bytes(3 * (1 << 30)) == "3.0GiB"
+
+
+def test_format_rate():
+    assert format_rate(173e6) == "173.0MB/s"
+
+
+def test_table_renders_fixed_width():
+    t = Table("caption", ["a", "bb"])
+    t.add(1, "xx")
+    t.add(22, "y")
+    out = t.render()
+    lines = out.splitlines()
+    assert lines[0] == "caption"
+    assert "a" in lines[2] and "bb" in lines[2]
+    assert len(lines) == 6
+
+
+def test_table_rejects_wrong_arity():
+    t = Table("c", ["a"])
+    with pytest.raises(ValueError):
+        t.add(1, 2)
+
+
+def test_size_histogram_table_union_of_buckets():
+    t = size_histogram_table(
+        "hist",
+        {"A": {4096: 100, 16384: 200}, "B": {16384: 50, 1 << 20: 75}},
+    )
+    out = t.render()
+    assert "4.0KiB" in out
+    assert "1.0MiB" in out
+    assert len(t.rows) == 3

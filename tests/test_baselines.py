@@ -1,0 +1,185 @@
+"""Tests for the RBD and bcache baseline models."""
+
+import random
+
+import pytest
+
+from repro.baselines import BCache, RBDVolume, make_bcache_rbd
+from repro.devices.image import DiskImage
+
+MiB = 1 << 20
+
+
+# -- RBD ----------------------------------------------------------------------
+
+
+def test_rbd_write_read_roundtrip():
+    rbd = RBDVolume("r", 16 * MiB)
+    rbd.write(4096, b"hello!!!" * 512)
+    data, _ops = rbd.read(4096, 4096)
+    assert data == b"hello!!!" * 512
+
+
+def test_rbd_write_emits_data_op_per_object_touched():
+    rbd = RBDVolume("r", 16 * MiB, object_size=4 * MiB)
+    ops = rbd.write(4 * MiB - 4096, b"x" * 8192)  # straddles two objects
+    assert len(ops) == 2
+    assert {op.object_key for op in ops} == {rbd.object_key(0), rbd.object_key(1)}
+    assert all(op.io_class == "data" for op in ops)
+    assert sum(op.nbytes for op in ops) == 8192
+
+
+def test_rbd_writes_are_immediately_durable():
+    rbd = RBDVolume("r", 1 * MiB)
+    rbd.write(0, b"d" * 4096)
+    assert rbd.image.pending_writes == 0  # acked == replicated+journaled
+
+
+def test_rbd_flush_is_noop():
+    rbd = RBDVolume("r", 1 * MiB)
+    assert rbd.flush() == []
+
+
+def test_rbd_bounds_checked():
+    rbd = RBDVolume("r", 1 * MiB)
+    with pytest.raises(ValueError):
+        rbd.write(1 * MiB - 100, b"x" * 4096)
+
+
+def test_rbd_stats():
+    rbd = RBDVolume("r", 1 * MiB)
+    rbd.write(0, b"x" * 4096)
+    rbd.read(0, 512)
+    assert rbd.stats.client_writes == 1
+    assert rbd.stats.client_reads == 1
+    assert rbd.stats.client_bytes_written == 4096
+
+
+# -- bcache -------------------------------------------------------------------
+
+
+def make_stack(volume=8 * MiB, cache=2 * MiB):
+    return make_bcache_rbd("b", volume, cache)
+
+
+def test_bcache_write_read_roundtrip():
+    cache, backing, _img = make_stack()
+    cache.write(0, b"c" * 4096)
+    assert cache.read(0, 4096) == b"c" * 4096
+
+
+def test_bcache_write_is_cached_not_destaged():
+    cache, backing, _img = make_stack()
+    cache.write(0, b"c" * 4096)
+    assert cache.dirty_blocks == 1
+    assert backing.stats.client_writes == 0
+
+
+def test_bcache_sub_block_write_rmw():
+    cache, backing, _img = make_stack()
+    cache.write(0, b"A" * 4096)
+    cache.write(512, b"B" * 512)
+    data = cache.read(0, 4096)
+    assert data[:512] == b"A" * 512
+    assert data[512:1024] == b"B" * 512
+    assert data[1024:] == b"A" * 3072
+
+
+def test_bcache_read_miss_fills_from_backing():
+    cache, backing, _img = make_stack()
+    backing.write(8192, b"Z" * 4096)
+    assert cache.read(8192, 4096) == b"Z" * 4096
+    assert cache.stats.cache_misses >= 1
+    # second read is a hit
+    cache.read(8192, 4096)
+    assert cache.stats.cache_hits >= 1
+
+
+def test_bcache_barrier_writes_metadata():
+    """§4.2.2: every commit barrier costs extra B-tree node writes."""
+    cache, _backing, _img = make_stack()
+    cache.write(0, b"x" * 4096)
+    meta = cache.flush()
+    assert meta >= 1
+    assert cache.stats.metadata_writes >= 1
+    # barrier with nothing dirty writes nothing
+    assert cache.flush() == 0
+
+
+def test_bcache_writeback_paused_under_load():
+    cache, backing, _img = make_stack()
+    cache.write(0, b"x" * 4096)
+    assert cache.writeback_step(under_load=True) == 0
+    assert backing.stats.client_writes == 0
+
+
+def test_bcache_writeback_destages_in_lba_order_not_arrival_order():
+    cache, backing, _img = make_stack()
+    cache.write(8192, b"2" * 4096)  # written first, higher LBA
+    cache.write(0, b"1" * 4096)  # written second, lower LBA
+    destaged_order = []
+    orig = backing.write
+
+    def spy(offset, data):
+        destaged_order.append(offset)
+        return orig(offset, data)
+
+    backing.write = spy
+    cache.writeback_step(max_blocks=1)
+    assert destaged_order == [0]  # LBA order: the *newer* write went first
+
+
+def test_bcache_writeback_drains_everything():
+    cache, backing, _img = make_stack()
+    for i in range(32):
+        cache.write(i * 4096, bytes([i + 1]) * 4096)
+    while cache.writeback_step(max_blocks=8):
+        pass
+    assert cache.dirty_blocks == 0
+    for i in range(32):
+        data, _ = backing.read(i * 4096, 4096)
+        assert data == bytes([i + 1]) * 4096
+
+
+def test_bcache_lose_cache_loses_dirty_data():
+    cache, backing, _img = make_stack()
+    cache.write(0, b"x" * 4096)
+    cache.writeback_step(max_blocks=1)  # destage write 1
+    cache.write(4096, b"y" * 4096)  # never destaged
+    cache.lose_cache()
+    data, _ = backing.read(0, 4096)
+    assert data == b"x" * 4096
+    data, _ = backing.read(4096, 4096)
+    assert data == b"\x00" * 4096  # lost
+
+
+def test_bcache_cache_loss_can_break_prefix_consistency():
+    """Table 4: arbitrary destage order means the surviving backing image
+    may contain a later write without an earlier one."""
+    cache, backing, _img = make_stack()
+    cache.write(8192, b"OLD!" * 1024)  # arrival 0, high LBA
+    cache.write(0, b"NEW!" * 1024)  # arrival 1, low LBA
+    cache.writeback_step(max_blocks=1)  # destages LBA 0 (the NEWER write)
+    cache.lose_cache()
+    first, _ = backing.read(0, 4096)
+    second, _ = backing.read(8192, 4096)
+    assert first == b"NEW!" * 1024  # later write present...
+    assert second == b"\x00" * 4096  # ...earlier write absent: not a prefix
+
+
+def test_bcache_eviction_recycles_clean_blocks():
+    cache, backing, _img = make_stack(volume=16 * MiB, cache=1 * MiB)
+    # fill far more than the cache with clean reads
+    for i in range(1024):
+        backing.write(i * 4096, bytes([i % 250 + 1]) * 4096)
+    for i in range(1024):
+        cache.read(i * 4096, 4096)
+    # still correct afterwards
+    assert cache.read(1023 * 4096, 4096) == bytes([1023 % 250 + 1]) * 4096
+
+
+def test_bcache_full_of_dirty_data_raises():
+    cache, backing, _img = make_stack(volume=16 * MiB, cache=256 * 1024)
+    with pytest.raises(RuntimeError):
+        for i in range(256):
+            cache.write(i * 4096, b"d" * 4096)

@@ -1,0 +1,99 @@
+"""Tests for the volume-management CLI."""
+
+import pytest
+
+from repro.cli import main, parse_size
+
+
+def run(capsys, *argv):
+    rc = main(list(argv))
+    out = capsys.readouterr()
+    return rc, out.out, out.err
+
+
+def test_parse_size():
+    assert parse_size("512") == 512
+    assert parse_size("4K") == 4096
+    assert parse_size("64M") == 64 << 20
+    assert parse_size("1G") == 1 << 30
+    with pytest.raises(Exception):
+        parse_size("abc")
+    with pytest.raises(Exception):
+        parse_size("-5")
+
+
+def test_create_info_roundtrip(tmp_path, capsys):
+    root = str(tmp_path / "bucket")
+    rc, out, _ = run(capsys, root, "create", "vol", "--size", "32M")
+    assert rc == 0 and "created" in out
+    rc, out, _ = run(capsys, root, "info", "vol")
+    assert rc == 0
+    assert "size:       33554432" in out
+
+
+def test_create_twice_errors(tmp_path, capsys):
+    root = str(tmp_path)
+    run(capsys, root, "create", "vol")
+    rc, _out, err = run(capsys, root, "create", "vol")
+    assert rc == 2
+    assert "error" in err
+
+
+def test_import_export_roundtrip(tmp_path, capsys):
+    root = str(tmp_path / "bucket")
+    payload = bytes(range(256)) * 64  # 16 KiB
+    src = tmp_path / "in.bin"
+    src.write_bytes(payload)
+    dst = tmp_path / "out.bin"
+    run(capsys, root, "create", "vol", "--size", "16M")
+    rc, out, _ = run(capsys, root, "import", "vol", str(src), "--offset", "4K")
+    assert rc == 0
+    rc, out, _ = run(
+        capsys, root, "export", "vol", str(dst), "--offset", "4K", "--length", "16K"
+    )
+    assert rc == 0
+    assert dst.read_bytes() == payload
+
+
+def test_snapshot_and_clone(tmp_path, capsys):
+    root = str(tmp_path)
+    src = tmp_path / "data.bin"
+    src.write_bytes(b"GOLD" * 1024)
+    run(capsys, root, "create", "vol", "--size", "16M")
+    run(capsys, root, "import", "vol", str(src))
+    rc, out, _ = run(capsys, root, "snapshot", "vol", "v1")
+    assert rc == 0 and "snapshot 'v1'" in out
+    rc, out, _ = run(capsys, root, "clone", "vol", "dev", "--snapshot", "v1")
+    assert rc == 0 and "cloned vol@v1 -> dev" in out
+    exported = tmp_path / "clone.bin"
+    rc, _out, _ = run(capsys, root, "export", "dev", str(exported), "--length", "4K")
+    assert rc == 0
+    assert exported.read_bytes() == b"GOLD" * 1024
+
+
+def test_fsck_and_scrub_clean(tmp_path, capsys):
+    root = str(tmp_path)
+    run(capsys, root, "create", "vol")
+    rc, out, _ = run(capsys, root, "fsck", "vol")
+    assert rc == 0 and "no errors" in out
+    rc, out, _ = run(capsys, root, "scrub", "vol")
+    assert rc == 0 and "scrubbed" in out
+
+
+def test_replicate_command(tmp_path, capsys):
+    root = str(tmp_path / "a")
+    target = str(tmp_path / "b")
+    src = tmp_path / "data.bin"
+    src.write_bytes(b"R" * 8192)
+    run(capsys, root, "create", "vol", "--size", "16M")
+    run(capsys, root, "import", "vol", str(src))
+    rc, out, _ = run(capsys, root, "replicate", "vol", target)
+    assert rc == 0 and "replicated" in out
+    # the replica mounts via fsck on the target root
+    rc, out, _ = run(capsys, target, "fsck", "vol")
+    assert rc == 0
+
+
+def test_unknown_volume_errors(tmp_path, capsys):
+    rc, _out, err = run(capsys, str(tmp_path), "info", "ghost")
+    assert rc == 2 and "error" in err

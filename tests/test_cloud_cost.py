@@ -1,0 +1,66 @@
+"""Tests for the §4.9 deployability cost model."""
+
+import pytest
+
+from repro.cloud import EBSPricing, S3Pricing, ebs_monthly_cost, lsvd_monthly_cost
+from repro.cloud.cost import breakeven_duty_cycle
+
+
+def test_ebs_50k_iops_exceeds_3000_per_month():
+    """The paper's headline: 50K provisioned IOPS costs over $3000/mo."""
+    cost = ebs_monthly_cost(provisioned_iops=50_000, size_gb=150)
+    assert cost > 3000
+
+
+def test_ebs_cost_scales_linearly_with_iops():
+    assert ebs_monthly_cost(20_000, 100) < ebs_monthly_cost(40_000, 100)
+
+
+def test_lsvd_bursty_volume_costs_a_few_dollars():
+    """Same peak capability, ~1% duty cycle: a few dollars a month."""
+    cost = lsvd_monthly_cost(
+        size_gb=80, write_iops=50_000, duty_cycle=0.01, batch_size=8 << 20
+    )
+    assert cost < 20
+
+
+def test_lsvd_cheaper_than_ebs_even_flat_out():
+    """Batching makes even a 100% duty cycle cheaper than provisioning."""
+    ebs = ebs_monthly_cost(50_000, 80)
+    lsvd = lsvd_monthly_cost(size_gb=80, write_iops=50_000, duty_cycle=1.0)
+    assert lsvd < ebs
+
+
+def test_lsvd_cost_grows_with_duty_cycle():
+    low = lsvd_monthly_cost(size_gb=80, write_iops=50_000, duty_cycle=0.01)
+    high = lsvd_monthly_cost(size_gb=80, write_iops=50_000, duty_cycle=0.5)
+    assert low < high
+
+
+def test_batching_is_the_lever():
+    """Without batching (PUT per write) S3 requests would be ruinous."""
+    batched = lsvd_monthly_cost(size_gb=80, write_iops=50_000, duty_cycle=0.1)
+    unbatched = lsvd_monthly_cost(
+        size_gb=80, write_iops=50_000, duty_cycle=0.1, batch_size=16 * 1024
+    )
+    assert unbatched > 100 * batched
+
+
+def test_breakeven_duty_cycle_above_one():
+    """LSVD stays cheaper than a 50K-IOPS EBS volume at any duty cycle."""
+    assert breakeven_duty_cycle(50_000, 80) > 1.0
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        ebs_monthly_cost(-1, 100)
+    with pytest.raises(ValueError):
+        lsvd_monthly_cost(size_gb=10, write_iops=100, duty_cycle=1.5)
+
+
+def test_gc_waf_increases_cost():
+    base = lsvd_monthly_cost(size_gb=80, write_iops=10_000, duty_cycle=0.5, gc_waf=1.0)
+    amplified = lsvd_monthly_cost(
+        size_gb=80, write_iops=10_000, duty_cycle=0.5, gc_waf=2.0
+    )
+    assert amplified > base

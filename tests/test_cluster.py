@@ -1,0 +1,173 @@
+"""Tests for the storage-cluster simulator and data layouts."""
+
+import pytest
+
+from repro.cluster import ErasureCodedLayout, ReplicationLayout, StorageCluster
+from repro.devices.hdd import HDD, HDDSpec
+from repro.devices.ssd import SSD, SSDSpec
+from repro.sim import Simulator
+
+
+def hdd_cluster(sim, servers=9, per_server=7):
+    return StorageCluster(
+        sim, servers, per_server, lambda s, n: HDD(s, HDDSpec.sas_10k(), name=n)
+    )
+
+
+def ssd_cluster(sim, servers=4, per_server=8):
+    return StorageCluster(
+        sim, servers, per_server, lambda s, n: SSD(s, SSDSpec.sata_consumer(), name=n)
+    )
+
+
+def run(sim, gen):
+    return sim.run_until_event(sim.process(gen))
+
+
+def test_cluster_builds_configured_pool():
+    sim = Simulator()
+    cluster = hdd_cluster(sim)
+    assert len(cluster) == 63
+
+
+def test_placement_deterministic_and_distinct():
+    sim = Simulator()
+    cluster = hdd_cluster(sim)
+    a = cluster.placement("vol.obj1", 3)
+    b = cluster.placement("vol.obj1", 3)
+    assert [d.name for d in a] == [d.name for d in b]
+    assert len({d.name for d in a}) == 3
+
+
+def test_placement_spreads_over_pool():
+    sim = Simulator()
+    cluster = hdd_cluster(sim)
+    used = set()
+    for i in range(300):
+        for disk in cluster.placement(f"obj{i}", 3):
+            used.add(disk.name)
+    assert len(used) > len(cluster) * 0.8
+
+
+def test_placement_wider_than_pool_rejected():
+    sim = Simulator()
+    cluster = StorageCluster(sim, 1, 2, lambda s, n: SSD(s, name=n))
+    with pytest.raises(ValueError):
+        cluster.placement("x", 3)
+
+
+def test_replication_layout_six_writes_per_client_write():
+    """§4.5: one data write plus one journal write at each of 3 replicas."""
+    sim = Simulator()
+    cluster = ssd_cluster(sim)
+    layout = ReplicationLayout()
+    assert layout.device_writes_per_client_write() == 6
+
+    def client():
+        for i in range(10):
+            yield layout.write(cluster, f"vol.obj{i}", 0, 16 * 1024)
+
+    run(sim, client())
+    totals = cluster.totals()
+    assert totals.writes == 60
+    # journal entries are data + overhead: bytes > 2x client bytes x3
+    assert totals.written_bytes == 10 * (16 * 1024 * 2 + 4096) * 3
+
+
+def test_replication_read_hits_one_disk():
+    sim = Simulator()
+    cluster = ssd_cluster(sim)
+    layout = ReplicationLayout()
+
+    def client():
+        yield layout.read(cluster, "vol.obj0", 0, 4096)
+
+    run(sim, client())
+    assert cluster.totals().reads == 1
+
+
+def test_ec_layout_write_count_matches_paper():
+    """§4.5: ~64 device writes to store one 4 MiB object with 4,2 EC."""
+    sim = Simulator()
+    cluster = hdd_cluster(sim)
+    layout = ErasureCodedLayout()
+    assert layout.device_writes_per_object() == 64
+    assert layout.expansion == pytest.approx(1.5)
+
+    def client():
+        yield layout.put(cluster, "vd.00000001", 4 * 1024 * 1024)
+
+    run(sim, client())
+    totals = cluster.totals()
+    assert totals.writes == 64
+    # 6 MiB of chunks + small metadata
+    assert totals.written_bytes == pytest.approx(6 * 1024 * 1024, rel=0.1)
+
+
+def test_ec_get_range_reads_subset():
+    sim = Simulator()
+    cluster = hdd_cluster(sim)
+    layout = ErasureCodedLayout()
+
+    def client():
+        yield layout.put(cluster, "vd.00000001", 4 * 1024 * 1024)
+        yield layout.get_range(cluster, "vd.00000001", 65536, 65536)
+
+    run(sim, client())
+    assert cluster.totals().reads >= 1
+
+
+def test_ec_delete_touches_placement_set():
+    sim = Simulator()
+    cluster = hdd_cluster(sim)
+    layout = ErasureCodedLayout()
+
+    def client():
+        yield layout.delete(cluster, "vd.00000001")
+
+    run(sim, client())
+    assert cluster.totals().writes == 6
+
+
+def test_utilization_reflects_load():
+    sim = Simulator()
+    cluster = hdd_cluster(sim, servers=2, per_server=2)
+    layout = ReplicationLayout()
+
+    def client():
+        for i in range(200):
+            yield layout.write(cluster, f"o{i}", i * 16384, 16 * 1024)
+
+    run(sim, client())
+    util = cluster.mean_utilization()
+    assert 0.0 < util <= 1.0
+
+
+def test_write_size_histogram_separates_small_and_large():
+    sim = Simulator()
+    cluster = hdd_cluster(sim)
+    rep, ec = ReplicationLayout(), ErasureCodedLayout()
+
+    def client():
+        yield rep.write(cluster, "a", 0, 16 * 1024)
+        yield ec.put(cluster, "b", 4 * 1024 * 1024)
+
+    run(sim, client())
+    hist = cluster.write_size_histogram()
+    small = sum(v for k, v in hist.items() if k <= 32 * 1024)
+    large = sum(v for k, v in hist.items() if k >= 512 * 1024)
+    assert small > 0 and large > 0
+
+
+def test_reset_stats_zeroes_counters():
+    sim = Simulator()
+    cluster = ssd_cluster(sim, 1, 2)
+    layout = ReplicationLayout(copies=2)
+
+    def client():
+        yield layout.write(cluster, "x", 0, 4096)
+
+    run(sim, client())
+    assert cluster.totals().writes > 0
+    cluster.reset_stats()
+    assert cluster.totals().writes == 0

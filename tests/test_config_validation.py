@@ -1,0 +1,51 @@
+"""Configuration validation and defaults."""
+
+import pytest
+
+from repro.core.config import BLOCK, SECTOR, LSVDConfig
+
+
+def test_defaults_match_paper_setup():
+    cfg = LSVDConfig()
+    assert cfg.batch_size == 8 << 20  # "e.g. 8 or 32 MB" (§3.2)
+    assert cfg.gc_low_watermark == 0.70  # §3.5
+    assert cfg.gc_high_watermark == 0.75  # §4.6
+    assert cfg.write_cache_fraction == pytest.approx(0.2)  # §3.1
+    assert SECTOR == 512 and BLOCK == 4096
+
+
+def test_rejects_tiny_batch():
+    with pytest.raises(ValueError):
+        LSVDConfig(batch_size=1024)
+
+
+def test_rejects_inverted_watermarks():
+    with pytest.raises(ValueError):
+        LSVDConfig(gc_low_watermark=0.8, gc_high_watermark=0.7)
+    with pytest.raises(ValueError):
+        LSVDConfig(gc_low_watermark=0.0)
+    with pytest.raises(ValueError):
+        LSVDConfig(gc_high_watermark=1.5)
+
+
+def test_rejects_bad_cache_fraction():
+    with pytest.raises(ValueError):
+        LSVDConfig(write_cache_fraction=0.0)
+    with pytest.raises(ValueError):
+        LSVDConfig(write_cache_fraction=1.0)
+
+
+def test_rejects_bad_checkpoint_interval():
+    with pytest.raises(ValueError):
+        LSVDConfig(checkpoint_interval=0)
+
+
+def test_valid_custom_config():
+    cfg = LSVDConfig(
+        batch_size=32 << 20,
+        gc_low_watermark=0.6,
+        gc_high_watermark=0.8,
+        defrag_hole_bytes=8192,
+    )
+    assert cfg.batch_size == 32 << 20
+    assert cfg.defrag_hole_bytes == 8192

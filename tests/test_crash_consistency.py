@@ -1,0 +1,190 @@
+"""Tests for the prefix-consistency checker, plus randomized end-to-end
+crash tests of LSVD and bcache (the machinery behind Table 4)."""
+
+import random
+
+import pytest
+
+from repro.baselines import make_bcache_rbd
+from repro.core import LSVDConfig, LSVDVolume
+from repro.crash import HistoryRecorder, PrefixChecker, decode_stamp, stamp_data
+from repro.devices.image import DiskImage
+from repro.objstore import InMemoryObjectStore
+
+MiB = 1 << 20
+
+
+# -- stamp encoding -----------------------------------------------------------
+
+
+def test_stamp_roundtrip():
+    data = stamp_data(42, 4096)
+    assert len(data) == 4096
+    assert decode_stamp(data[:512]) == 42
+    assert decode_stamp(data[512:1024]) == 42
+
+
+def test_stamp_rejects_garbage_and_torn():
+    assert decode_stamp(b"\x00" * 512) is None
+    torn = bytearray(stamp_data(1, 512))
+    torn[300] ^= 0xFF
+    assert decode_stamp(bytes(torn)) is None
+
+
+def test_stamp_requires_alignment():
+    with pytest.raises(ValueError):
+        stamp_data(1, 100)
+
+
+# -- checker on a plain image -------------------------------------------------
+
+
+def test_checker_accepts_full_history():
+    img = DiskImage(1 * MiB)
+    rec = HistoryRecorder(img.write, img.flush)
+    for i in range(10):
+        rec.write(i * 4096, 4096)
+    rec.barrier()
+    verdict = PrefixChecker(rec).check(img.read, require_committed=True)
+    assert verdict.ok_prefix and verdict.ok_committed
+    assert verdict.cut == 10
+
+
+def test_checker_accepts_clean_prefix():
+    img = DiskImage(1 * MiB)
+    rec = HistoryRecorder(img.write, img.flush)
+    for i in range(10):
+        rec.write(i * 4096, 4096)
+    # roll back the last 4 writes (a clean prefix of 6)
+    img2 = DiskImage(1 * MiB)
+    rec2 = HistoryRecorder(img2.write, img2.flush)
+    replay = HistoryRecorder(img2.write, img2.flush)  # unused; direct writes
+    for i, r in enumerate(rec.history[:6]):
+        img2.write(r.offset, stamp_data(r.write_id, r.length))
+    verdict = PrefixChecker(rec).check(img2.read)
+    assert verdict.ok_prefix
+    assert verdict.cut == 6
+
+
+def test_checker_rejects_gap_in_history():
+    """Later write present without an earlier overlapping-epoch write."""
+    img = DiskImage(1 * MiB)
+    rec = HistoryRecorder(lambda o, d: None)  # writes go nowhere
+    w1 = rec.write(0, 4096)
+    w2 = rec.write(8192, 4096)
+    # apply only w2 to the image: not a prefix
+    img.write(8192, stamp_data(w2, 4096))
+    verdict = PrefixChecker(rec).check(img.read)
+    assert not verdict.ok_prefix
+    assert any("requires write" in p for p in verdict.problems)
+
+
+def test_checker_detects_lost_committed_write():
+    img = DiskImage(1 * MiB)
+    rec = HistoryRecorder(lambda o, d: None)
+    w1 = rec.write(0, 4096)
+    rec.barrier()  # w1 committed
+    rec.write(4096, 4096)
+    # image reflects nothing at all: cut=0 < committed=1
+    verdict = PrefixChecker(rec).check(img.read, require_committed=True)
+    assert verdict.ok_prefix  # empty state is a valid (trivial) prefix
+    assert verdict.lost_committed
+    assert not verdict.ok_committed
+
+
+def test_checker_overwrites_same_lba():
+    img = DiskImage(1 * MiB)
+    rec = HistoryRecorder(img.write, img.flush)
+    rec.write(0, 4096)
+    rec.write(0, 4096)  # overwrite
+    verdict = PrefixChecker(rec).check(img.read)
+    assert verdict.ok_prefix
+    assert verdict.cut == 2
+
+
+# -- end-to-end: LSVD passes, bcache fails (Table 4) --------------------------
+
+
+def lsvd_stack(cache_size=2 * MiB):
+    store = InMemoryObjectStore()
+    image = DiskImage(cache_size)
+    cfg = LSVDConfig(batch_size=64 * 1024, checkpoint_interval=16)
+    vol = LSVDVolume.create(store, "vd", 16 * MiB, image, cfg)
+    return store, image, cfg, vol
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_lsvd_crash_with_cache_is_prefix_consistent_and_loses_nothing(seed):
+    store, image, cfg, vol = lsvd_stack()
+    rng = random.Random(seed)
+    rec = HistoryRecorder(vol.write, vol.flush)
+    for i in range(150):
+        rec.write(rng.randrange(0, 1024) * 4096, 4096 * rng.randrange(1, 3))
+        if rng.random() < 0.2:
+            rec.barrier()
+    rec.barrier()
+    image.crash(rng=rng)
+    vol2 = LSVDVolume.open(store, "vd", image, cfg)
+    verdict = PrefixChecker(rec).check(vol2.read, require_committed=True)
+    assert verdict.ok_prefix, verdict.problems[:3]
+    assert verdict.ok_committed, (verdict.cut, verdict.committed_through)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_lsvd_cache_loss_is_still_prefix_consistent(seed):
+    """Table 4, LSVD rows: even deleting the cache yields a mountable,
+    prefix-consistent image."""
+    store, image, cfg, vol = lsvd_stack()
+    rng = random.Random(100 + seed)
+    rec = HistoryRecorder(vol.write, vol.flush)
+    for i in range(200):
+        rec.write(rng.randrange(0, 1024) * 4096, 4096)
+        if rng.random() < 0.1:
+            rec.barrier()
+    fresh = DiskImage(2 * MiB)
+    vol2 = LSVDVolume.open(store, "vd", fresh, cfg, cache_lost=True)
+    verdict = PrefixChecker(rec).check(vol2.read)
+    assert verdict.ok_prefix, verdict.problems[:3]
+    # committed writes MAY be lost in this worst case - that is the
+    # documented prefix-consistency guarantee, not a bug.
+
+
+def test_bcache_cache_loss_violates_prefix_consistency():
+    """Table 4, bcache row 2: the backing image after cache loss is NOT a
+    prefix of the write history."""
+    violations = 0
+    for seed in range(8):
+        cache, backing, _img = make_bcache_rbd("b", 16 * MiB, 2 * MiB)
+        rng = random.Random(seed)
+        rec = HistoryRecorder(cache.write, cache.flush)
+        for i in range(150):
+            rec.write(rng.randrange(0, 1024) * 4096, 4096)
+            if rng.random() < 0.15:
+                # bcache destages opportunistically between bursts, in
+                # LBA order, i.e. NOT in write order - and slowly, so a
+                # large dirty backlog remains at the crash (Figure 11)
+                cache.writeback_step(max_blocks=2)
+        cache.lose_cache()
+        verdict = PrefixChecker(rec).check(
+            lambda off, n: backing.read(off, n)[0]
+        )
+        if not verdict.ok_prefix:
+            violations += 1
+    assert violations > 0, "bcache should corrupt at least one run"
+
+
+def test_lsvd_beats_bcache_on_crash_matrix():
+    """The Table 4 summary: LSVD 3/3 clean, bcache loses data."""
+    lsvd_clean = 0
+    for trial in range(3):
+        store, image, cfg, vol = lsvd_stack()
+        rng = random.Random(trial)
+        rec = HistoryRecorder(vol.write, vol.flush)
+        for i in range(100):
+            rec.write(rng.randrange(0, 512) * 4096, 4096)
+        rec.barrier()
+        fresh = DiskImage(2 * MiB)
+        vol2 = LSVDVolume.open(store, "vd", fresh, cfg, cache_lost=True)
+        if PrefixChecker(rec).check(vol2.read).ok_prefix:
+            lsvd_clean += 1
+    assert lsvd_clean == 3

@@ -1,0 +1,97 @@
+"""Tests for block de-duplication (§6.3)."""
+
+import random
+
+import pytest
+
+from repro.core import LSVDConfig, LSVDVolume
+from repro.core.dedup import DedupReport, dedupe_volume
+from repro.devices.image import DiskImage
+from repro.objstore import InMemoryObjectStore
+
+MiB = 1 << 20
+BLOCK = 4096
+
+
+def make_volume(store, name, size=4 * MiB):
+    cfg = LSVDConfig(batch_size=64 * 1024, checkpoint_interval=16)
+    return LSVDVolume.create(store, name, size, DiskImage(2 * MiB), cfg), cfg
+
+
+def test_dedupe_identical_blocks_stored_once():
+    store = InMemoryObjectStore()
+    src, cfg = make_volume(store, "src")
+    # 64 blocks, only 4 distinct patterns
+    for i in range(64):
+        src.write(i * BLOCK, bytes([i % 4 + 1]) * BLOCK)
+    src.drain()
+    dst, _ = make_volume(store, "dst")
+    report = dedupe_volume(src, dst)
+    assert report.blocks_stored == 4
+    assert report.blocks_duplicate == 60
+    assert report.savings_ratio > 0.9
+    # reads are unaffected
+    for i in range(64):
+        assert dst.read(i * BLOCK, BLOCK) == bytes([i % 4 + 1]) * BLOCK
+
+
+def test_dedupe_zero_blocks_cost_nothing():
+    store = InMemoryObjectStore()
+    src, cfg = make_volume(store, "src")
+    src.write(0, b"\x01" * BLOCK)  # one real block in a sea of zeros
+    src.drain()
+    dst, _ = make_volume(store, "dst")
+    report = dedupe_volume(src, dst)
+    assert report.blocks_stored == 1
+    assert report.blocks_zero == report.blocks_scanned - 1
+    assert dst.read(0, BLOCK) == b"\x01" * BLOCK
+    assert dst.read(10 * BLOCK, BLOCK) == b"\x00" * BLOCK
+
+
+def test_dedupe_backend_footprint_shrinks():
+    store = InMemoryObjectStore()
+    src, cfg = make_volume(store, "src")
+    pattern = bytes(range(256)) * 16
+    for i in range(256):
+        src.write(i * BLOCK, pattern)  # same 4K everywhere
+    src.drain()
+    dst, _ = make_volume(store, "dst")
+    dedupe_volume(src, dst)
+    assert store.total_bytes("dst.") < store.total_bytes("src.") / 10
+
+
+def test_dedupe_survives_recovery():
+    store = InMemoryObjectStore()
+    src, cfg = make_volume(store, "src")
+    rng = random.Random(1)
+    blocks = [bytes([rng.randrange(1, 8)]) * BLOCK for _ in range(128)]
+    for i, block in enumerate(blocks):
+        src.write(i * BLOCK, block)
+    src.drain()
+    dst, _ = make_volume(store, "dst")
+    dedupe_volume(src, dst)
+    dst.close()
+    reopened = LSVDVolume.open(store, "dst", DiskImage(2 * MiB), cfg, cache_lost=True)
+    for i, block in enumerate(blocks):
+        assert reopened.read(i * BLOCK, BLOCK) == block
+
+
+def test_dedupe_then_overwrite_diverges_cleanly():
+    """Writing to one aliased LBA must not affect its siblings."""
+    store = InMemoryObjectStore()
+    src, cfg = make_volume(store, "src")
+    for i in range(16):
+        src.write(i * BLOCK, b"\x07" * BLOCK)
+    src.drain()
+    dst, _ = make_volume(store, "dst")
+    dedupe_volume(src, dst)
+    dst.write(3 * BLOCK, b"\x09" * BLOCK)
+    assert dst.read(3 * BLOCK, BLOCK) == b"\x09" * BLOCK
+    assert dst.read(4 * BLOCK, BLOCK) == b"\x07" * BLOCK
+
+
+def test_report_math():
+    r = DedupReport(blocks_scanned=100, blocks_zero=50, blocks_duplicate=30, blocks_stored=20)
+    assert r.logical_bytes == 100 * BLOCK
+    assert r.stored_bytes == 20 * BLOCK
+    assert r.savings_ratio == pytest.approx(0.8)

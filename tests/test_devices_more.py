@@ -1,0 +1,111 @@
+"""Additional device-model behaviours: mixed load, controller sharing."""
+
+import random
+
+import pytest
+
+from repro.devices.hdd import HDD, HDDSpec
+from repro.devices.ssd import SSD, SSDSpec
+from repro.sim import Simulator
+
+
+def run_duration(sim, gen):
+    proc = sim.process(gen)
+    sim.run_until_event(proc)
+    return sim.now
+
+
+def test_ssd_reads_and_writes_overlap():
+    """Independent read/write paths: a mixed stream finishes faster than
+    the sum of its serialized halves."""
+    spec = SSDSpec.nvme_p3700()
+    n, size = 400, 64 * 1024
+
+    def reader(sim, ssd):
+        for i in range(n):
+            yield ssd.read(i * size, size)
+
+    def writer(sim, ssd):
+        for i in range(n):
+            yield ssd.write((n + i) * size, size)
+
+    sim = Simulator()
+    ssd = SSD(sim, spec)
+    a = sim.process(reader(sim, ssd))
+    b = sim.process(writer(sim, ssd))
+    sim.run()
+    mixed = sim.now
+
+    sim2 = Simulator()
+    ssd2 = SSD(sim2, spec)
+    run_duration(sim2, reader(sim2, ssd2))
+    t_reads = sim2.now
+    sim3 = Simulator()
+    ssd3 = SSD(sim3, spec)
+    run_duration(sim3, writer(sim3, ssd3))
+    t_writes = sim3.now
+    assert mixed < (t_reads + t_writes) * 0.95
+
+
+def test_ssd_controller_caps_combined_bandwidth():
+    """Read + write streams together cannot exceed total_bw."""
+    spec = SSDSpec.nvme_p3700()
+    sim = Simulator()
+    ssd = SSD(sim, spec)
+    n, size = 300, 1 << 20  # 300 MiB each direction
+
+    def reader():
+        for i in range(n):
+            yield ssd.read(i * size, size)
+
+    def writer():
+        for i in range(n):
+            yield ssd.write((n + i) * size, size)
+
+    sim.process(reader())
+    sim.process(writer())
+    sim.run()
+    total_bytes = 2 * n * size
+    achieved = total_bytes / sim.now
+    assert achieved <= spec.total_bw * 1.05
+    # and it does better than a single direction alone could
+    assert achieved > spec.seq_write_bw * 1.2
+
+
+def test_ssd_random_write_latency_penalty():
+    """Random writes carry extra completion latency vs sequential ones."""
+    spec = SSDSpec.nvme_p3700()
+    sim = Simulator()
+    ssd = SSD(sim, spec)
+
+    def one(kind, offset):
+        start = sim.now
+        done = ssd.submit(kind, offset, 4096)
+        yield done
+        return sim.now - start
+
+    seq1 = sim.run_until_event(sim.process(one("write", 0)))
+    # second sequential write continues at the last end offset
+    seq2 = sim.run_until_event(sim.process(one("write", 4096)))
+    rand = sim.run_until_event(sim.process(one("write", 1 << 30)))
+    assert rand > seq2
+    assert rand - seq2 == pytest.approx(spec.rand_write_latency, rel=0.5)
+
+
+def test_hdd_flush_is_cheap_on_sas():
+    spec = HDDSpec.sas_10k()
+    sim = Simulator()
+    hdd = HDD(sim, spec)
+    sim.run_until_event(hdd.flush())
+    assert sim.now <= 0.5e-3
+
+
+def test_ssd_write_size_histogram_buckets_power_of_two():
+    sim = Simulator()
+    ssd = SSD(sim)
+    for size in (4096, 5000, 16384, 1 << 20):
+        sim.run_until_event(ssd.write(0, size))
+    buckets = ssd.stats.write_size_bytes
+    assert 4096 in buckets
+    assert (1 << 20) in buckets
+    assert sum(buckets.values()) == 4096 + 5000 + 16384 + (1 << 20)

@@ -1,0 +1,246 @@
+"""Unit and property tests for the extent map."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.extent_map import Extent, ExtentMap
+
+
+def test_empty_map():
+    m = ExtentMap()
+    assert len(m) == 0
+    assert m.lookup(0, 100) == []
+    assert m.mapped_bytes() == 0
+    assert m.bounds() == (0, 0)
+
+
+def test_single_update_and_lookup():
+    m = ExtentMap()
+    assert m.update(100, 50, "a", 0) == []
+    [ext] = m.lookup(100, 50)
+    assert (ext.lba, ext.length, ext.target, ext.offset) == (100, 50, "a", 0)
+
+
+def test_lookup_clips_to_query():
+    m = ExtentMap()
+    m.update(100, 100, "a", 0)
+    [ext] = m.lookup(150, 10)
+    assert (ext.lba, ext.length, ext.offset) == (150, 10, 50)
+
+
+def test_lookup_before_and_after_misses():
+    m = ExtentMap()
+    m.update(100, 10, "a", 0)
+    assert m.lookup(0, 100) == []
+    assert m.lookup(110, 5) == []
+
+
+def test_overwrite_middle_splits():
+    m = ExtentMap()
+    m.update(0, 100, "a", 0)
+    displaced = m.update(40, 20, "b", 7)
+    assert len(displaced) == 1
+    assert (displaced[0].lba, displaced[0].length, displaced[0].target) == (40, 20, "a")
+    exts = m.lookup(0, 100)
+    assert [(e.lba, e.length, e.target, e.offset) for e in exts] == [
+        (0, 40, "a", 0),
+        (40, 20, "b", 7),
+        (60, 40, "a", 60),
+    ]
+
+
+def test_overwrite_spanning_multiple():
+    m = ExtentMap()
+    m.update(0, 10, "a", 0)
+    m.update(10, 10, "b", 0)
+    m.update(20, 10, "c", 0)
+    displaced = m.update(5, 20, "z", 0)
+    assert {d.target for d in displaced} == {"a", "b", "c"}
+    assert sum(d.length for d in displaced) == 20
+    exts = m.lookup(0, 30)
+    assert [(e.lba, e.length, e.target) for e in exts] == [
+        (0, 5, "a"),
+        (5, 20, "z"),
+        (25, 5, "c"),
+    ]
+
+
+def test_exact_overwrite_displaces_all():
+    m = ExtentMap()
+    m.update(10, 10, "a", 0)
+    displaced = m.update(10, 10, "b", 0)
+    assert len(displaced) == 1 and displaced[0].target == "a"
+    assert len(m) == 1
+
+
+def test_coalesce_adjacent_same_target_contiguous_offset():
+    m = ExtentMap()
+    m.update(0, 10, "a", 0)
+    m.update(10, 10, "a", 10)
+    assert len(m) == 1
+    [ext] = m.lookup(0, 20)
+    assert (ext.lba, ext.length, ext.offset) == (0, 20, 0)
+
+
+def test_no_coalesce_when_offsets_not_contiguous():
+    m = ExtentMap()
+    m.update(0, 10, "a", 0)
+    m.update(10, 10, "a", 100)
+    assert len(m) == 2
+
+
+def test_no_coalesce_different_targets():
+    m = ExtentMap()
+    m.update(0, 10, "a", 0)
+    m.update(10, 10, "b", 10)
+    assert len(m) == 2
+
+
+def test_coalesce_filling_gap_merges_three():
+    m = ExtentMap()
+    m.update(0, 10, "a", 0)
+    m.update(20, 10, "a", 20)
+    m.update(10, 10, "a", 10)
+    assert len(m) == 1
+
+
+def test_remove_punches_hole():
+    m = ExtentMap()
+    m.update(0, 30, "a", 0)
+    removed = m.remove(10, 10)
+    assert len(removed) == 1 and removed[0].length == 10
+    assert [(e.lba, e.length) for e in m.lookup(0, 30)] == [(0, 10), (20, 10)]
+
+
+def test_remove_unmapped_is_noop():
+    m = ExtentMap()
+    m.update(0, 10, "a", 0)
+    assert m.remove(100, 10) == []
+    assert len(m) == 1
+
+
+def test_lookup_with_gaps_covers_range():
+    m = ExtentMap()
+    m.update(10, 10, "a", 0)
+    m.update(30, 10, "b", 0)
+    pieces = m.lookup_with_gaps(0, 50)
+    assert [(s, l, e.target if e else None) for s, l, e in pieces] == [
+        (0, 10, None),
+        (10, 10, "a"),
+        (20, 10, None),
+        (30, 10, "b"),
+        (40, 10, None),
+    ]
+
+
+def test_slice_requires_overlap():
+    ext = Extent(0, 10, "a", 0)
+    with pytest.raises(ValueError):
+        ext.slice(20, 5)
+
+
+def test_entries_roundtrip():
+    m = ExtentMap()
+    m.update(0, 10, 1, 0)
+    m.update(20, 5, 2, 100)
+    m2 = ExtentMap.from_entries(m.entries())
+    assert m2.entries() == m.entries()
+
+
+def test_from_entries_rejects_overlap():
+    with pytest.raises(ValueError):
+        ExtentMap.from_entries([(0, 10, 1, 0), (5, 10, 2, 0)])
+
+
+def test_zero_length_lookup_empty():
+    m = ExtentMap()
+    m.update(0, 10, "a", 0)
+    assert m.lookup(0, 0) == []
+
+
+def test_carve_rejects_nonpositive_length():
+    m = ExtentMap()
+    with pytest.raises(ValueError):
+        m.remove(0, 0)
+
+
+# ---------------------------------------------------------------------------
+# property tests: the map must agree with a naive per-address model
+# ---------------------------------------------------------------------------
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["update", "remove"]),
+        st.integers(min_value=0, max_value=200),  # lba
+        st.integers(min_value=1, max_value=60),  # length
+        st.integers(min_value=0, max_value=5),  # target id
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=ops_strategy)
+def test_map_matches_naive_model(ops):
+    m = ExtentMap()
+    model = {}  # addr -> (target, byte-within-target)
+    for i, (op, lba, length, target) in enumerate(ops):
+        if op == "update":
+            offset = i * 1000  # distinct offsets per op
+            m.update(lba, length, target, offset)
+            for a in range(lba, lba + length):
+                model[a] = (target, offset + (a - lba))
+        else:
+            m.remove(lba, length)
+            for a in range(lba, lba + length):
+                model.pop(a, None)
+    # compare address by address
+    for addr in range(0, 261):
+        pieces = m.lookup(addr, 1)
+        if addr in model:
+            assert len(pieces) == 1
+            ext = pieces[0]
+            assert (ext.target, ext.offset) == model[addr]
+        else:
+            assert pieces == []
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=ops_strategy)
+def test_map_invariants_sorted_nonoverlapping(ops):
+    m = ExtentMap()
+    for i, (op, lba, length, target) in enumerate(ops):
+        if op == "update":
+            m.update(lba, length, target, i * 1000)
+        else:
+            m.remove(lba, length)
+        exts = list(m)
+        for a, b in zip(exts, exts[1:]):
+            assert a.end <= b.lba, "extents must be sorted and disjoint"
+        # coalescing invariant: no two mergeable neighbours remain
+        for a, b in zip(exts, exts[1:]):
+            mergeable = (
+                a.end == b.lba
+                and a.target == b.target
+                and a.offset + a.length == b.offset
+            )
+            assert not mergeable, "adjacent extents should have been merged"
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=ops_strategy)
+def test_displaced_bytes_conserve_mapped_total(ops):
+    m = ExtentMap()
+    mapped = 0
+    for i, (op, lba, length, target) in enumerate(ops):
+        if op == "update":
+            displaced = m.update(lba, length, target, i * 1000)
+            mapped += length - sum(d.length for d in displaced)
+        else:
+            displaced = m.remove(lba, length)
+            mapped -= sum(d.length for d in displaced)
+        assert m.mapped_bytes() == mapped

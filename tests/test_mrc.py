@@ -1,0 +1,85 @@
+"""Tests for miss-ratio-curve construction."""
+
+import pytest
+
+from repro.analysis.mrc import compute_mrc
+from repro.workloads import TRACE_PRESETS, CloudPhysicsTrace
+
+
+def test_single_block_repeated():
+    mrc = compute_mrc([(0, 4096)] * 10)
+    assert mrc.total_accesses == 10
+    assert mrc.cold_misses == 1
+    # one block: any cache of >= 1 block hits everything after the cold miss
+    assert mrc.miss_ratio(1) == pytest.approx(0.1)
+
+
+def test_cyclic_scan_defeats_small_lru():
+    """The classic LRU pathology: a loop of N blocks misses 100% with any
+    cache smaller than N and hits (after cold) with cache >= N."""
+    n = 8
+    accesses = [(i * 4096, 4096) for i in range(n)] * 5
+    mrc = compute_mrc(accesses)
+    assert mrc.miss_ratio(n - 1) == pytest.approx(1.0)
+    assert mrc.miss_ratio(n) == pytest.approx(n / (n * 5))  # only cold misses
+
+
+def test_miss_ratio_monotone_in_cache_size():
+    import random
+
+    rng = random.Random(1)
+    accesses = [(rng.randrange(0, 64) * 4096, 4096) for _ in range(2000)]
+    mrc = compute_mrc(accesses)
+    curve = mrc.curve([1, 2, 4, 8, 16, 32, 64, 128])
+    ratios = [r for _s, r in curve]
+    assert all(a >= b - 1e-12 for a, b in zip(ratios, ratios[1:]))
+    # with the full footprint cached, only cold misses remain
+    assert curve[-1][1] == pytest.approx(64 / 2000, rel=0.01)
+
+
+def test_multi_block_accesses_split():
+    mrc = compute_mrc([(0, 16384)])  # touches 4 blocks
+    assert mrc.total_accesses == 4
+    assert mrc.cold_misses == 4
+
+
+def test_working_set_sizing():
+    n = 32
+    accesses = [(i * 4096, 4096) for i in range(n)] * 10
+    mrc = compute_mrc(accesses)
+    assert mrc.working_set_blocks(target_miss_ratio=0.15) == n
+
+
+def test_empty_trace():
+    mrc = compute_mrc([])
+    assert mrc.miss_ratio(100) == 0.0
+    assert mrc.total_accesses == 0
+
+
+def test_hot_cold_structure_shows_knee():
+    """A skewed workload's MRC has a knee at the hot-set size."""
+    import random
+
+    rng = random.Random(2)
+    accesses = []
+    for _ in range(4000):
+        if rng.random() < 0.9:
+            accesses.append((rng.randrange(0, 16) * 4096, 4096))  # hot 16
+        else:
+            accesses.append((rng.randrange(16, 512) * 4096, 4096))
+    mrc = compute_mrc(accesses)
+    at_hotset = mrc.miss_ratio(16)
+    tiny = mrc.miss_ratio(2)
+    assert at_hotset < 0.35
+    assert tiny > 0.5
+
+
+def test_cloudphysics_trace_mrc_is_computable():
+    trace = CloudPhysicsTrace(TRACE_PRESETS["w66"], scale=1 / 2048, seed=1)
+    mrc = compute_mrc(trace.writes())
+    assert mrc.total_accesses > 0
+    # a cache as big as the footprint leaves only cold misses
+    footprint = max(mrc.reuse_histogram, default=0) + 1
+    assert mrc.miss_ratio(footprint) == pytest.approx(
+        mrc.cold_misses / mrc.total_accesses
+    )

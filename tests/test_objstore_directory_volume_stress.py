@@ -1,0 +1,70 @@
+"""Stress: many volumes sharing one object store namespace."""
+
+import random
+
+import pytest
+
+from repro.core import LSVDConfig, LSVDVolume
+from repro.core.errors import VolumeExistsError
+from repro.devices.image import DiskImage
+from repro.objstore import InMemoryObjectStore
+
+MiB = 1 << 20
+
+
+def test_many_volumes_share_a_store_without_interference():
+    store = InMemoryObjectStore()
+    cfg = LSVDConfig(batch_size=64 * 1024, checkpoint_interval=8)
+    volumes = {}
+    for n in range(6):
+        vol = LSVDVolume.create(store, f"tenant{n}", 8 * MiB, DiskImage(2 * MiB), cfg)
+        volumes[n] = vol
+    rng = random.Random(0)
+    for i in range(600):
+        n = rng.randrange(6)
+        volumes[n].write(
+            rng.randrange(0, 2048) * 4096, bytes([n * 40 + i % 40 + 1]) * 4096
+        )
+    for vol in volumes.values():
+        vol.drain()
+    # each tenant's namespace is isolated
+    for n, vol in volumes.items():
+        names = store.list(f"tenant{n}.")
+        assert names
+        for other in range(6):
+            if other != n:
+                assert not any(
+                    name.startswith(f"tenant{other}.") for name in names
+                )
+    # each volume still round-trips its newest data
+    for n, vol in volumes.items():
+        lba = 100 * 4096
+        vol.write(lba, bytes([n + 1]) * 4096)
+        assert vol.read(lba, 4096) == bytes([n + 1]) * 4096
+
+
+def test_similar_prefix_names_do_not_collide():
+    """'vol' and 'vol2' and 'vol.2' must never see each other's objects."""
+    store = InMemoryObjectStore()
+    cfg = LSVDConfig(batch_size=64 * 1024)
+    a = LSVDVolume.create(store, "vol", 8 * MiB, DiskImage(2 * MiB), cfg)
+    b = LSVDVolume.create(store, "vol2", 8 * MiB, DiskImage(2 * MiB), cfg)
+    a.write(0, b"A" * 4096)
+    b.write(0, b"B" * 4096)
+    a.drain()
+    b.drain()
+    a2 = LSVDVolume.open(store, "vol", DiskImage(2 * MiB), cfg, cache_lost=True)
+    b2 = LSVDVolume.open(store, "vol2", DiskImage(2 * MiB), cfg, cache_lost=True)
+    assert a2.read(0, 4096) == b"A" * 4096
+    assert b2.read(0, 4096) == b"B" * 4096
+
+
+def test_create_collision_detected_even_without_super():
+    """Leftover stream objects (no superblock) still block creation."""
+    store = InMemoryObjectStore()
+    cfg = LSVDConfig(batch_size=64 * 1024)
+    vol = LSVDVolume.create(store, "vd", 8 * MiB, DiskImage(2 * MiB), cfg)
+    vol.drain()
+    store.delete("vd.super")
+    with pytest.raises(VolumeExistsError):
+        LSVDVolume.create(store, "vd", 8 * MiB, DiskImage(2 * MiB), cfg)

@@ -1,0 +1,124 @@
+"""Tests for the FIFO read cache (§3.1)."""
+
+import pytest
+
+from repro.core.read_cache import ReadCache
+from repro.devices.image import DiskImage
+
+MiB = 1 << 20
+
+
+def make_cache(size=2 * MiB, slot=128 * 1024):
+    img = DiskImage(size, name="rc-ssd")
+    return ReadCache(img, 0, size, map_slot_size=slot)
+
+
+def test_insert_and_read_back():
+    rc = make_cache()
+    rc.insert(4096, b"R" * 4096)
+    [(lba, length, data)] = rc.read(4096, 4096)
+    assert (lba, length, data) == (4096, 4096, b"R" * 4096)
+
+
+def test_miss_returns_empty_and_counts():
+    rc = make_cache()
+    assert rc.read(0, 4096) == []
+    rc.insert(0, b"x" * 4096)
+    rc.read(0, 4096)
+    assert rc.misses == 1
+    assert rc.hits == 1
+    assert rc.hit_rate == pytest.approx(0.5)
+
+
+def test_partial_hit():
+    rc = make_cache()
+    rc.insert(0, b"a" * 4096)
+    pieces = rc.read(0, 8192)
+    assert len(pieces) == 1
+    assert pieces[0][:2] == (0, 4096)
+
+
+def test_invalidate_removes_range():
+    rc = make_cache()
+    rc.insert(0, b"a" * 8192)
+    rc.invalidate(0, 4096)
+    pieces = rc.read(0, 8192)
+    assert [(p[0], p[1]) for p in pieces] == [(4096, 4096)]
+
+
+def test_fifo_eviction_when_full():
+    rc = make_cache(size=512 * 1024 + 128 * 1024)  # 512K data area
+    n = 0
+    # insert 1 MiB of distinct blocks: early ones must be evicted
+    for i in range(256):
+        rc.insert(i * 4096, bytes([i % 251 + 1]) * 4096)
+        n += 1
+    assert rc.read(0, 4096) == []  # oldest gone
+    [(_, _, data)] = rc.read(255 * 4096, 4096)  # newest present
+    assert data == bytes([255 % 251 + 1]) * 4096
+    assert rc.evicted_bytes > 0
+
+
+def test_reinsert_after_eviction_works():
+    rc = make_cache(size=512 * 1024 + 128 * 1024)
+    for i in range(300):
+        rc.insert((i % 40) * 4096, bytes([(i % 250) + 1]) * 4096)
+    # last writer wins for every lba still cached: i=299 wrote lba 19*4096
+    [(_, _, data)] = rc.read(19 * 4096, 4096)
+    assert data == bytes([(299 % 250) + 1]) * 4096
+
+
+def test_oversized_insert_is_skipped():
+    rc = make_cache(size=256 * 1024 + 128 * 1024)
+    rc.insert(0, b"z" * (1 << 20))
+    assert rc.read(0, 4096) == []
+
+
+def test_unaligned_length_padded_footprint():
+    rc = make_cache()
+    rc.insert(0, b"q" * 1000)
+    [(lba, length, data)] = rc.read(0, 1000)
+    assert data == b"q" * 1000
+
+
+def test_save_and_load_map():
+    rc = make_cache()
+    rc.insert(0, b"warm" * 1024)
+    rc.save_map()
+    fresh = ReadCache(rc.image, 0, rc.image.size, map_slot_size=rc.slot_size)
+    assert fresh.load_map()
+    [(_, _, data)] = fresh.read(0, 4096)
+    assert data == b"warm" * 1024
+
+
+def test_load_map_cold_on_garbage():
+    rc = make_cache()
+    fresh = ReadCache(rc.image, 0, rc.image.size, map_slot_size=rc.slot_size)
+    assert not fresh.load_map()
+
+
+def test_clear_empties():
+    rc = make_cache()
+    rc.insert(0, b"a" * 4096)
+    rc.clear()
+    assert rc.read(0, 4096) == []
+
+
+def test_region_too_small_rejected():
+    img = DiskImage(64 * 1024)
+    with pytest.raises(ValueError):
+        ReadCache(img, 0, 64 * 1024, map_slot_size=64 * 1024)
+
+
+def test_eviction_precise_clipping():
+    """Evicting a region must clip overlapping entries, not nuke them."""
+    rc = make_cache(size=256 * 1024 + 128 * 1024)  # 256K ring
+    rc.insert(0, b"A" * 16384)  # occupies ring [0, 16K)
+    # fill the rest of the ring exactly
+    rc.insert(1 << 20, b"B" * (256 * 1024 - 16384))
+    # next insert wraps and overwrites part of the first entry
+    rc.insert(2 << 20, b"C" * 8192)
+    pieces = rc.read(0, 16384)
+    # the first 8K of entry A was evicted; the tail may survive
+    for lba, length, _data in pieces:
+        assert lba >= 8192

@@ -1,0 +1,83 @@
+"""Latency-distribution behaviour of the runtimes (sanity envelope)."""
+
+import pytest
+
+from repro.cluster import StorageCluster
+from repro.core import LSVDConfig
+from repro.devices.ssd import SSD, SSDSpec
+from repro.runtime import (
+    BcacheRBDRuntime,
+    ClientMachine,
+    LSVDRuntime,
+    RBDRuntime,
+    SimulatedObjectStore,
+)
+from repro.sim import Simulator
+from repro.workloads.base import IOOp
+
+GiB = 1 << 30
+
+
+def lsvd():
+    sim = Simulator()
+    machine = ClientMachine(sim)
+    cluster = StorageCluster(
+        sim, 4, 8, lambda s, n: SSD(s, SSDSpec.sata_consumer(), name=n)
+    )
+    backend = SimulatedObjectStore(sim, cluster, machine.network)
+    return sim, LSVDRuntime(sim, machine, backend, 1 * GiB, 4 * GiB, LSVDConfig())
+
+
+def one(sim, dev, op):
+    start = sim.now
+    sim.run_until_event(dev.submit(op))
+    return sim.now - start
+
+
+def test_lsvd_write_latency_envelope():
+    sim, dev = lsvd()
+    lat = one(sim, dev, IOOp("write", 0, 4096))
+    # cpu 15us + sequential log write ~6us + completion ~60us
+    assert 50e-6 < lat < 200e-6
+
+
+def test_lsvd_consecutive_writes_do_not_drift():
+    sim, dev = lsvd()
+    lats = [one(sim, dev, IOOp("write", i * 4096, 4096)) for i in range(50)]
+    assert max(lats) < 3 * min(lats)
+
+
+def test_rbd_write_latency_dominated_by_journal_flush():
+    sim = Simulator()
+    machine = ClientMachine(sim)
+    cluster = StorageCluster(
+        sim, 4, 8, lambda s, n: SSD(s, SSDSpec.sata_consumer(), name=n)
+    )
+    dev = RBDRuntime(sim, machine, cluster)
+    lat = one(sim, dev, IOOp("write", 0, 16384))
+    # the 1.5ms consumer-SSD journal flush dominates a replicated write
+    assert lat > 1.5e-3
+    assert lat < 6e-3
+
+
+def test_bcache_fsync_latency_far_above_lsvd():
+    """§4.2.2 at op granularity: a write+fsync pair."""
+
+    def fsync_pair(make):
+        sim, dev = make()
+        total = one(sim, dev, IOOp("write", 0, 4096))
+        total += one(sim, dev, IOOp("flush"))
+        return total
+
+    def make_bcache():
+        sim = Simulator()
+        machine = ClientMachine(sim)
+        cluster = StorageCluster(
+            sim, 4, 8, lambda s, n: SSD(s, SSDSpec.sata_consumer(), name=n)
+        )
+        rbd = RBDRuntime(sim, machine, cluster)
+        return sim, BcacheRBDRuntime(sim, machine, rbd, cache_size=4 * GiB)
+
+    lsvd_pair = fsync_pair(lsvd)
+    bcache_pair = fsync_pair(make_bcache)
+    assert bcache_pair > 2 * lsvd_pair

@@ -1,0 +1,120 @@
+"""Tests for §6.3 cache sharing across cloned volumes."""
+
+import pytest
+
+from repro.core import LSVDConfig, LSVDVolume
+from repro.core.shared_cache import SharedObjectCache, attach_shared_cache
+from repro.devices.image import DiskImage
+from repro.objstore import InMemoryObjectStore
+
+MiB = 1 << 20
+
+
+# -- the cache itself ----------------------------------------------------------
+
+
+def test_roundtrip_aligned():
+    cache = SharedObjectCache(capacity=1 * MiB, chunk_size=64 * 1024)
+    cache.insert("obj", 0, b"x" * (128 * 1024))
+    assert cache.get("obj", 0, 64 * 1024) == b"x" * (64 * 1024)
+    assert cache.get("obj", 64 * 1024, 64 * 1024) == b"x" * (64 * 1024)
+    assert cache.get("obj", 16 * 1024, 32 * 1024) == b"x" * (32 * 1024)
+
+
+def test_gap_returns_none():
+    cache = SharedObjectCache(capacity=1 * MiB, chunk_size=64 * 1024)
+    cache.insert("obj", 0, b"x" * (64 * 1024))
+    assert cache.get("obj", 0, 128 * 1024) is None
+    assert cache.get("other", 0, 1024) is None
+
+
+def test_lru_eviction():
+    cache = SharedObjectCache(capacity=128 * 1024, chunk_size=64 * 1024)
+    cache.insert("a", 0, b"1" * (64 * 1024))
+    cache.insert("b", 0, b"2" * (64 * 1024))
+    cache.get("a", 0, 1024)  # touch a: b becomes LRU
+    cache.insert("c", 0, b"3" * (64 * 1024))  # evicts b
+    assert cache.get("a", 0, 1024) is not None
+    assert cache.get("b", 0, 1024) is None
+    assert cache.stats.evictions == 1
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        SharedObjectCache(capacity=1024, chunk_size=64 * 1024)
+
+
+def test_immutable_objects_never_stale():
+    cache = SharedObjectCache(capacity=1 * MiB, chunk_size=64 * 1024)
+    cache.insert("obj", 0, b"v1" * (32 * 1024))
+    # re-inserting different bytes under the same key is ignored: object
+    # names are immutable identities
+    cache.insert("obj", 0, b"v2" * (32 * 1024))
+    assert cache.get("obj", 0, 64 * 1024) == b"v1" * (32 * 1024)
+
+
+# -- attached to cloned volumes ------------------------------------------------
+
+
+def make_base_and_clones(n_clones=3):
+    store = InMemoryObjectStore()
+    cfg = LSVDConfig(batch_size=128 * 1024, checkpoint_interval=8)
+    base = LSVDVolume.create(store, "base", 16 * MiB, DiskImage(2 * MiB), cfg)
+    for i in range(512):
+        base.write(i * 4096, bytes([i % 251 + 1]) * 4096)
+    base.close()
+    clones = [
+        LSVDVolume.clone(store, "base", f"vm{i}", DiskImage(2 * MiB), cfg)
+        for i in range(n_clones)
+    ]
+    return store, clones
+
+
+def test_second_clone_hits_what_first_fetched():
+    store, clones = make_base_and_clones(2)
+    shared = SharedObjectCache(capacity=8 * MiB)
+    for clone in clones:
+        attach_shared_cache(clone, shared)
+    gets_before = store.stats.range_gets + store.stats.gets
+    clones[0].read(100 * 4096, 4096)
+    gets_mid = store.stats.range_gets + store.stats.gets
+    assert gets_mid > gets_before  # first clone went to the backend
+    clones[1].read(100 * 4096, 4096)
+    assert store.stats.range_gets + store.stats.gets == gets_mid  # shared hit
+    assert shared.stats.hits >= 1
+
+
+def test_shared_cache_correctness_across_clones():
+    store, clones = make_base_and_clones(3)
+    shared = SharedObjectCache(capacity=8 * MiB)
+    for clone in clones:
+        attach_shared_cache(clone, shared)
+    # divergent writes stay private
+    clones[0].write(0, b"A" * 4096)
+    clones[1].write(0, b"B" * 4096)
+    for clone in clones:
+        clone.drain()
+    assert clones[0].read(0, 4096) == b"A" * 4096
+    assert clones[1].read(0, 4096) == b"B" * 4096
+    assert clones[2].read(0, 4096) == bytes([0 % 251 + 1]) * 4096
+    # shared base blocks agree everywhere
+    for clone in clones:
+        assert clone.read(200 * 4096, 4096) == bytes([200 % 251 + 1]) * 4096
+
+
+def test_gc_of_clone_does_not_poison_shared_cache():
+    """A clone's own churn (and GC) must not corrupt what other clones
+    read through the shared cache."""
+    import random
+
+    store, clones = make_base_and_clones(2)
+    shared = SharedObjectCache(capacity=8 * MiB)
+    for clone in clones:
+        attach_shared_cache(clone, shared)
+    rng = random.Random(1)
+    for i in range(2000):
+        clones[0].write(rng.randrange(0, 512) * 4096, bytes([i % 250 + 1]) * 4096)
+    clones[0].drain()
+    # clone 1 still reads pristine base content
+    for lba in range(0, 512 * 4096, 64 * 4096):
+        assert clones[1].read(lba, 4096) == bytes([(lba // 4096) % 251 + 1]) * 4096

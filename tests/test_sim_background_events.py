@@ -1,0 +1,87 @@
+"""Tests for daemon (background) events in the simulation engine."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_run_stops_when_only_daemons_remain():
+    sim = Simulator()
+    ticks = []
+
+    def daemon():
+        while True:
+            yield sim.timeout(1.0, background=True)
+            ticks.append(sim.now)
+
+    def client():
+        yield sim.timeout(3.5)
+
+    sim.process(daemon())
+    proc = sim.process(client())
+    sim.run()  # must terminate despite the endless daemon
+    assert proc.processed
+    assert sim.now >= 3.5
+    assert len(ticks) <= 4
+
+
+def test_daemon_work_spawned_during_foreground_is_processed():
+    sim = Simulator()
+    log = []
+
+    def daemon():
+        while True:
+            yield sim.timeout(1.0, background=True)
+            log.append(("daemon", sim.now))
+
+    def client():
+        yield sim.timeout(2.5)
+        log.append(("client", sim.now))
+
+    sim.process(daemon())
+    sim.process(client())
+    sim.run()
+    # daemon ticks at 1.0 and 2.0 ran while the client was pending
+    assert ("daemon", 1.0) in log
+    assert ("daemon", 2.0) in log
+    assert ("client", 2.5) in log
+
+
+def test_run_until_advances_through_daemons():
+    sim = Simulator()
+    ticks = []
+
+    def daemon():
+        while True:
+            yield sim.timeout(1.0, background=True)
+            ticks.append(sim.now)
+
+    sim.process(daemon())
+    sim.run(until=5.5)  # bounded runs ignore the foreground distinction
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_pure_daemon_simulation_run_is_noop():
+    sim = Simulator()
+
+    def daemon():
+        while True:
+            yield sim.timeout(1.0, background=True)
+
+    sim.process(daemon())
+    sim.run()
+    # the daemon's boot event fires at t=0; nothing foreground after that
+    assert sim.now == 0.0
+
+
+def test_foreground_default_unchanged():
+    sim = Simulator()
+    done = []
+
+    def client():
+        yield sim.timeout(1.0)
+        done.append(sim.now)
+
+    sim.process(client())
+    sim.run()
+    assert done == [1.0]

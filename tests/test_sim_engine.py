@@ -1,0 +1,282 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_timeout_ordering():
+    sim = Simulator()
+    log = []
+
+    def worker(name, delay):
+        yield sim.timeout(delay)
+        log.append((sim.now, name))
+
+    sim.process(worker("late", 2.0))
+    sim.process(worker("early", 1.0))
+    sim.run()
+    assert log == [(1.0, "early"), (2.0, "late")]
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        value = yield sim.timeout(1.0, value="payload")
+        seen.append(value)
+
+    sim.process(proc())
+    sim.run()
+    assert seen == ["payload"]
+
+
+def test_zero_delay_timeout_runs_in_order():
+    sim = Simulator()
+    log = []
+
+    def proc(tag):
+        yield sim.timeout(0.0)
+        log.append(tag)
+
+    sim.process(proc("a"))
+    sim.process(proc("b"))
+    sim.run()
+    assert log == ["a", "b"]
+    assert sim.now == 0.0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def inner():
+        yield sim.timeout(1.0)
+        return 42
+
+    def outer(results):
+        value = yield sim.process(inner())
+        results.append(value)
+
+    results = []
+    sim.process(outer(results))
+    sim.run()
+    assert results == [42]
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    gate = sim.event()
+    log = []
+
+    def waiter():
+        value = yield gate
+        log.append((sim.now, value))
+
+    def opener():
+        yield sim.timeout(3.0)
+        gate.succeed("open")
+
+    sim.process(waiter())
+    sim.process(opener())
+    sim.run()
+    assert log == [(3.0, "open")]
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_event_fail_propagates_into_process():
+    sim = Simulator()
+    gate = sim.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield gate
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.process(waiter())
+    gate.fail(RuntimeError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_event_value_unavailable_until_triggered():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    ev.succeed(7)
+    assert ev.value == 7
+
+
+def test_process_exception_fails_process_event():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise ValueError("broken")
+
+    proc = sim.process(bad())
+    sim.run()
+    assert proc.triggered
+    assert not proc.ok
+    assert isinstance(proc.value, ValueError)
+
+
+def test_strict_mode_reraises():
+    sim = Simulator(strict=True)
+
+    def bad():
+        yield sim.timeout(1.0)
+        raise ValueError("broken")
+
+    sim.process(bad())
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_yielding_non_event_is_an_error():
+    sim = Simulator()
+
+    def bad():
+        yield 17
+
+    sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    results = []
+
+    def proc():
+        values = yield AllOf(sim, [sim.timeout(1, "a"), sim.timeout(3, "b")])
+        results.append((sim.now, values))
+
+    sim.process(proc())
+    sim.run()
+    assert results == [(3.0, ["a", "b"])]
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+    results = []
+
+    def proc():
+        values = yield AllOf(sim, [])
+        results.append(values)
+
+    sim.process(proc())
+    sim.run()
+    assert results == [[]]
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    results = []
+
+    def proc():
+        event, value = yield AnyOf(sim, [sim.timeout(5, "slow"), sim.timeout(1, "fast")])
+        results.append((sim.now, value))
+
+    sim.process(proc())
+    sim.run()
+    assert results == [(1.0, "fast")]
+
+
+def test_interrupt_is_catchable():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as intr:
+            log.append((sim.now, intr.cause))
+
+    def interrupter(target):
+        yield sim.timeout(2.0)
+        target.interrupt("wake up")
+
+    target = sim.process(sleeper())
+    sim.process(interrupter(target))
+    sim.run()
+    assert log == [(2.0, "wake up")]
+
+
+def test_interrupt_dead_process_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    proc = sim.process(quick())
+    sim.run()
+    proc.interrupt()  # must not raise
+    sim.run()
+
+
+def test_run_until_limits_clock():
+    sim = Simulator()
+    log = []
+
+    def ticker():
+        while True:
+            yield sim.timeout(1.0)
+            log.append(sim.now)
+
+    sim.process(ticker())
+    sim.run(until=5.5)
+    assert log == [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert sim.now == 5.5
+
+
+def test_run_until_event_returns_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(2.0)
+        return "done"
+
+    result = sim.run_until_event(sim.process(proc()))
+    assert result == "done"
+    assert sim.now == 2.0
+
+
+def test_run_until_event_raises_if_queue_drains():
+    sim = Simulator()
+    orphan = sim.event()
+    with pytest.raises(SimulationError):
+        sim.run_until_event(orphan)
+
+
+def test_callback_after_processed_runs_immediately():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("x")
+    sim.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["x"]

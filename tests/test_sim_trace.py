@@ -1,0 +1,68 @@
+"""Tests for the simulator tracing helper."""
+
+from repro.sim import Simulator
+from repro.sim.trace import Tracer
+
+
+def test_tracer_records_with_sim_time():
+    sim = Simulator()
+    tracer = Tracer(sim)
+
+    def proc():
+        tracer.record("start")
+        yield sim.timeout(2.0)
+        tracer.record("end", {"k": 1})
+
+    sim.process(proc())
+    sim.run()
+    assert tracer.events[0] == (0.0, "start", None)
+    assert tracer.events[1] == (2.0, "end", {"k": 1})
+
+
+def test_tracer_counts_and_rate():
+    sim = Simulator()
+    tracer = Tracer(sim)
+
+    def ticker():
+        for _ in range(10):
+            yield sim.timeout(1.0)
+            tracer.record("tick")
+
+    sim.process(ticker())
+    sim.run()
+    assert tracer.counts()["tick"] == 10
+    # half-open window: the tick at exactly t=10 is excluded
+    assert tracer.rate("tick", window=(0.0, 10.0)) == 0.9
+    assert tracer.rate("tick", window=(0.5, 10.5)) == 1.0
+
+
+def test_tracer_between_and_timeline():
+    sim = Simulator()
+    tracer = Tracer(sim)
+
+    def ticker():
+        for _ in range(6):
+            yield sim.timeout(0.5)
+            tracer.record("t")
+
+    sim.process(ticker())
+    sim.run()
+    assert len(tracer.between(1.0, 2.1)) == 3
+    timeline = tracer.timeline("t", bucket=1.0)
+    assert sum(n for _t, n in timeline) == 6
+
+
+def test_tracer_drop_limit():
+    sim = Simulator()
+    tracer = Tracer(sim, max_events=3)
+    for _ in range(5):
+        tracer.record("x")
+    assert len(tracer.events) == 3
+    assert tracer.dropped == 2
+
+
+def test_tracer_rate_empty():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    assert tracer.rate("none") == 0.0
+    assert tracer.rate("none", window=(1.0, 1.0)) == 0.0

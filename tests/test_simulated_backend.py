@@ -1,0 +1,86 @@
+"""Tests for the timed object-store facade and client machine."""
+
+import pytest
+
+from repro.cluster import ErasureCodedLayout, StorageCluster
+from repro.devices.hdd import HDD, HDDSpec
+from repro.devices.ssd import SSD, SSDSpec
+from repro.runtime import ClientMachine, SimulatedObjectStore
+from repro.sim import Simulator
+
+MiB = 1 << 20
+
+
+def world():
+    sim = Simulator()
+    machine = ClientMachine(sim)
+    cluster = StorageCluster(
+        sim, 4, 8, lambda s, n: SSD(s, SSDSpec.sata_consumer(), name=n)
+    )
+    backend = SimulatedObjectStore(sim, cluster, machine.network)
+    return sim, machine, cluster, backend
+
+
+def test_put_costs_network_plus_latency_plus_devices():
+    sim, machine, cluster, backend = world()
+    done = backend.put("vd.00000001", 8 * MiB)
+    sim.run_until_event(done)
+    # at least: 8MiB over a 10Gb link (6.7ms) + 5.9ms RGW latency
+    assert sim.now > 8 * MiB / 1.25e9 + backend.request_latency
+    assert cluster.totals().writes == 64  # 6 chunks + 58 meta (4,2 code)
+    assert backend.puts == 1
+    assert backend.bytes_put == 8 * MiB
+
+
+def test_get_range_touches_chunks_and_returns_over_network():
+    sim, machine, cluster, backend = world()
+    sim.run_until_event(backend.put("vd.00000001", 8 * MiB))
+    t0 = sim.now
+    sim.run_until_event(backend.get_range("vd.00000001", 1 * MiB, 128 * 1024))
+    assert sim.now - t0 >= backend.request_latency
+    assert cluster.totals().reads >= 1
+    assert backend.gets == 1
+
+
+def test_delete_is_metadata_only():
+    sim, machine, cluster, backend = world()
+    writes_before = cluster.totals().writes
+    sim.run_until_event(backend.delete("vd.00000009"))
+    totals = cluster.totals()
+    assert totals.writes - writes_before == 6  # one meta write per shard
+    assert backend.deletes == 1
+
+
+def test_concurrent_puts_share_the_network():
+    """Two 8 MiB PUTs over one 10Gb link cannot finish in one PUT's time."""
+    sim, machine, cluster, backend = world()
+    a = backend.put("vd.00000001", 8 * MiB)
+    b = backend.put("vd.00000002", 8 * MiB)
+
+    def wait():
+        yield a
+        yield b
+
+    sim.run_until_event(sim.process(wait()))
+    single_sim, _m, _c, single_backend = world()
+    single_sim.run_until_event(single_backend.put("vd.00000001", 8 * MiB))
+    # both transfers must cross the link serially; everything else overlaps
+    transfer = 8 * MiB / 1.25e9
+    assert sim.now >= single_sim.now + transfer * 0.9
+    assert sim.now > single_sim.now * 1.25
+
+
+def test_cpu_work_serialises():
+    sim = Simulator()
+    machine = ClientMachine(sim, cpu_capacity=1)
+    times = []
+
+    def worker(tag):
+        yield from machine.cpu_work(1e-3)
+        times.append((tag, sim.now))
+
+    sim.process(worker("a"))
+    sim.process(worker("b"))
+    sim.run()
+    assert times[0][1] == pytest.approx(1e-3)
+    assert times[1][1] == pytest.approx(2e-3)

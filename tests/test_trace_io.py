@@ -1,0 +1,84 @@
+"""Tests for block-trace serialisation and replay."""
+
+import io
+
+import pytest
+
+from repro.core import LSVDConfig, LSVDVolume
+from repro.devices.image import DiskImage
+from repro.objstore import InMemoryObjectStore
+from repro.workloads import FioJob
+from repro.workloads.base import FLUSH, READ, WRITE, IOOp, take
+from repro.workloads.trace_io import (
+    TraceRecorder,
+    dump_trace,
+    load_trace,
+    replay_trace,
+)
+
+MiB = 1 << 20
+
+
+def test_dump_load_roundtrip():
+    ops = [
+        IOOp(WRITE, 0, 4096),
+        IOOp(READ, 8192, 512),
+        IOOp(FLUSH),
+        IOOp(WRITE, 1 << 20, 16384),
+    ]
+    buf = io.StringIO()
+    assert dump_trace(ops, buf) == 4
+    buf.seek(0)
+    out = list(load_trace(buf))
+    assert out == ops
+
+
+def test_file_roundtrip(tmp_path):
+    ops = take(FioJob(rw="randwrite", bs=4096, size=1 * MiB, seed=1).ops(), 100)
+    path = tmp_path / "trace.txt"
+    dump_trace(ops, path)
+    assert list(load_trace(path)) == ops
+    text = path.read_text()
+    assert text.startswith("# repro block trace")
+
+
+def test_load_rejects_garbage():
+    buf = io.StringIO("W 1\n")
+    with pytest.raises(ValueError):
+        list(load_trace(buf))
+    buf = io.StringIO("X 1 2\n")
+    with pytest.raises(ValueError):
+        list(load_trace(buf))
+
+
+def test_load_skips_comments_and_blanks():
+    buf = io.StringIO("# hello\n\nW 0 512\n")
+    assert list(load_trace(buf)) == [IOOp(WRITE, 0, 512)]
+
+
+def test_recorder_captures_volume_traffic(tmp_path):
+    store = InMemoryObjectStore()
+    cfg = LSVDConfig(batch_size=64 * 1024)
+    vol = LSVDVolume.create(store, "vd", 8 * MiB, DiskImage(2 * MiB), cfg)
+    rec = TraceRecorder(vol)
+    rec.write(0, b"x" * 4096)
+    rec.read(0, 4096)
+    rec.flush()
+    path = tmp_path / "cap.txt"
+    assert rec.save(path) == 3
+    replayed = list(load_trace(path))
+    assert [op.kind for op in replayed] == [WRITE, READ, FLUSH]
+
+
+def test_replay_against_fresh_volume(tmp_path):
+    store = InMemoryObjectStore()
+    cfg = LSVDConfig(batch_size=64 * 1024)
+    ops = take(FioJob(rw="randwrite", bs=4096, size=4 * MiB, seed=2, fsync_every=10).ops(), 200)
+    path = tmp_path / "t.txt"
+    dump_trace(ops, path)
+    vol = LSVDVolume.create(store, "vd", 8 * MiB, DiskImage(2 * MiB), cfg)
+    applied = replay_trace(load_trace(path), vol)
+    assert applied == 200
+    # every written offset carries the filler byte
+    writes = [op for op in ops if op.kind == WRITE]
+    assert vol.read(writes[-1].offset, 4096) == b"\xab" * 4096

@@ -1,0 +1,366 @@
+"""End-to-end tests for LSVDVolume: I/O, recovery, snapshots, clones, GC."""
+
+import random
+
+import pytest
+
+from repro.core import LSVDConfig, LSVDVolume
+from repro.core.errors import LSVDError
+from repro.devices.image import DiskImage
+from repro.objstore import InMemoryObjectStore, UnsettledObjectStore
+
+MiB = 1 << 20
+
+
+def small_config(**kw):
+    defaults = dict(batch_size=64 * 1024, checkpoint_interval=8)
+    defaults.update(kw)
+    return LSVDConfig(**defaults)
+
+
+def make_volume(size=16 * MiB, cache=4 * MiB, store=None, **kw):
+    store = store if store is not None else InMemoryObjectStore()
+    image = DiskImage(cache, name="cache")
+    vol = LSVDVolume.create(store, "vd", size, image, small_config(**kw))
+    return store, image, vol
+
+
+def test_write_read_roundtrip():
+    _, _, vol = make_volume()
+    vol.write(0, b"hello sector!!!!" * 32)
+    assert vol.read(0, 512) == b"hello sector!!!!" * 32
+
+
+def test_unwritten_reads_zero():
+    _, _, vol = make_volume()
+    assert vol.read(1 * MiB, 4096) == b"\x00" * 4096
+
+
+def test_misaligned_io_rejected():
+    _, _, vol = make_volume()
+    with pytest.raises(ValueError):
+        vol.write(100, b"x" * 512)
+    with pytest.raises(ValueError):
+        vol.read(0, 100)
+    with pytest.raises(ValueError):
+        vol.write(vol.size - 512, b"x" * 1024)
+
+
+def test_overwrite_returns_newest():
+    _, _, vol = make_volume()
+    vol.write(4096, b"1" * 4096)
+    vol.write(4096, b"2" * 4096)
+    assert vol.read(4096, 4096) == b"2" * 4096
+
+
+def test_read_spanning_cache_and_backend():
+    store, _, vol = make_volume()
+    # push old data through to the backend
+    for i in range(64):
+        vol.write(i * 4096, bytes([i + 1]) * 4096)
+    vol.drain()
+    # overwrite a strip: newest in write cache
+    vol.write(8 * 4096, b"W" * 4096)
+    blob = vol.read(7 * 4096, 3 * 4096)
+    assert blob[:4096] == bytes([8]) * 4096
+    assert blob[4096:8192] == b"W" * 4096
+    assert blob[8192:] == bytes([10]) * 4096
+
+
+def test_large_write_spanning_batches():
+    _, _, vol = make_volume()
+    payload = bytes(range(256)) * 1024  # 256 KiB > 64 KiB batch
+    vol.write(0, payload)
+    vol.drain()
+    assert vol.read(0, len(payload)) == payload
+
+
+def test_write_volume_larger_than_cache():
+    """Write cache pressure forces destage; data must survive."""
+    store, _, vol = make_volume(size=16 * MiB, cache=1 * MiB)
+    rng = random.Random(1)
+    expect = {}
+    for i in range(600):
+        lba = rng.randrange(0, 16 * MiB // 4096) * 4096
+        data = bytes([i % 255 + 1]) * 4096
+        vol.write(lba, data)
+        expect[lba] = data
+    for lba, data in list(expect.items())[:100]:
+        assert vol.read(lba, 4096) == data
+
+
+def test_flush_is_commit_barrier():
+    _, image, vol = make_volume()
+    vol.write(0, b"d" * 4096)
+    assert image.pending_writes > 0
+    vol.flush()
+    assert image.pending_writes == 0
+
+
+def test_read_cache_warms_from_backend():
+    store, _, vol = make_volume()
+    for i in range(64):
+        vol.write(i * 4096, bytes([i + 1]) * 4096)
+    vol.drain()
+    # drop the write cache entries by forcing release: read twice
+    vol.rc.clear()
+    gets_before = store.stats.range_gets
+    vol.read(20 * 4096, 4096)
+    first = store.stats.range_gets
+    assert first > gets_before
+    vol.read(20 * 4096, 4096)  # now a cache hit
+    assert store.stats.range_gets == first
+
+
+def test_prefetch_pulls_temporal_neighbours():
+    store, _, vol = make_volume()
+    # write temporally adjacent, spatially scattered blocks
+    lbas = [i * 97 % 4000 * 4096 for i in range(64)]
+    for i, lba in enumerate(lbas):
+        vol.write(lba, bytes([i % 255 + 1]) * 4096)
+    vol.drain()
+    vol.rc.clear()
+    vol.read(lbas[10], 4096)
+    gets = store.stats.range_gets
+    # the neighbours written around the same time are now cached
+    vol.read(lbas[11], 4096)
+    assert store.stats.range_gets == gets
+
+
+def test_write_invalidates_read_cache():
+    store, _, vol = make_volume()
+    vol.write(0, b"old!" * 1024)
+    vol.drain()
+    vol.rc.clear()
+    vol.read(0, 4096)  # warm the read cache from backend
+    vol.write(0, b"new!" * 1024)
+    assert vol.read(0, 4096) == b"new!" * 1024
+    vol.drain()
+    assert vol.read(0, 4096) == b"new!" * 1024
+
+
+# -- recovery -----------------------------------------------------------------
+
+
+def test_clean_close_and_reopen():
+    store, image, vol = make_volume()
+    for i in range(32):
+        vol.write(i * 4096, bytes([i + 1]) * 4096)
+    vol.close()
+    vol2 = LSVDVolume.open(store, "vd", image, small_config())
+    for i in range(32):
+        assert vol2.read(i * 4096, 4096) == bytes([i + 1]) * 4096
+
+
+def test_crash_with_cache_recovers_all_committed_writes():
+    """§2.2/§3.4: with the cache intact, every committed (pre-barrier)
+    write must survive a crash."""
+    store, image, vol = make_volume()
+    for i in range(40):
+        vol.write(i * 4096, bytes([i + 1]) * 4096)
+    vol.flush()  # commit barrier: all 40 writes are committed
+    vol.write(40 * 4096, b"U" * 4096)  # uncommitted
+    image.crash(rng=random.Random(5))
+    vol2 = LSVDVolume.open(store, "vd", image, small_config())
+    for i in range(40):
+        assert vol2.read(i * 4096, 4096) == bytes([i + 1]) * 4096
+
+
+def test_crash_replays_cache_to_backend():
+    """§3.3: recovery brings the backend up to date with the cache."""
+    store, image, vol = make_volume()
+    for i in range(10):  # too little data to seal a batch
+        vol.write(i * 4096, bytes([i + 1]) * 4096)
+    vol.flush()
+    backend_bytes_before = store.total_bytes("vd.")
+    image.crash(rng=random.Random(7), survive_probability=1.0, allow_torn=False)
+    vol2 = LSVDVolume.open(store, "vd", image, small_config())
+    vol2.drain()
+    assert store.total_bytes("vd.") > backend_bytes_before
+    # a second, cache-less mount now sees the data (it reached the backend)
+    fresh_cache = DiskImage(4 * MiB)
+    vol3 = LSVDVolume.open(store, "vd", fresh_cache, small_config(), cache_lost=True)
+    for i in range(10):
+        assert vol3.read(i * 4096, 4096) == bytes([i + 1]) * 4096
+
+
+def test_cache_loss_yields_backend_prefix():
+    """§3.4 worst case: cache gone -> volume is a consistent prefix."""
+    store, image, vol = make_volume()
+    for i in range(64):
+        vol.write(i * 4096, bytes([i + 1]) * 4096)
+    vol.drain()
+    vol.write(0, b"lost" * 1024)  # never destaged
+    fresh_cache = DiskImage(4 * MiB)
+    vol2 = LSVDVolume.open(store, "vd", fresh_cache, small_config(), cache_lost=True)
+    # the destaged writes are all there; the cached-only write is gone
+    assert vol2.read(0, 4096) == bytes([1]) * 4096
+    for i in range(1, 64):
+        assert vol2.read(i * 4096, 4096) == bytes([i + 1]) * 4096
+
+
+def test_double_crash_recovery_idempotent():
+    """§3.3: 'the steps may be repeated without risk of inconsistency'."""
+    store, image, vol = make_volume()
+    for i in range(24):
+        vol.write(i * 4096, bytes([i + 1]) * 4096)
+    vol.flush()
+    image.crash(rng=random.Random(1), survive_probability=1.0, allow_torn=False)
+    vol2 = LSVDVolume.open(store, "vd", image, small_config())
+    image.crash(rng=random.Random(2), survive_probability=1.0, allow_torn=False)
+    vol3 = LSVDVolume.open(store, "vd", image, small_config())
+    for i in range(24):
+        assert vol3.read(i * 4096, 4096) == bytes([i + 1]) * 4096
+
+
+def test_recovery_with_unsettled_puts_prefix_rule():
+    """Out-of-order PUT completion: recovery takes the consecutive prefix
+    and replays the cache over it."""
+    inner = InMemoryObjectStore()
+    store = UnsettledObjectStore(inner)
+    image = DiskImage(4 * MiB)
+    cfg = small_config(checkpoint_interval=1000)
+    vol = LSVDVolume.create(store, "vd", 16 * MiB, image, cfg)
+    store.settle_all()
+    handles = []
+    orig_put = store.put
+    pending = {}
+
+    for i in range(48):  # 3 batches
+        vol.write(i * 4096, bytes([i + 1]) * 4096)
+    vol.flush()
+    # three data PUTs are outstanding; settle 1st and 3rd only
+    assert store.in_flight == 3
+    hs = sorted(store._pending)
+    store.settle(hs[0])
+    vol.settle_put(hs[0])
+    store.settle(hs[2])
+    vol.settle_put(hs[2])
+    store.crash()  # middle object lost; client crashes too
+    image.crash(rng=random.Random(3), survive_probability=1.0, allow_torn=False)
+    vol2 = LSVDVolume.open(inner, "vd", image, cfg)
+    # all 48 writes were committed and the cache survived -> all recovered
+    for i in range(48):
+        assert vol2.read(i * 4096, 4096) == bytes([i + 1]) * 4096
+
+
+# -- GC through the volume ------------------------------------------------
+
+
+def test_volume_gc_keeps_data_correct():
+    store, image, vol = make_volume(size=4 * MiB, cache=2 * MiB)
+    rng = random.Random(11)
+    expect = {}
+    for i in range(1500):
+        lba = rng.randrange(0, 4 * MiB // 4096) * 4096
+        data = bytes([i % 255 + 1]) * 4096
+        vol.write(lba, data)
+        expect[lba] = data
+    vol.drain()
+    live, total = vol.occupancy()
+    assert total > 0
+    assert live / total >= vol.config.gc_low_watermark - 0.05
+    for lba, data in expect.items():
+        assert vol.read(lba, 4096) == data
+    assert vol.gc.stats.victims_cleaned > 0
+
+
+def test_volume_gc_then_crash_recovery():
+    store, image, vol = make_volume(size=4 * MiB, cache=2 * MiB)
+    rng = random.Random(13)
+    expect = {}
+    for i in range(1200):
+        lba = rng.randrange(0, 4 * MiB // 4096) * 4096
+        data = bytes([i % 255 + 1]) * 4096
+        vol.write(lba, data)
+        expect[lba] = data
+    vol.flush()
+    image.crash(rng=rng, survive_probability=1.0, allow_torn=False)
+    vol2 = LSVDVolume.open(store, "vd", image, small_config())
+    for lba, data in expect.items():
+        assert vol2.read(lba, 4096) == data
+
+
+# -- snapshots & clones -------------------------------------------------------
+
+
+def test_volume_snapshot_and_mount():
+    store, image, vol = make_volume()
+    for i in range(32):
+        vol.write(i * 4096, b"v1v1" * 1024)
+    vol.snapshot("epoch1")
+    for i in range(32):
+        vol.write(i * 4096, b"v2v2" * 1024)
+    vol.drain()
+    snap_cache = DiskImage(4 * MiB)
+    snap = LSVDVolume.open_snapshot(store, "vd", "epoch1", snap_cache, small_config())
+    assert snap.read(0, 4096) == b"v1v1" * 1024
+    with pytest.raises(LSVDError):
+        snap.write(0, b"x" * 512)
+    assert vol.read(0, 4096) == b"v2v2" * 1024
+
+
+def test_volume_clone_workflow():
+    store, image, vol = make_volume()
+    for i in range(32):
+        vol.write(i * 4096, b"base" * 1024)
+    vol.close()
+    clone_cache = DiskImage(4 * MiB)
+    clone = LSVDVolume.clone(store, "vd", "dev1", clone_cache, small_config())
+    assert clone.read(0, 4096) == b"base" * 1024
+    clone.write(0, b"mine" * 1024)
+    assert clone.read(0, 4096) == b"mine" * 1024
+    # base unaffected
+    base_cache = DiskImage(4 * MiB)
+    base = LSVDVolume.open(store, "vd", base_cache, small_config(), cache_lost=True)
+    assert base.read(0, 4096) == b"base" * 1024
+
+
+def test_volume_clone_from_snapshot():
+    store, image, vol = make_volume()
+    vol.write(0, b"snap" * 1024)
+    vol.snapshot("s1")
+    vol.write(0, b"late" * 1024)
+    vol.drain()
+    clone_cache = DiskImage(4 * MiB)
+    clone = LSVDVolume.clone(
+        store, "vd", "from-snap", clone_cache, small_config(), at_snapshot="s1"
+    )
+    assert clone.read(0, 4096) == b"snap" * 1024
+
+
+def test_snapshot_survives_gc_and_remains_mountable():
+    store, image, vol = make_volume(size=4 * MiB, cache=2 * MiB)
+    rng = random.Random(17)
+    for i in range(400):
+        vol.write(rng.randrange(0, 512) * 4096, bytes([i % 255 + 1]) * 4096)
+    vol.snapshot("mid")
+    snapshot_view = {}
+    snap_cache = DiskImage(4 * MiB)
+    snap = LSVDVolume.open_snapshot(store, "vd", "mid", snap_cache, small_config())
+    for lba in range(0, 512 * 4096, 64 * 4096):
+        snapshot_view[lba] = snap.read(lba, 4096)
+    # churn heavily to force GC
+    for i in range(1200):
+        vol.write(rng.randrange(0, 512) * 4096, bytes([(i * 7) % 255 + 1]) * 4096)
+    vol.drain()
+    assert vol.gc.stats.victims_cleaned > 0
+    snap_cache2 = DiskImage(4 * MiB)
+    snap2 = LSVDVolume.open_snapshot(store, "vd", "mid", snap_cache2, small_config())
+    for lba, data in snapshot_view.items():
+        assert snap2.read(lba, 4096) == data
+
+
+def test_delete_snapshot_releases_space():
+    store, image, vol = make_volume(size=4 * MiB, cache=2 * MiB)
+    rng = random.Random(19)
+    for i in range(400):
+        vol.write(rng.randrange(0, 512) * 4096, bytes([i % 255 + 1]) * 4096)
+    vol.snapshot("pin")
+    for i in range(1200):
+        vol.write(rng.randrange(0, 512) * 4096, bytes([(i * 3) % 255 + 1]) * 4096)
+    vol.drain()
+    bytes_with_snap = store.total_bytes("vd.")
+    vol.delete_snapshot("pin")
+    vol.drain()
+    assert store.total_bytes("vd.") < bytes_with_snap

@@ -1,0 +1,166 @@
+"""Property-based tests: LSVD must behave exactly like a plain disk.
+
+A reference model (a flat bytearray) is driven with the same operation
+sequences as the volume; every read must agree, across overwrites,
+drains, GC, snapshots, crash/recovery cycles, and clone divergence.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import LSVDConfig, LSVDVolume
+from repro.devices.image import DiskImage
+from repro.objstore import InMemoryObjectStore
+
+MiB = 1 << 20
+VOLUME = 4 * MiB
+PAGES = VOLUME // 4096
+
+
+def make_volume(cache=2 * MiB, batch=32 * 1024):
+    store = InMemoryObjectStore()
+    image = DiskImage(cache)
+    cfg = LSVDConfig(batch_size=batch, checkpoint_interval=8)
+    vol = LSVDVolume.create(store, "vd", VOLUME, image, cfg)
+    return store, image, cfg, vol
+
+
+op_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["write", "read", "flush", "drain"]),
+        st.integers(min_value=0, max_value=PAGES - 2),  # page index
+        st.integers(min_value=1, max_value=2),  # pages
+        st.integers(min_value=0, max_value=255),  # fill byte
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(ops=op_strategy)
+def test_volume_agrees_with_flat_disk_model(ops):
+    _store, _image, _cfg, vol = make_volume()
+    model = bytearray(VOLUME)
+    for kind, page, pages, fill in ops:
+        offset = page * 4096
+        length = min(pages * 4096, VOLUME - offset)
+        if kind == "write":
+            data = bytes([fill]) * length
+            vol.write(offset, data)
+            model[offset : offset + length] = data
+        elif kind == "read":
+            assert vol.read(offset, length) == bytes(model[offset : offset + length])
+        elif kind == "flush":
+            vol.flush()
+        else:
+            vol.drain()
+    # final full sweep
+    for offset in range(0, VOLUME, 512 * 1024):
+        length = min(512 * 1024, VOLUME - offset)
+        assert vol.read(offset, length) == bytes(model[offset : offset + length])
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    ops=op_strategy,
+    crash_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_recovery_with_intact_cache_preserves_everything(ops, crash_seed):
+    """With all cache writes flushed before the crash, recovery must
+    reproduce the model disk exactly."""
+    store, image, cfg, vol = make_volume()
+    model = bytearray(VOLUME)
+    for kind, page, pages, fill in ops:
+        offset = page * 4096
+        length = min(pages * 4096, VOLUME - offset)
+        if kind == "write":
+            data = bytes([fill]) * length
+            vol.write(offset, data)
+            model[offset : offset + length] = data
+        elif kind == "drain":
+            vol.drain()
+    vol.flush()
+    image.crash(rng=random.Random(crash_seed))
+    vol2 = LSVDVolume.open(store, "vd", image, cfg)
+    for offset in range(0, VOLUME, 512 * 1024):
+        length = min(512 * 1024, VOLUME - offset)
+        assert vol2.read(offset, length) == bytes(model[offset : offset + length])
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(ops=op_strategy)
+def test_snapshot_immutable_under_later_churn(ops):
+    store, _image, cfg, vol = make_volume()
+    model = bytearray(VOLUME)
+    for kind, page, pages, fill in ops:
+        offset = page * 4096
+        length = min(pages * 4096, VOLUME - offset)
+        if kind == "write":
+            data = bytes([fill]) * length
+            vol.write(offset, data)
+            model[offset : offset + length] = data
+    vol.snapshot("pin")
+    frozen = bytes(model)
+    # churn heavily afterwards
+    rng = random.Random(1)
+    for i in range(300):
+        vol.write(rng.randrange(0, PAGES) * 4096, bytes([i % 250 + 1]) * 4096)
+    vol.drain()
+    snap = LSVDVolume.open_snapshot(store, "vd", "pin", DiskImage(2 * MiB), cfg)
+    for offset in range(0, VOLUME, 512 * 1024):
+        length = min(512 * 1024, VOLUME - offset)
+        assert snap.read(offset, length) == frozen[offset : offset + length]
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(ops=op_strategy)
+def test_clone_divergence_is_isolated(ops):
+    store, _image, cfg, vol = make_volume()
+    model = bytearray(VOLUME)
+    for kind, page, pages, fill in ops:
+        offset = page * 4096
+        length = min(pages * 4096, VOLUME - offset)
+        if kind == "write":
+            data = bytes([fill]) * length
+            vol.write(offset, data)
+            model[offset : offset + length] = data
+    vol.close()
+    base_model = bytes(model)
+    clone = LSVDVolume.clone(store, "vd", "c", DiskImage(2 * MiB), cfg)
+    clone_model = bytearray(base_model)
+    rng = random.Random(2)
+    for i in range(100):
+        offset = rng.randrange(0, PAGES) * 4096
+        data = bytes([i % 250 + 1]) * 4096
+        clone.write(offset, data)
+        clone_model[offset : offset + 4096] = data
+    clone.drain()
+    # clone sees its own state
+    for offset in range(0, VOLUME, 1 * MiB):
+        length = min(1 * MiB, VOLUME - offset)
+        assert clone.read(offset, length) == bytes(clone_model[offset : offset + length])
+    # base unchanged
+    base = LSVDVolume.open(store, "vd", DiskImage(2 * MiB), cfg, cache_lost=True)
+    for offset in range(0, VOLUME, 1 * MiB):
+        length = min(1 * MiB, VOLUME - offset)
+        assert base.read(offset, length) == base_model[offset : offset + length]

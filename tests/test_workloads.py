@@ -1,0 +1,179 @@
+"""Tests for workload generators and their Table 3 / Table 5 calibration."""
+
+import itertools
+
+import pytest
+
+from repro.workloads import (
+    TRACE_PRESETS,
+    CloudPhysicsTrace,
+    FioJob,
+    collect_stats,
+    fileserver,
+    oltp,
+    varmail,
+)
+from repro.workloads.base import FLUSH, READ, WRITE, IOOp, take
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+# -- fio ----------------------------------------------------------------------
+
+
+def test_fio_randwrite_generates_aligned_writes():
+    job = FioJob(rw="randwrite", bs=16 * KiB, size=1 << 30, seed=1)
+    ops = take(job.ops(), 1000)
+    assert all(op.kind == WRITE for op in ops)
+    assert all(op.length == 16 * KiB for op in ops)
+    assert all(op.offset % (16 * KiB) == 0 for op in ops)
+    assert all(op.offset + op.length <= 1 << 30 for op in ops)
+
+
+def test_fio_sequential_covers_in_order():
+    job = FioJob(rw="write", bs=4 * KiB, size=64 * KiB)
+    ops = take(job.ops(), 32)
+    offsets = [op.offset for op in ops[:16]]
+    assert offsets == [i * 4 * KiB for i in range(16)]
+    assert ops[16].offset == 0  # wraps
+
+
+def test_fio_randread_reads():
+    job = FioJob(rw="randread", bs=4 * KiB, size=1 << 20)
+    assert all(op.kind == READ for op in take(job.ops(), 100))
+
+
+def test_fio_mixed_mode():
+    job = FioJob(rw="randrw", bs=4 * KiB, size=1 << 20, rwmixread=0.5, seed=3)
+    kinds = {op.kind for op in take(job.ops(), 200)}
+    assert kinds == {READ, WRITE}
+
+
+def test_fio_fsync_every_inserts_barriers():
+    job = FioJob(rw="randwrite", bs=4 * KiB, size=1 << 20, fsync_every=5)
+    ops = take(job.ops(), 60)
+    stats = collect_stats(ops)
+    assert stats.barriers > 0
+    assert stats.writes_between_syncs == pytest.approx(5, abs=1)
+
+
+def test_fio_deterministic_per_seed():
+    a = take(FioJob(rw="randwrite", seed=7).ops(), 50)
+    b = take(FioJob(rw="randwrite", seed=7).ops(), 50)
+    assert a == b
+
+
+def test_fio_rejects_bad_params():
+    with pytest.raises(ValueError):
+        FioJob(rw="bogus")
+    with pytest.raises(ValueError):
+        FioJob(bs=1000)
+    with pytest.raises(ValueError):
+        FioJob(bs=4096, size=1024)
+
+
+def test_fio_label():
+    assert FioJob(rw="randwrite", bs=16 * KiB, iodepth=32).label() == (
+        "randwrite-bs16K-qd32"
+    )
+
+
+# -- filebench: Table 3 calibration ------------------------------------------
+
+
+def stats_for(model, n_ops=120_000):
+    return collect_stats(take(model.ops(seed=5), n_ops))
+
+
+def test_varmail_sync_heavy():
+    """Table 3: varmail ~7.6 writes / ~131 KiB between syncs."""
+    stats = stats_for(varmail(1 << 30))
+    assert stats.writes_between_syncs == pytest.approx(7.6, rel=0.4)
+    assert stats.bytes_between_syncs == pytest.approx(131 * KiB, rel=0.5)
+
+
+def test_oltp_small_writes_frequent_syncs():
+    """Table 3: oltp ~42.7 writes / ~199 KiB between syncs, ~4.7 KiB mean."""
+    stats = stats_for(oltp(1 << 30))
+    assert stats.writes_between_syncs == pytest.approx(42.7, rel=0.4)
+    assert stats.mean_write_size == pytest.approx(4.7 * KiB, rel=0.5)
+
+
+def test_fileserver_rare_syncs_big_writes():
+    """Table 3: fileserver ~12865 writes between syncs, ~94 KiB mean."""
+    stats = stats_for(fileserver(1 << 30), n_ops=200_000)
+    assert stats.writes_between_syncs > 2000
+    assert stats.mean_write_size > 40 * KiB
+
+
+def test_sync_heaviness_ordering_matches_paper():
+    """varmail syncs hardest, then oltp, then fileserver."""
+    v = stats_for(varmail(1 << 30)).writes_between_syncs
+    o = stats_for(oltp(1 << 30)).writes_between_syncs
+    f = stats_for(fileserver(1 << 30)).writes_between_syncs
+    assert v < o < f
+
+
+def test_filebench_ops_stay_in_bounds():
+    for model in (fileserver(256 * MiB), oltp(256 * MiB), varmail(256 * MiB)):
+        for op in take(model.ops(seed=2), 30_000):
+            if op.kind != FLUSH:
+                assert 0 <= op.offset
+                assert op.offset + op.length <= model.volume_size
+
+
+def test_varmail_overwrites_generate_garbage():
+    """varmail re-writes the same space (drives Figure 15's GC)."""
+    ops = [op for op in take(varmail(256 * MiB).ops(seed=4), 50_000) if op.kind == WRITE]
+    offsets = [op.offset for op in ops]
+    assert len(set(offsets)) < len(offsets) * 0.6
+
+
+# -- cloudphysics -------------------------------------------------------------
+
+
+def test_presets_cover_table5_rows():
+    assert set(TRACE_PRESETS) == {
+        "w10", "w04", "w66", "w01", "w07", "w31", "w59", "w41", "w05"
+    }
+
+
+def test_trace_generates_declared_volume():
+    trace = CloudPhysicsTrace(TRACE_PRESETS["w66"], scale=1 / 512, seed=1)
+    total = sum(length for _off, length in trace.writes())
+    assert total >= trace.total_bytes
+    assert total < trace.total_bytes * 1.1
+
+
+def test_trace_writes_page_aligned_and_bounded():
+    trace = CloudPhysicsTrace(TRACE_PRESETS["w01"], scale=1 / 512, seed=2)
+    for off, length in itertools.islice(trace.writes(), 5000):
+        assert off % 4096 == 0
+        assert length % 4096 == 0
+        assert off + length <= trace.volume_size
+
+
+def test_trace_deterministic():
+    a = list(itertools.islice(CloudPhysicsTrace(TRACE_PRESETS["w41"], 1 / 512, seed=3).writes(), 100))
+    b = list(itertools.islice(CloudPhysicsTrace(TRACE_PRESETS["w41"], 1 / 512, seed=3).writes(), 100))
+    assert a == b
+
+
+def test_overwrite_heavy_trace_repeats_offsets():
+    """w41 has merge ratio 0.71 in Table 5: lots of short-horizon
+    re-writes; w01 (merge 0.11) spreads tiny writes over a wide span."""
+    w41 = list(itertools.islice(CloudPhysicsTrace(TRACE_PRESETS["w41"], 1 / 512, seed=1).writes(), 20000))
+    w01 = list(itertools.islice(CloudPhysicsTrace(TRACE_PRESETS["w01"], 1 / 512, seed=1).writes(), 20000))
+
+    def repeat_rate(writes, window=512):
+        seen, repeats = [], 0
+        for off, _ in writes:
+            if off in seen:
+                repeats += 1
+            seen.append(off)
+            if len(seen) > window:
+                seen.pop(0)
+        return repeats / len(writes)
+
+    assert repeat_rate(w41) > repeat_rate(w01) + 0.1

@@ -1,0 +1,267 @@
+"""Tests for the log-structured write-back cache (Figure 2, §3.1, §3.3)."""
+
+import random
+
+import pytest
+
+from repro.core.errors import CacheFullError
+from repro.core.write_cache import WriteCache
+from repro.devices.image import DiskImage
+
+MiB = 1 << 20
+
+
+def make_cache(size=8 * MiB, slot=256 * 1024):
+    img = DiskImage(size, name="cache-ssd")
+    wc = WriteCache(img, 0, size, ckpt_slot_size=slot)
+    wc.format()
+    return wc
+
+
+def test_append_and_read_back():
+    wc = make_cache()
+    wc.append([(4096, b"A" * 4096)])
+    [(lba, length, data)] = wc.read(4096, 4096)
+    assert (lba, length) == (4096, 4096)
+    assert data == b"A" * 4096
+
+
+def test_append_assigns_monotonic_seqs():
+    wc = make_cache()
+    r1 = wc.append([(0, b"a" * 512)])
+    r2 = wc.append([(4096, b"b" * 512)])
+    assert r2.seq == r1.seq + 1
+
+
+def test_overwrite_serves_newest():
+    wc = make_cache()
+    wc.append([(0, b"old!" * 128)])
+    wc.append([(0, b"new!" * 128)])
+    [(_, _, data)] = wc.read(0, 512)
+    assert data == b"new!" * 128
+
+
+def test_partial_overwrite_mix():
+    wc = make_cache()
+    wc.append([(0, b"A" * 1024)])
+    wc.append([(512, b"B" * 512)])
+    pieces = wc.read(0, 1024)
+    image = bytearray(1024)
+    for lba, length, data in pieces:
+        image[lba : lba + length] = data
+    assert bytes(image) == b"A" * 512 + b"B" * 512
+
+
+def test_read_gap_returns_nothing():
+    wc = make_cache()
+    wc.append([(0, b"x" * 512)])
+    assert wc.read(1 << 20, 512) == []
+
+
+def test_sequential_layout_on_ssd():
+    """Records land at strictly increasing physical offsets (the log)."""
+    wc = make_cache()
+    offsets = []
+    for i in range(10):
+        before = wc.head_virt
+        wc.append([(i * 123 * 4096, b"z" * 4096)])
+        offsets.append(before)
+    assert offsets == sorted(offsets)
+
+
+def test_release_through_frees_space_and_map():
+    wc = make_cache()
+    r1 = wc.append([(0, b"a" * 4096)])
+    r2 = wc.append([(8192, b"b" * 4096)])
+    used_before = wc.used_bytes
+    freed = wc.release_through(r1.seq)
+    assert freed > 0
+    assert wc.used_bytes < used_before
+    assert wc.read(0, 4096) == []  # record 1's mapping dropped
+    assert wc.read(8192, 4096) != []  # record 2 still live
+
+
+def test_release_keeps_newer_overwrite():
+    """Releasing an old record must not drop a newer mapping for the
+    same LBA that lives in a later record."""
+    wc = make_cache()
+    r1 = wc.append([(0, b"old." * 1024)])
+    wc.append([(0, b"new." * 1024)])
+    wc.release_through(r1.seq)
+    [(_, _, data)] = wc.read(0, 4096)
+    assert data == b"new." * 1024
+
+
+def test_cache_full_raises():
+    wc = make_cache(size=2 * MiB, slot=64 * 1024)
+    with pytest.raises(CacheFullError):
+        for i in range(10_000):
+            wc.append([(i * 4096, b"f" * 4096)])
+
+
+def test_wraparound_after_release():
+    """The ring reuses freed space across the wrap boundary."""
+    wc = make_cache(size=2 * MiB, slot=64 * 1024)
+    seqs = []
+    for round_ in range(6):  # writes far exceed the log size
+        try:
+            for i in range(50):
+                rec = wc.append([(i * 4096, bytes([round_]) * 4096)])
+                seqs.append(rec.seq)
+        except CacheFullError:
+            wc.release_through(seqs[-10])  # destage all but the last few
+    assert wc.head_virt > wc.log_size  # wrapped at least once
+
+
+def test_dirty_bytes_tracks_unreleased():
+    wc = make_cache()
+    assert wc.dirty_bytes == 0
+    rec = wc.append([(0, b"d" * 4096)])
+    assert wc.dirty_bytes > 0
+    wc.release_through(rec.seq)
+    assert wc.dirty_bytes == 0
+
+
+def test_barrier_flushes_image():
+    wc = make_cache()
+    wc.append([(0, b"d" * 4096)])
+    assert wc.image.pending_writes > 0
+    wc.barrier()
+    assert wc.image.pending_writes == 0
+
+
+# -- recovery ----------------------------------------------------------------
+
+
+def recover_copy(wc):
+    """Build a fresh WriteCache over the same image and recover it."""
+    fresh = WriteCache(wc.image, wc.region_offset, wc.region_size, wc.slot_size)
+    fresh.recover()
+    return fresh
+
+
+def test_recover_from_checkpoint_only():
+    wc = make_cache()
+    wc.append([(0, b"a" * 4096)])
+    wc.append([(8192, b"b" * 4096)])
+    wc.barrier()
+    wc.checkpoint()
+    fresh = recover_copy(wc)
+    assert [r.seq for r in fresh.records] == [r.seq for r in wc.records]
+    [(_, _, data)] = fresh.read(0, 4096)
+    assert data == b"a" * 4096
+
+
+def test_recover_replays_records_after_checkpoint():
+    wc = make_cache()
+    wc.append([(0, b"a" * 4096)])
+    wc.checkpoint()
+    wc.append([(8192, b"b" * 4096)])
+    wc.append([(16384, b"c" * 4096)])
+    wc.barrier()
+    fresh = recover_copy(wc)
+    assert len(fresh.records) == 3
+    assert fresh.next_seq == wc.next_seq
+    [(_, _, data)] = fresh.read(16384, 4096)
+    assert data == b"c" * 4096
+
+
+def test_recover_stops_at_torn_record():
+    """Crash without flush: recovery takes the valid prefix only."""
+    wc = make_cache()
+    wc.append([(0, b"a" * 4096)])
+    wc.barrier()  # record 1 durable
+    wc.append([(8192, b"b" * 4096)])  # record 2 pending
+    wc.image.crash(
+        rng=random.Random(3), survive_probability=0.0, allow_torn=False
+    )
+    fresh = recover_copy(wc)
+    assert len(fresh.records) == 1
+    assert fresh.read(8192, 4096) == []
+    [(_, _, data)] = fresh.read(0, 4096)
+    assert data == b"a" * 4096
+
+
+def test_recover_prefix_when_middle_record_lost():
+    """If record N is lost but N+1 survived, replay must stop at N-1."""
+    wc = make_cache()
+    wc.append([(0, b"a" * 4096)])
+    wc.barrier()
+    wc.append([(8192, b"b" * 4096)])  # lost
+    wc.append([(16384, b"c" * 4096)])  # survives
+    # keep only the third record's write: crash keeping pending[1]
+    pending = wc.image._pending
+    assert len(pending) == 2
+    wc.image._pending = [pending[1]]
+    wc.image.crash(rng=random.Random(0), survive_probability=1.0, allow_torn=False)
+    fresh = recover_copy(wc)
+    assert [r.seq for r in fresh.records] == [1]
+    assert fresh.read(16384, 4096) == []
+
+
+def test_recover_survives_many_random_crashes():
+    rng = random.Random(42)
+    for trial in range(15):
+        wc = make_cache(size=4 * MiB, slot=128 * 1024)
+        expected = {}
+        durable_upto = 0
+        for i in range(30):
+            lba = rng.randrange(0, 64) * 4096
+            data = bytes([i + 1]) * 4096
+            rec = wc.append([(lba, data)])
+            expected[rec.seq] = (lba, data)
+            if rng.random() < 0.3:
+                wc.barrier()
+                durable_upto = rec.seq
+        wc.image.crash(rng=rng)
+        fresh = recover_copy(wc)
+        recovered = {r.seq for r in fresh.records}
+        # all records up to the last barrier must be there (committed)
+        assert set(range(1, durable_upto + 1)) <= recovered
+        # recovered records form a consecutive prefix
+        assert recovered == set(range(1, len(recovered) + 1))
+        # and their content is intact
+        replay = {}
+        for record, _ref in fresh.records_after(0):
+            for idx, (lba, length) in enumerate(record.extents):
+                replay[lba] = fresh.record_data(record, idx)
+        for seq in sorted(recovered):
+            lba, data = expected[seq]
+            # newest-wins: only check lbas whose final writer is <= prefix
+            final_writer = max(s for s, (l, _d) in expected.items() if l == lba)
+            if final_writer <= len(recovered):
+                assert replay[lba] == expected[final_writer][1]
+
+
+def test_records_after_filters_by_seq():
+    wc = make_cache()
+    wc.append([(0, b"a" * 512)])
+    wc.append([(4096, b"b" * 512)])
+    wc.append([(8192, b"c" * 512)])
+    seqs = [rec.seq for rec, _ in wc.records_after(1)]
+    assert seqs == [2, 3]
+
+
+def test_checkpoint_alternates_slots_and_newest_wins():
+    wc = make_cache()
+    wc.append([(0, b"a" * 512)])
+    wc.checkpoint()
+    wc.append([(4096, b"b" * 512)])
+    wc.checkpoint()
+    fresh = recover_copy(wc)
+    assert len(fresh.records) == 2
+
+
+def test_clean_close_sets_flag():
+    wc = make_cache()
+    wc.append([(0, b"a" * 512)])
+    wc.close()
+    fresh = WriteCache(wc.image, 0, wc.region_size, wc.slot_size)
+    fresh.recover()
+    assert fresh._clean in (True, False)  # flag readable; semantics in volume
+
+
+def test_region_too_small_rejected():
+    img = DiskImage(64 * 1024)
+    with pytest.raises(ValueError):
+        WriteCache(img, 0, 64 * 1024, ckpt_slot_size=32 * 1024)
