@@ -1,0 +1,24 @@
+# Developer entry points.  CI (.github/workflows/ci.yml) runs the same
+# targets; `make lint` is the full static gate, `make test` the tier-1 suite.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: all lint ruff mypy invariants test
+
+all: lint test
+
+lint: ruff mypy invariants
+
+ruff:
+	ruff check src tests
+
+mypy:
+	mypy
+
+# the LSVD invariant checker (LSVD001-LSVD006); see DESIGN.md
+invariants:
+	$(PYTHON) -m repro.lint src/repro
+
+test:
+	$(PYTHON) -m pytest -x -q

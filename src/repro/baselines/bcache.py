@@ -20,8 +20,8 @@ Behaviours the paper contrasts with LSVD, all modelled here:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict
 
 from repro.baselines.rbd import RBDVolume
 from repro.core.extent_map import ExtentMap

@@ -15,7 +15,7 @@ slow for small writes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.devices.image import DiskImage

@@ -11,6 +11,7 @@ Gives the library the operational surface of a real block-storage tool::
     python -m repro.cli ROOT replicate VOLUME TARGET_ROOT
     python -m repro.cli ROOT fsck    VOLUME
     python -m repro.cli ROOT scrub   VOLUME
+    python -m repro.cli ROOT lint    [PATHS...]
 
 ``ROOT`` is a directory acting as the S3 bucket; the cache SSD is an
 ephemeral in-memory image (each invocation mounts with ``cache_lost``,
@@ -147,6 +148,14 @@ def cmd_fsck(store, args) -> int:
     return 0 if report.healthy else 1
 
 
+def cmd_lint(store, args) -> int:
+    """Static invariant gate; also available standalone as ``repro-lint``."""
+    from repro.lint.cli import main as lint_main
+
+    argv = list(args.paths) + ["--format", args.format]
+    return lint_main(argv)
+
+
 def cmd_scrub(store, args) -> int:
     vol = _open(store, args.volume)
     scrubber = Scrubber(vol.bs)
@@ -210,6 +219,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("scrub", help="deep-verify every object's CRC")
     p.add_argument("volume")
     p.set_defaults(fn=cmd_scrub)
+
+    p = sub.add_parser("lint", help="check source against LSVD invariants")
+    p.add_argument("paths", nargs="*", default=["src/repro"])
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.set_defaults(fn=cmd_lint)
     return parser
 
 

@@ -18,8 +18,6 @@ These encode the write-amplification story of §2.1 and §4.5:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
-
 from repro.cluster.cluster import StorageCluster
 from repro.sim.engine import AllOf, Event
 

@@ -13,7 +13,7 @@ tracked per batch and aggregated; Table 5 reports it per trace.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.core.extent_map import ExtentMap

@@ -26,12 +26,13 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core import checkpoint as ckpt
 from repro.core.batch import SealedBatch, WriteBatch
 from repro.core.config import LSVDConfig
 from repro.core.errors import (
+    CorruptRecordError,
     RecoveryError,
     SnapshotInUseError,
     VolumeExistsError,
@@ -41,7 +42,6 @@ from repro.core.log import (
     KIND_CHECKPOINT,
     KIND_DATA,
     KIND_GC,
-    ObjectExtent,
     ObjectHeader,
     decode_object,
     decode_object_header,
@@ -204,6 +204,16 @@ class BlockStore:
         seq = self.next_seq
         self.next_seq += 1
         return seq
+
+    @property
+    def newest_seq(self) -> int:
+        """Sequence of the newest allocated object.
+
+        The accessor other layers (GC, snapshots) must use instead of
+        computing ``next_seq - 1`` themselves: sequence arithmetic stays
+        inside the log layer (LSVD002).
+        """
+        return self.next_seq - 1
 
     # ------------------------------------------------------------------
     # read path
@@ -563,9 +573,15 @@ class BlockStore:
         return all(s in present for s in range(start, end + 1))
 
     def _kind_of(self, seq: int) -> int:
+        """Kind of object ``seq``; -1 when absent or unreadable.
+
+        Recovery probes holes and torn objects on purpose here, so only
+        the two expected failure shapes are absorbed — anything else
+        (I/O errors, bugs) must surface (LSVD004).
+        """
         try:
             return self.header_of(seq).kind
-        except Exception:
+        except (NoSuchKeyError, CorruptRecordError):
             return -1
 
     def _read_full_header(self, seq: int) -> ObjectHeader:

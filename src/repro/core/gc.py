@@ -28,7 +28,7 @@ has settled.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from repro.core.batch import seal_gc_batch
@@ -206,7 +206,7 @@ class GarbageCollector:
         Must only be called once a checkpoint newer than the victims is
         durable.  Returns (deleted, deferred) sequence lists.
         """
-        newest = self.store.next_seq - 1
+        newest = self.store.newest_seq
         deleted, deferred = [], []
         for seq in victims:
             if self.store.snapshot_blocks_delete(seq, newest):

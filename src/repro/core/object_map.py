@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.extent_map import Extent, ExtentMap
-from repro.core.log import KIND_DATA, ObjectExtent
+from repro.core.log import ObjectExtent
 
 
 @dataclass

@@ -14,8 +14,8 @@ wrote 103 GB to the virtual disk but shipped only 85 GB to the replica.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, List, Set
 
 from repro.core import checkpoint as ckpt_codec
 from repro.core.errors import CorruptRecordError

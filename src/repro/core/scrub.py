@@ -11,7 +11,7 @@ falls inside the object's data.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.core.block_store import BlockStore
 from repro.core.errors import CorruptRecordError

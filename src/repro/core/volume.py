@@ -34,14 +34,14 @@ exercise the asynchronous paths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.batch import SealedBatch
 from repro.core.block_store import BlockStore
 from repro.core.config import SECTOR, LSVDConfig
 from repro.core.errors import CacheFullError, LSVDError
-from repro.core.gc import GarbageCollector, GCPlan
+from repro.core.gc import GarbageCollector
 from repro.core.read_cache import ReadCache
 from repro.core.write_cache import WriteCache
 from repro.devices.image import DiskImage
@@ -135,7 +135,7 @@ class LSVDVolume:
         vol = cls(bs, wc, rc, config)
         if cache_lost:
             wc.format()
-            wc.next_seq = state.last_record_seq + 1
+            wc.resume_after(state.last_record_seq)
             wc.checkpoint()
             return vol
         wc.recover()
@@ -144,7 +144,7 @@ class LSVDVolume:
         # numbers, or the backend's high-water mark would release it as
         # "already destaged" and lose it.  Jump past the backend's mark.
         if wc.next_seq <= state.last_record_seq:
-            wc.next_seq = state.last_record_seq + 1
+            wc.resume_after(state.last_record_seq)
             wc.checkpoint()
         if wc._clean:
             rc.load_map()
@@ -244,14 +244,14 @@ class LSVDVolume:
         out = bytearray(length)
         # 1: write cache (always the newest data)
         covered = _Coverage(offset, length)
-        for lba, piece_len, data in self.wc.read(offset, length):
-            out[lba - offset : lba - offset + piece_len] = data
-            covered.fill(lba, piece_len)
+        for piece_start, piece_len, data in self.wc.read(offset, length):
+            out[piece_start - offset : piece_start - offset + piece_len] = data
+            covered.fill(piece_start, piece_len)
         # 2: read cache
         for gap_lba, gap_len in covered.gaps():
-            for lba, piece_len, data in self.rc.read(gap_lba, gap_len):
-                out[lba - offset : lba - offset + piece_len] = data
-                covered.fill(lba, piece_len)
+            for piece_start, piece_len, data in self.rc.read(gap_lba, gap_len):
+                out[piece_start - offset : piece_start - offset + piece_len] = data
+                covered.fill(piece_start, piece_len)
         # 3: backend (with temporal prefetch into the read cache)
         for gap_lba, gap_len in covered.gaps():
             for piece in self.bs.lookup(gap_lba, gap_len):

@@ -173,6 +173,16 @@ class WriteCache:
         self.image.flush()
         self.barriers += 1
 
+    def resume_after(self, last_record_seq: int) -> None:
+        """Restart sequence allocation just past a backend high-water mark.
+
+        Mount-time recovery must never let a fresh record reuse a
+        sequence the backend already destaged (it would be released as
+        "already safe" and lost).  The cache log owns that arithmetic;
+        callers hand in the backend's mark and nothing else (LSVD002).
+        """
+        self.next_seq = last_record_seq + 1
+
     # ------------------------------------------------------------------
     # read path
     # ------------------------------------------------------------------

@@ -88,7 +88,12 @@ class DiskImage:
         the call the image content equals the durable state.  Returns a
         :class:`TornWrite` describing the tear, if one happened.
         """
-        rng = rng or random.Random()
+        if rng is None:
+            # no seed given: derive one from the image's own history so a
+            # replay of the same operation sequence crashes identically
+            rng = random.Random(
+                (self.writes << 24) ^ (self.flushes << 12) ^ len(self._pending)
+            )
         torn: Optional[TornWrite] = None
         survivors = [
             (off, data)

@@ -1,0 +1,117 @@
+"""Command-line front end: ``python -m repro.lint`` / ``repro-lint``.
+
+Exit status: 0 clean, 1 findings, 2 usage error.  ``--format json``
+emits the machine-readable document described in
+:mod:`repro.lint.reporters`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.lint.config import LintConfig, discover_config
+from repro.lint.framework import run_lint
+from repro.lint.reporters import render_json, render_text
+from repro.lint.rules import ALL_RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Check the LSVD tree against its global invariants "
+        "(LSVD001-LSVD006).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        default=None,
+        help="comma-separated codes to skip",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="skip pyproject.toml discovery; use built-in defaults only",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule code with its summary and exit",
+    )
+    return parser
+
+
+def _split_codes(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [c.strip().upper() for c in raw.split(",") if c.strip()]
+
+
+def list_rules() -> str:
+    lines = []
+    for cls in ALL_RULES:
+        lines.append(f"{cls.code}  {cls.name}")
+        lines.append(f"        {cls.summary}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return 0
+
+    first = pathlib.Path(args.paths[0]).resolve()
+    if not first.exists():
+        print(f"repro-lint: no such path: {args.paths[0]}", file=sys.stderr)
+        return 2
+    config = LintConfig() if args.no_config else discover_config(first)
+
+    select = _split_codes(args.select)
+    ignore = _split_codes(args.ignore)
+    known = {cls.code for cls in ALL_RULES}
+    unknown = [c for c in (select or []) + (ignore or []) if c not in known]
+    if unknown:
+        print(
+            f"repro-lint: unknown code(s): {', '.join(unknown)} "
+            f"(see --list-rules)",
+            file=sys.stderr,
+        )
+        return 2
+    if select is not None or ignore is not None:
+        from dataclasses import replace
+
+        config = replace(
+            config,
+            select=tuple(select) if select is not None else config.select,
+            ignore=config.ignore + tuple(ignore or ()),
+        )
+
+    diagnostics = run_lint(args.paths, config)
+    report = render_json(diagnostics) if args.format == "json" else render_text(diagnostics)
+    print(report)
+    return 1 if diagnostics else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

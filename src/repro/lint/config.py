@@ -1,0 +1,195 @@
+"""Configuration for the invariant checker.
+
+Defaults encode the repo's actual layering contract; projects embedding
+the checker (or future PRs that add legitimate call sites) extend the
+allowlists from ``pyproject.toml``::
+
+    [tool.repro-lint]
+    ignore = ["LSVD005"]
+    immutability-allow = ["core/new_destager.py"]
+    sequence-allow = ["core/new_destager.py"]
+    store-receivers = ["remote_store"]
+
+Module paths are matched as *suffixes* of the path after the ``repro``
+package directory, so ``core/block_store.py`` matches
+``src/repro/core/block_store.py`` wherever the tree is checked out.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+try:  # Python 3.11+
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - 3.10 fallback
+    tomllib = None  # type: ignore[assignment]
+
+#: package directory used to anchor relative module keys
+PACKAGE_MARKER = "repro"
+
+#: modules allowed to call ObjectStore.put/.delete directly: the block
+#: store itself, its checkpoint/replication helpers, the object-store
+#: implementations, and the timed runtime model of the destage daemon.
+DEFAULT_IMMUTABILITY_ALLOW: Tuple[str, ...] = (
+    "core/block_store.py",
+    "core/replication.py",
+    "core/checkpoint.py",
+    "cluster/layouts.py",
+    "objstore/s3.py",
+    "objstore/directory.py",
+    "objstore/simulated.py",
+    "runtime/backend.py",
+    "runtime/lsvd.py",
+)
+
+#: receiver names that identify an object-store handle at a call site
+DEFAULT_STORE_RECEIVERS: Tuple[str, ...] = (
+    "store",
+    "object_store",
+    "objstore",
+    "backend",
+    "target",
+    "source_store",
+    "inner",
+)
+
+#: modules that own sequence-number arithmetic: the wire format, the
+#: backend object allocator, and the cache-log allocator.
+DEFAULT_SEQUENCE_ALLOW: Tuple[str, ...] = (
+    "core/log.py",
+    "core/block_store.py",
+    "core/write_cache.py",
+)
+
+#: directories whose code must be deterministic (simulated clock +
+#: seeded RNG only) for experiments to be replayable (§4)
+DEFAULT_DETERMINISM_DIRS: Tuple[str, ...] = (
+    "core/",
+    "sim/",
+    "gcsim/",
+    "workloads/",
+    "devices/",
+    "crash/",
+)
+
+#: directories where exception handlers must not swallow errors
+DEFAULT_RECOVERY_DIRS: Tuple[str, ...] = (
+    "core/",
+    "crash/",
+)
+
+#: call names that count as "recording" an error inside a handler
+DEFAULT_ERROR_RECORDING: Tuple[str, ...] = (
+    "append",
+    "add_error",
+    "record_error",
+    "warning",
+    "error",
+    "exception",
+    "critical",
+    "fail",
+)
+
+#: identifier substrings marking LBA-denominated values
+DEFAULT_LBA_MARKERS: Tuple[str, ...] = ("lba",)
+
+#: identifier substrings marking byte-denominated values
+DEFAULT_BYTE_MARKERS: Tuple[str, ...] = ("byte", "off")
+
+#: struct constant -> header dataclass pairs that must stay in lock-step,
+#: keyed by module suffix
+DEFAULT_STRUCT_DATACLASS_MAP: Dict[str, Dict[str, str]] = {
+    "core/log.py": {"_OBJ_EXT": "ObjectExtent"},
+}
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Immutable checker configuration; see module docstring."""
+
+    select: Optional[Tuple[str, ...]] = None
+    ignore: Tuple[str, ...] = ()
+    immutability_allow: Tuple[str, ...] = DEFAULT_IMMUTABILITY_ALLOW
+    store_receivers: Tuple[str, ...] = DEFAULT_STORE_RECEIVERS
+    sequence_allow: Tuple[str, ...] = DEFAULT_SEQUENCE_ALLOW
+    determinism_dirs: Tuple[str, ...] = DEFAULT_DETERMINISM_DIRS
+    recovery_dirs: Tuple[str, ...] = DEFAULT_RECOVERY_DIRS
+    error_recording_names: Tuple[str, ...] = DEFAULT_ERROR_RECORDING
+    lba_markers: Tuple[str, ...] = DEFAULT_LBA_MARKERS
+    byte_markers: Tuple[str, ...] = DEFAULT_BYTE_MARKERS
+    struct_dataclass_map: Mapping[str, Mapping[str, str]] = field(
+        default_factory=lambda: dict(DEFAULT_STRUCT_DATACLASS_MAP)
+    )
+
+    # -- code filtering --------------------------------------------------
+    def code_enabled(self, code: str) -> bool:
+        if code in self.ignore:
+            return False
+        if self.select is not None and code not in self.select:
+            return False
+        return True
+
+    # -- module addressing ----------------------------------------------
+    @staticmethod
+    def module_key(path: str) -> str:
+        """Path of a module relative to the ``repro`` package directory.
+
+        Files outside any ``repro`` directory (test fixtures, scratch
+        trees) key on their bare filename, which matches no allowlist —
+        i.e. fixtures are checked with no exemptions unless they are laid
+        out as ``.../repro/<subdir>/<file>.py``.
+        """
+        parts = pathlib.PurePath(path).parts
+        for i in range(len(parts) - 1, -1, -1):
+            if parts[i] == PACKAGE_MARKER:
+                return "/".join(parts[i + 1 :])
+        return parts[-1] if parts else path
+
+    def module_allowed(self, path: str, allow: Sequence[str]) -> bool:
+        key = self.module_key(path)
+        return any(key == entry or key.endswith("/" + entry) for entry in allow)
+
+    def module_in_dirs(self, path: str, dirs: Sequence[str]) -> bool:
+        key = self.module_key(path)
+        return any(key.startswith(d) for d in dirs)
+
+    # -- pyproject integration ------------------------------------------
+    @classmethod
+    def from_pyproject(cls, pyproject: pathlib.Path) -> "LintConfig":
+        """Defaults merged with the ``[tool.repro-lint]`` table, if any."""
+        base = cls()
+        if tomllib is None or not pyproject.is_file():
+            return base
+        with open(pyproject, "rb") as fh:
+            data = tomllib.load(fh)
+        table = data.get("tool", {}).get("repro-lint", {})
+        if not isinstance(table, dict):
+            return base
+
+        def _extend(current: Tuple[str, ...], key: str) -> Tuple[str, ...]:
+            extra = table.get(key, [])
+            if not isinstance(extra, list):
+                return current
+            return current + tuple(str(item) for item in extra)
+
+        select = table.get("select")
+        return replace(
+            base,
+            select=tuple(str(c) for c in select) if isinstance(select, list) else None,
+            ignore=_extend(base.ignore, "ignore"),
+            immutability_allow=_extend(base.immutability_allow, "immutability-allow"),
+            store_receivers=_extend(base.store_receivers, "store-receivers"),
+            sequence_allow=_extend(base.sequence_allow, "sequence-allow"),
+        )
+
+
+def discover_config(start: pathlib.Path) -> LintConfig:
+    """Find the nearest ``pyproject.toml`` at or above ``start``."""
+    probe = start if start.is_dir() else start.parent
+    for candidate in [probe, *probe.parents]:
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return LintConfig.from_pyproject(pyproject)
+    return LintConfig()

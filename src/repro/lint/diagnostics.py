@@ -1,0 +1,70 @@
+"""Diagnostic records produced by lint rules."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+
+class Severity(enum.Enum):
+    """How seriously a finding should be taken.
+
+    ``ERROR`` findings fail the gate; ``WARNING`` findings are reported
+    but do not affect the exit status unless ``--strict`` is given.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a stable code anchored to a source location.
+
+    ``fixit`` is a short, imperative hint telling the author how to
+    bring the code back inside the invariant (or how to justify an
+    exemption) — every rule must provide one.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    fixit: str
+    severity: Severity = Severity.ERROR
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def render(self) -> str:
+        """``file:line:col: CODE message (fix: ...)`` — one line."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.code} "
+            f"{self.message} (fix: {self.fixit})"
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "fixit": self.fixit,
+            "severity": self.severity.value,
+        }
+
+
+def parse_error(path: str, line: int, message: str, detail: Optional[str] = None) -> Diagnostic:
+    """Uniform diagnostic for files the checker cannot parse at all."""
+    text = message if detail is None else f"{message}: {detail}"
+    return Diagnostic(
+        path=path,
+        line=max(line, 1),
+        col=1,
+        code="LSVD000",
+        message=text,
+        fixit="fix the syntax error so the invariant checker can parse the file",
+    )

@@ -1,0 +1,200 @@
+"""Shared visitor framework: file discovery, parsing, suppressions.
+
+Suppression comments are line-scoped and name the codes they silence::
+
+    seq += 1  # lint: disable=LSVD002 -- event-heap tiebreaker, not an object seq
+
+Only the listed codes are silenced, and only on that physical line.
+Comments are extracted with :mod:`tokenize`, so a ``# lint:`` inside a
+string literal is never treated as a suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import pathlib
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Union
+
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic, parse_error
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Z][A-Z0-9]*(?:\s*,\s*[A-Z][A-Z0-9]*)*)")
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> codes disabled on that line."""
+    table: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+            table.setdefault(tok.start[0], set()).update(codes)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # the AST parse will report the real problem
+    return table
+
+
+class ImportMap:
+    """Resolve local names back to the modules/objects they were bound to.
+
+    ``import random as rnd`` binds ``rnd -> random``; ``from time import
+    monotonic as mono`` binds ``mono -> time.monotonic``.  Rules use this
+    to recognise forbidden calls regardless of aliasing.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.bindings: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.bindings[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.bindings[local] = f"{node.module}.{alias.name}"
+
+    def qualified(self, node: ast.AST) -> Optional[str]:
+        """Dotted origin of a Name/Attribute expression, if import-rooted.
+
+        ``rnd.Random`` -> ``random.Random`` when ``rnd`` aliases
+        :mod:`random`; plain local names resolve through ``from`` imports.
+        Returns None for expressions not rooted in an import binding.
+        """
+        parts: List[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        root = self.bindings.get(cur.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one parsed module."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    _imports: Optional[ImportMap] = None
+
+    @property
+    def imports(self) -> ImportMap:
+        if self._imports is None:
+            self._imports = ImportMap(self.tree)
+        return self._imports
+
+    def suppressed(self, line: int, code: str) -> bool:
+        return code in self.suppressions.get(line, set())
+
+
+class Rule:
+    """Base class for one rule family.
+
+    Subclasses set ``code``/``name``/``summary`` and implement
+    :meth:`check`, yielding diagnostics; the runner applies suppression
+    and select/ignore filtering centrally.
+    """
+
+    code: str = "LSVD000"
+    name: str = "abstract"
+    summary: str = ""
+
+    def check(self, ctx: ModuleContext, config: LintConfig) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        message: str,
+        fixit: str,
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+            fixit=fixit,
+        )
+
+
+def iter_python_files(paths: Sequence[Union[str, pathlib.Path]]) -> Iterator[pathlib.Path]:
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py":
+            yield path
+
+
+class LintRunner:
+    """Parse each file once and run every enabled rule over it."""
+
+    def __init__(self, rules: Iterable[Rule], config: Optional[LintConfig] = None) -> None:
+        self.rules = [r for r in rules]
+        self.config = config or LintConfig()
+
+    def check_source(self, path: str, source: str) -> List[Diagnostic]:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [parse_error(path, exc.lineno or 1, "cannot parse file", exc.msg)]
+        ctx = ModuleContext(
+            path=path,
+            source=source,
+            tree=tree,
+            suppressions=parse_suppressions(source),
+        )
+        findings: List[Diagnostic] = []
+        for rule in self.rules:
+            if not self.config.code_enabled(rule.code):
+                continue
+            for diag in rule.check(ctx, self.config):
+                if not ctx.suppressed(diag.line, diag.code):
+                    findings.append(diag)
+        return findings
+
+    def check_paths(self, paths: Sequence[Union[str, pathlib.Path]]) -> List[Diagnostic]:
+        findings: List[Diagnostic] = []
+        for file_path in iter_python_files(paths):
+            try:
+                source = file_path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as exc:
+                findings.append(parse_error(str(file_path), 1, "cannot read file", str(exc)))
+                continue
+            findings.extend(self.check_source(str(file_path), source))
+        findings.sort(key=Diagnostic.sort_key)
+        return findings
+
+
+def run_lint(
+    paths: Sequence[Union[str, pathlib.Path]],
+    config: Optional[LintConfig] = None,
+    rules: Optional[Iterable[Rule]] = None,
+) -> List[Diagnostic]:
+    """Convenience entry point used by tests and the CLI."""
+    from repro.lint.rules import ALL_RULES
+
+    chosen = list(rules) if rules is not None else [cls() for cls in ALL_RULES]
+    return LintRunner(chosen, config).check_paths(paths)

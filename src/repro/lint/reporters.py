@@ -1,0 +1,43 @@
+"""Text and JSON renderings of a diagnostic list."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Any, Dict, List, Sequence
+
+from repro.lint.diagnostics import Diagnostic
+
+#: bumped when the JSON shape changes; consumers should check it
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+    """One ``file:line:col: CODE message`` line per finding plus a tally."""
+    lines = [d.render() for d in diagnostics]
+    if diagnostics:
+        by_code = Counter(d.code for d in diagnostics)
+        tally = ", ".join(f"{code}×{n}" for code, n in sorted(by_code.items()))
+        lines.append(f"{len(diagnostics)} finding(s): {tally}")
+    else:
+        lines.append("clean: all LSVD invariants hold")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic]) -> str:
+    return json.dumps(json_document(diagnostics), indent=2, sort_keys=True)
+
+
+def json_document(diagnostics: Sequence[Diagnostic]) -> Dict[str, Any]:
+    by_code: Dict[str, int] = dict(Counter(d.code for d in diagnostics))
+    payload: List[Dict[str, Any]] = [d.as_dict() for d in diagnostics]
+    return {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "diagnostics": payload,
+        "summary": {
+            "total": len(diagnostics),
+            "by_code": by_code,
+            "clean": not diagnostics,
+        },
+    }

@@ -1,0 +1,28 @@
+"""Rule registry: one module per rule family."""
+
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.immutability import ImmutabilityRule
+from repro.lint.rules.recovery import RecoveryHandlerRule
+from repro.lint.rules.sequence import SequenceHygieneRule
+from repro.lint.rules.structs import StructConsistencyRule
+from repro.lint.rules.units import UnitConfusionRule
+
+#: every shipped rule, in code order
+ALL_RULES = [
+    ImmutabilityRule,
+    SequenceHygieneRule,
+    DeterminismRule,
+    RecoveryHandlerRule,
+    UnitConfusionRule,
+    StructConsistencyRule,
+]
+
+__all__ = [
+    "ALL_RULES",
+    "DeterminismRule",
+    "ImmutabilityRule",
+    "RecoveryHandlerRule",
+    "SequenceHygieneRule",
+    "StructConsistencyRule",
+    "UnitConfusionRule",
+]

@@ -1,0 +1,83 @@
+"""LSVD004 — recovery code must not swallow exceptions it cannot classify.
+
+Crash recovery (§3.3) is prefix-consistency: walk the stream, stop at
+the first damage, mount what is provably consistent.  A ``try/except
+Exception: pass`` in that path converts torn metadata into silent data
+loss.  In ``core/`` and ``crash/`` a handler that catches everything
+must either re-raise or visibly record the error; better still, catch
+the specific LSVD error types (``CorruptRecordError``,
+``NoSuchKeyError``...) the callee documents.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.framework import ModuleContext, Rule
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _broad_catch(handler: ast.ExceptHandler) -> bool:
+    """True for ``except:``, ``except Exception`` and ``except BaseException``."""
+    node = handler.type
+    if node is None:
+        return True
+    names: List[ast.expr] = list(node.elts) if isinstance(node, ast.Tuple) else [node]
+    for item in names:
+        if isinstance(item, ast.Name) and item.id in _BROAD_NAMES:
+            return True
+    return False
+
+
+class RecoveryHandlerRule(Rule):
+    code = "LSVD004"
+    name = "recovery-error-handling"
+    summary = (
+        "broad exception handlers in core/ and crash/ must re-raise or "
+        "record the error, never swallow it"
+    )
+
+    def check(self, ctx: ModuleContext, config: LintConfig) -> Iterator[Diagnostic]:
+        if not config.module_in_dirs(ctx.path, config.recovery_dirs):
+            return
+        recording = frozenset(config.error_recording_names)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _broad_catch(node):
+                continue
+            if self._reraises(node) or self._records(node, recording):
+                continue
+            caught = "bare except" if node.type is None else "broad except"
+            yield self.diag(
+                ctx,
+                node,
+                f"{caught} swallows errors in recovery-critical code; torn "
+                "metadata would become silent data loss (§3.3)",
+                "catch the specific LSVD error types, re-raise, or record the "
+                "error where a scrub/fsck will surface it",
+            )
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(isinstance(n, ast.Raise) for n in ast.walk(handler))
+
+    @staticmethod
+    def _records(handler: ast.ExceptHandler, recording: frozenset) -> bool:
+        """A call like ``errors.append(...)`` / ``log.warning(...)`` counts."""
+        for n in ast.walk(handler):
+            if not isinstance(n, ast.Call):
+                continue
+            func = n.func
+            name = ""
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            if name in recording:
+                return True
+        return False

@@ -1,0 +1,223 @@
+"""LSVD006 — struct wire formats stay consistent with their users.
+
+Every on-SSD record and backend object is described twice: once as a
+``struct`` format string and once as the dataclass / pack call that
+feeds it.  A field added on one side but not the other corrupts every
+volume written afterwards — and recovery will dutifully mount the
+corruption.  Three checks, all on statically-known formats:
+
+* ``NAME.pack(...)`` passes exactly as many values as ``NAME``'s format
+  has fields (same for literal-format ``struct.pack``);
+* tuple-unpacking an ``unpack``/``unpack_from`` result binds exactly
+  that many names;
+* configured (struct constant, header dataclass) pairs — e.g.
+  ``_OBJ_EXT`` ↔ ``ObjectExtent`` in ``core/log.py`` — have matching
+  field counts.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, Optional
+
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.framework import ModuleContext, Rule
+
+_FMT_TOKEN = re.compile(r"(\d*)([xcbB?hHiIlLqQnNefdspP])")
+_STRUCT_CTORS = frozenset({"struct.Struct"})
+_PACK_FUNCS = frozenset({"struct.pack", "struct.pack_into"})
+_UNPACK_FUNCS = frozenset({"struct.unpack", "struct.unpack_from"})
+
+
+def format_field_count(fmt: str) -> Optional[int]:
+    """Number of values ``pack`` consumes for ``fmt``; None if malformed.
+
+    ``4s`` is one field (a bytes object); ``4H`` is four; ``x`` pad
+    bytes are zero.  Whitespace between tokens is legal and ignored.
+    """
+    body = fmt.strip()
+    if body[:1] in "@=<>!":
+        body = body[1:]
+    count = 0
+    pos = 0
+    for match in _FMT_TOKEN.finditer(body):
+        gap = body[pos : match.start()]
+        if gap.strip():
+            return None
+        pos = match.end()
+        repeat, code = match.groups()
+        if code == "x":
+            continue
+        if code in "sp":
+            count += 1
+        else:
+            count += int(repeat) if repeat else 1
+    if body[pos:].strip():
+        return None
+    return count
+
+
+def _literal_str(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _dataclass_field_count(cls: ast.ClassDef) -> int:
+    """Annotated fields of a dataclass body (ClassVar/underscore excluded)."""
+    count = 0
+    for stmt in cls.body:
+        if not isinstance(stmt, ast.AnnAssign) or not isinstance(stmt.target, ast.Name):
+            continue
+        annotation = ast.unparse(stmt.annotation)
+        if "ClassVar" in annotation:
+            continue
+        count += 1
+    return count
+
+
+class StructConsistencyRule(Rule):
+    code = "LSVD006"
+    name = "struct-header-consistency"
+    summary = (
+        "struct.pack/unpack call arity must match the format's field "
+        "count, and header dataclasses must match their struct constants"
+    )
+
+    def check(self, ctx: ModuleContext, config: LintConfig) -> Iterator[Diagnostic]:
+        structs = self._collect_structs(ctx)
+        yield from self._check_calls(ctx, structs)
+        yield from self._check_dataclass_map(ctx, config, structs)
+
+    # -- collection ------------------------------------------------------
+    def _collect_structs(self, ctx: ModuleContext) -> Dict[str, int]:
+        """Names bound (anywhere in the module) to ``struct.Struct("...")``."""
+        structs: Dict[str, int] = {}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            value = node.value
+            if not isinstance(target, ast.Name) or not isinstance(value, ast.Call):
+                continue
+            if ctx.imports.qualified(value.func) not in _STRUCT_CTORS:
+                continue
+            fmt = _literal_str(value.args[0]) if value.args else None
+            if fmt is None:
+                continue
+            count = format_field_count(fmt)
+            if count is not None:
+                structs[target.id] = count
+        return structs
+
+    # -- call arity ------------------------------------------------------
+    def _check_calls(
+        self, ctx: ModuleContext, structs: Dict[str, int]
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_pack(ctx, structs, node)
+            elif isinstance(node, ast.Assign):
+                yield from self._check_unpack_target(ctx, structs, node)
+
+    def _call_field_count(
+        self, ctx: ModuleContext, structs: Dict[str, int], node: ast.Call, methods: frozenset
+    ) -> Optional[tuple]:
+        """(field_count, display_name, n_value_args) for a relevant call."""
+        func = node.func
+        origin = ctx.imports.qualified(func)
+        if origin in methods:  # struct.pack("fmt", ...)
+            fmt = _literal_str(node.args[0]) if node.args else None
+            if fmt is None:
+                return None
+            count = format_field_count(fmt)
+            if count is None:
+                return None
+            skip = 1  # the format argument itself
+            if origin.endswith("pack_into"):
+                skip = 3  # fmt, buffer, offset
+            elif origin.endswith("unpack_from"):
+                skip = 2  # fmt, buffer (offset may be keyword)
+            return count, origin, max(len(node.args) - skip, 0)
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            bare = {m.rsplit(".", 1)[1] for m in methods}
+            if func.attr in bare and func.value.id in structs:
+                skip = 2 if func.attr == "pack_into" else 0
+                return (
+                    structs[func.value.id],
+                    f"{func.value.id}.{func.attr}",
+                    max(len(node.args) - skip, 0),
+                )
+        return None
+
+    def _check_pack(
+        self, ctx: ModuleContext, structs: Dict[str, int], node: ast.Call
+    ) -> Iterator[Diagnostic]:
+        if any(isinstance(a, ast.Starred) for a in node.args):
+            return  # arity not statically known
+        info = self._call_field_count(ctx, structs, node, _PACK_FUNCS)
+        if info is None:
+            return
+        count, display, given = info
+        if given != count:
+            yield self.diag(
+                ctx,
+                node,
+                f"{display}() packs {given} value(s) but the format has "
+                f"{count} field(s); the wire format and its users diverged",
+                "add/remove the packed values together with the format string "
+                "(and bump VERSION if the on-disk layout changes)",
+            )
+
+    def _check_unpack_target(
+        self, ctx: ModuleContext, structs: Dict[str, int], node: ast.Assign
+    ) -> Iterator[Diagnostic]:
+        if len(node.targets) != 1 or not isinstance(node.value, ast.Call):
+            return
+        target = node.targets[0]
+        if not isinstance(target, ast.Tuple):
+            return
+        if any(isinstance(el, ast.Starred) for el in target.elts):
+            return
+        info = self._call_field_count(ctx, structs, node.value, _UNPACK_FUNCS)
+        if info is None:
+            return
+        count, display, _ = info
+        if len(target.elts) != count:
+            yield self.diag(
+                ctx,
+                node,
+                f"{display}() yields {count} field(s) but {len(target.elts)} "
+                "name(s) are bound; the wire format and its users diverged",
+                "bind exactly one name per format field (use _ for ignored "
+                "fields) and keep both sides in one edit",
+            )
+
+    # -- dataclass cross-check ------------------------------------------
+    def _check_dataclass_map(
+        self, ctx: ModuleContext, config: LintConfig, structs: Dict[str, int]
+    ) -> Iterator[Diagnostic]:
+        key = config.module_key(ctx.path)
+        mapping = config.struct_dataclass_map.get(key)
+        if not mapping:
+            return
+        classes = {
+            n.name: n for n in ast.walk(ctx.tree) if isinstance(n, ast.ClassDef)
+        }
+        for struct_name, class_name in mapping.items():
+            if struct_name not in structs or class_name not in classes:
+                continue
+            want = structs[struct_name]
+            got = _dataclass_field_count(classes[class_name])
+            if want != got:
+                cls = classes[class_name]
+                yield self.diag(
+                    ctx,
+                    cls,
+                    f"dataclass {class_name!r} has {got} field(s) but its wire "
+                    f"format {struct_name} has {want}; header and format diverged",
+                    "change the dataclass and the struct format in the same "
+                    "commit (and bump VERSION for on-disk changes)",
+                )

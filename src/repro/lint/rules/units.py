@@ -1,0 +1,115 @@
+"""LSVD005 — LBA-denominated and byte-denominated values must not mix.
+
+The map layers translate between 512-byte virtual LBAs, 4 KiB cache
+blocks and byte offsets inside objects; the classic log-structured-store
+bug is adding an LBA to a byte offset and reading garbage that still
+CRCs (the CRC covers the *object*, not the *addressing*).  Two checks:
+
+* a function whose parameters span both families (``*lba*`` and
+  ``*byte*``/``*off*``) must annotate those parameters, so reviewers and
+  mypy can see the units;
+* an ``lba``-named operand may never be directly added to or subtracted
+  from a ``byte``/``off``-named operand — multiply through ``BLOCK``
+  (or a named conversion helper) first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.framework import ModuleContext, Rule
+
+
+def _family(name: str, markers: Sequence[str]) -> bool:
+    lowered = name.lower()
+    return any(marker in lowered for marker in markers)
+
+
+def _operand_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+class UnitConfusionRule(Rule):
+    code = "LSVD005"
+    name = "unit-confusion"
+    summary = (
+        "functions mixing lba- and byte/offset-named parameters need "
+        "annotations; lba +/- byte arithmetic needs an explicit conversion"
+    )
+
+    def check(self, ctx: ModuleContext, config: LintConfig) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_signature(ctx, config, node)
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                yield from self._check_mix(ctx, config, node)
+
+    def _check_signature(
+        self,
+        ctx: ModuleContext,
+        config: LintConfig,
+        node: ast.FunctionDef,
+    ) -> Iterator[Diagnostic]:
+        args: List[ast.arg] = [
+            *node.args.posonlyargs,
+            *node.args.args,
+            *node.args.kwonlyargs,
+        ]
+        lba_args = [a for a in args if _family(a.arg, config.lba_markers)]
+        byte_args = [a for a in args if _family(a.arg, config.byte_markers)]
+        if not lba_args or not byte_args:
+            return
+        missing = [a for a in (*lba_args, *byte_args) if a.annotation is None]
+        for arg in missing:
+            yield self.diag(
+                ctx,
+                arg,
+                f"function {node.name!r} mixes LBA- and byte-denominated "
+                f"parameters but {arg.arg!r} is unannotated",
+                "annotate every lba/byte/offset parameter (plain `int` is "
+                "enough) so the unit mix is visible to reviewers and mypy",
+            )
+
+    def _check_mix(
+        self,
+        ctx: ModuleContext,
+        config: LintConfig,
+        node: ast.BinOp,
+    ) -> Iterator[Diagnostic]:
+        pair = self._mixed_operands(node, config)
+        if pair is None:
+            return
+        lba_name, byte_name = pair
+        op = "+" if isinstance(node.op, ast.Add) else "-"
+        yield self.diag(
+            ctx,
+            node,
+            f"direct {lba_name!r} {op} {byte_name!r} mixes LBA and byte units; "
+            "the result addresses garbage that still passes CRC checks",
+            "convert explicitly first (e.g. lba * BLOCK, or a named "
+            "helper) so both operands share a unit",
+        )
+
+    @staticmethod
+    def _mixed_operands(
+        node: ast.BinOp, config: LintConfig
+    ) -> Optional[Tuple[str, str]]:
+        left, right = _operand_name(node.left), _operand_name(node.right)
+        for a, b in ((left, right), (right, left)):
+            if (
+                a
+                and b
+                and _family(a, config.lba_markers)
+                and not _family(a, config.byte_markers)
+                and _family(b, config.byte_markers)
+                and not _family(b, config.lba_markers)
+            ):
+                return a, b
+        return None

@@ -10,8 +10,8 @@ any PUT that has not completed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 
 class NoSuchKeyError(KeyError):

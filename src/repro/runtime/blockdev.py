@@ -8,8 +8,8 @@ window (after an optional warm-up).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.sim.engine import Simulator
 from repro.workloads.base import FLUSH, IOOp

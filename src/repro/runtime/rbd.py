@@ -14,7 +14,6 @@ from typing import Optional
 from repro.baselines.rbd import MiB
 from repro.cluster.cluster import StorageCluster
 from repro.cluster.layouts import ReplicationLayout
-from repro.devices.network import NetworkLink
 from repro.runtime.machine import ClientMachine
 from repro.runtime.params import RBDParams
 from repro.sim.engine import Event, Simulator

@@ -296,7 +296,7 @@ class Simulator:
 
     # -- scheduling --------------------------------------------------------
     def _schedule_at(self, when: float, event: Event) -> None:
-        self._seq += 1
+        self._seq += 1  # lint: disable=LSVD002 -- event-heap tiebreaker, not a log seq
         heapq.heappush(self._heap, (when, self._seq, event))
         if not event.background:
             self._foreground += 1

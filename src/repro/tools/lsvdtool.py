@@ -67,8 +67,8 @@ class StreamReport:
         start = max(self.checkpoints)
         present = {o.seq for o in self.objects if o.crc_ok}
         seq = start
-        while seq + 1 in present:
-            seq += 1
+        while seq + 1 in present:  # lint: disable=LSVD002 -- offline fsck walks the stream read-only
+            seq += 1  # lint: disable=LSVD002
         return seq
 
     @property

@@ -9,7 +9,7 @@ merging consecutive sequential writes* (the footnote-starred column).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, List
 
 READ = "read"

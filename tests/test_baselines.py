@@ -1,11 +1,9 @@
 """Tests for the RBD and bcache baseline models."""
 
-import random
 
 import pytest
 
-from repro.baselines import BCache, RBDVolume, make_bcache_rbd
-from repro.devices.image import DiskImage
+from repro.baselines import RBDVolume, make_bcache_rbd
 
 MiB = 1 << 20
 

@@ -5,13 +5,12 @@ import pytest
 from repro.core.block_store import BlockStore
 from repro.core.config import LSVDConfig
 from repro.core.errors import (
-    RecoveryError,
     SnapshotInUseError,
     VolumeExistsError,
     VolumeNotFoundError,
 )
 from repro.core.gc import GarbageCollector
-from repro.core.log import KIND_CHECKPOINT, object_name
+from repro.core.log import object_name
 from repro.objstore import InMemoryObjectStore, UnsettledObjectStore
 
 MiB = 1 << 20

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.block_store import BlockStore
 from repro.core.config import LSVDConfig
-from repro.core.log import KIND_CHECKPOINT, KIND_DATA, object_name
+from repro.core.log import KIND_CHECKPOINT, KIND_DATA
 from repro.objstore import InMemoryObjectStore
 
 MiB = 1 << 20

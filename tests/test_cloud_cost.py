@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cloud import EBSPricing, S3Pricing, ebs_monthly_cost, lsvd_monthly_cost
+from repro.cloud import ebs_monthly_cost, lsvd_monthly_cost
 from repro.cloud.cost import breakeven_duty_cycle
 
 

@@ -1,6 +1,5 @@
 """Additional device-model behaviours: mixed load, controller sharing."""
 
-import random
 
 import pytest
 

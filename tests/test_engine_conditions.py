@@ -1,6 +1,5 @@
 """Additional engine edge cases: composite events, stores, errors."""
 
-import pytest
 
 from repro.sim import AllOf, AnyOf, Simulator
 from repro.sim.resources import Store

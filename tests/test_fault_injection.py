@@ -8,7 +8,6 @@ checker must accept the result.
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

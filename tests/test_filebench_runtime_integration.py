@@ -7,7 +7,6 @@ unit suite, not only in the (slower) benchmark harness.
 
 import itertools
 
-import pytest
 
 from repro.cluster import StorageCluster
 from repro.core import LSVDConfig

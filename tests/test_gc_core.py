@@ -1,6 +1,5 @@
 """Focused tests for the core garbage collector's edge cases."""
 
-import pytest
 
 from repro.core.block_store import BlockStore
 from repro.core.config import LSVDConfig

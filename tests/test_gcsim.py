@@ -1,6 +1,5 @@
 """Tests for the fast batching + GC trace simulator (Table 5)."""
 
-import itertools
 
 import pytest
 

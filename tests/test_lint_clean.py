@@ -1,0 +1,43 @@
+"""Tier-1 gate: the real tree must satisfy every LSVD invariant.
+
+Any PR that reintroduces a violation (a stray ``store.put``, wall-clock
+read in the simulator, swallowed recovery exception...) fails here with
+the exact ``file:line code message`` diagnostics.
+"""
+
+import json
+import pathlib
+
+from repro.lint import LintConfig, run_lint
+from repro.lint.cli import main as lint_main
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+SRC = REPO / "src" / "repro"
+
+
+def test_source_tree_is_clean():
+    config = LintConfig.from_pyproject(REPO / "pyproject.toml")
+    diagnostics = run_lint([SRC], config)
+    assert diagnostics == [], "LSVD invariant violations:\n" + "\n".join(
+        d.render() for d in diagnostics
+    )
+
+
+def test_cli_clean_run_exits_zero(capsys):
+    assert lint_main([str(SRC)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_json_clean_document(capsys):
+    assert lint_main([str(SRC), "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["summary"]["clean"] is True
+    assert doc["summary"]["total"] == 0
+    assert doc["diagnostics"] == []
+
+
+def test_every_rule_actually_ran_against_the_tree():
+    """Guard against a rule being silently disabled by configuration."""
+    config = LintConfig.from_pyproject(REPO / "pyproject.toml")
+    for code in ("LSVD001", "LSVD002", "LSVD003", "LSVD004", "LSVD005", "LSVD006"):
+        assert config.code_enabled(code), f"{code} is disabled in pyproject.toml"

@@ -1,0 +1,521 @@
+"""Fixture-based unit tests for the LSVD invariant checker.
+
+Each rule family gets: a known-bad snippet that must produce the
+expected diagnostic, a suppressed variant, and an allowlisted variant.
+Plus: JSON reporter schema, suppression scoping regression, config
+loading from pyproject, and the format-string parser.
+"""
+
+import json
+import textwrap
+from dataclasses import replace
+
+from repro.lint import ALL_RULES, Diagnostic, LintConfig, LintRunner, run_lint
+from repro.lint.cli import main as lint_main
+from repro.lint.config import discover_config
+from repro.lint.framework import parse_suppressions
+from repro.lint.reporters import json_document
+from repro.lint.rules.structs import format_field_count
+
+
+def lint_src(relkey, source, config=None):
+    """Run every rule over ``source`` as if it lived at repro/<relkey>."""
+    runner = LintRunner([cls() for cls in ALL_RULES], config or LintConfig())
+    return runner.check_source(f"repro/{relkey}", textwrap.dedent(source))
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+# ---------------------------------------------------------------------------
+# LSVD001 immutability
+# ---------------------------------------------------------------------------
+
+
+class TestImmutability:
+    BAD = """
+        def sneaky(store, data):
+            store.put("vol.00000042", data)
+    """
+
+    def test_flags_direct_put_outside_allowlist(self):
+        diags = lint_src("analysis/report.py", self.BAD)
+        assert codes(diags) == ["LSVD001"]
+        assert "store.put()" in diags[0].message
+        assert diags[0].line == 3
+
+    def test_allowlisted_module_is_exempt(self):
+        assert lint_src("core/block_store.py", self.BAD) == []
+
+    def test_suppression_comment_silences(self):
+        src = """
+            def sneaky(store, data):
+                store.put("k", data)  # lint: disable=LSVD001 -- reviewed
+        """
+        assert lint_src("analysis/report.py", src) == []
+
+    def test_delete_and_copy_also_flagged(self):
+        src = """
+            def cleanup(backend):
+                backend.delete("k")
+                backend.copy("a", "b")
+        """
+        assert codes(lint_src("workloads/fio.py", src)) == ["LSVD001", "LSVD001"]
+
+    def test_queue_put_is_not_a_store(self):
+        src = """
+            def enqueue(q, item):
+                q.put(item)
+                self.results.put(item)
+        """
+        assert lint_src("analysis/report.py", src) == []
+
+    def test_reads_are_unrestricted(self):
+        src = """
+            def peek(store):
+                return store.get("k"), store.list("v."), store.get_range("k", 0, 10)
+        """
+        assert lint_src("analysis/report.py", src) == []
+
+    def test_pyproject_extension_adds_allowlist_entry(self):
+        config = replace(
+            LintConfig(), immutability_allow=LintConfig().immutability_allow + ("analysis/report.py",)
+        )
+        assert lint_src("analysis/report.py", self.BAD, config) == []
+
+
+# ---------------------------------------------------------------------------
+# LSVD002 sequence hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestSequenceHygiene:
+    def test_flags_seq_arithmetic_outside_log_layer(self):
+        src = """
+            def bump(self):
+                self.next_seq += 1
+        """
+        diags = lint_src("core/gc.py", src)
+        assert codes(diags) == ["LSVD002"]
+        assert "next_seq" in diags[0].message
+
+    def test_binop_on_seq_flagged(self):
+        assert codes(lint_src("tools/x.py", "y = seq + 1\n")) == ["LSVD002"]
+
+    def test_log_layer_owns_the_arithmetic(self):
+        src = "def take(self):\n    self.next_seq += 1\n"
+        for module in ("core/log.py", "core/block_store.py", "core/write_cache.py"):
+            assert lint_src(module, src) == []
+
+    def test_comparisons_are_fine(self):
+        src = """
+            def check(seq, other_seq):
+                return seq >= other_seq and seq != 0
+        """
+        assert lint_src("core/gc.py", src) == []
+
+    def test_sequential_bandwidth_names_do_not_match(self):
+        src = """
+            def model(seq_write_bw, seq_run_mean):
+                return seq_write_bw * 2 + seq_run_mean - 1
+        """
+        assert lint_src("devices/ssd.py", src) == []
+
+
+# ---------------------------------------------------------------------------
+# LSVD003 determinism
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_wall_clock_flagged_in_core(self):
+        src = """
+            import time
+            def stamp():
+                return time.time()
+        """
+        diags = lint_src("core/volume.py", src)
+        assert codes(diags) == ["LSVD003"]
+        assert "time.time" in diags[0].message
+
+    def test_aliased_import_still_caught(self):
+        src = """
+            from time import monotonic as mono
+            def stamp():
+                return mono()
+        """
+        assert codes(lint_src("sim/engine.py", src)) == ["LSVD003"]
+
+    def test_unseeded_random_flagged_seeded_ok(self):
+        src = """
+            import random
+            bad = random.Random()
+            good = random.Random(42)
+        """
+        diags = lint_src("workloads/fio.py", src)
+        assert codes(diags) == ["LSVD003"]
+        assert diags[0].line == 3
+
+    def test_module_level_random_flagged(self):
+        src = """
+            import random
+            def pick():
+                return random.randrange(10)
+        """
+        assert codes(lint_src("gcsim/simulator.py", src)) == ["LSVD003"]
+
+    def test_outside_deterministic_dirs_unrestricted(self):
+        src = """
+            import time, random
+            def bench():
+                return time.time() + random.random()
+        """
+        assert lint_src("analysis/report.py", src) == []
+
+    def test_datetime_now_flagged(self):
+        src = """
+            from datetime import datetime
+            def stamp():
+                return datetime.now()
+        """
+        assert codes(lint_src("crash/consistency.py", src)) == ["LSVD003"]
+
+
+# ---------------------------------------------------------------------------
+# LSVD004 recovery error handling
+# ---------------------------------------------------------------------------
+
+
+class TestRecoveryHandlers:
+    def test_swallowing_broad_except_flagged(self):
+        src = """
+            def probe(self, seq):
+                try:
+                    return self.header_of(seq).kind
+                except Exception:
+                    return -1
+        """
+        diags = lint_src("core/block_store.py", src)
+        assert codes(diags) == ["LSVD004"]
+
+    def test_bare_except_flagged(self):
+        src = """
+            def probe():
+                try:
+                    risky()
+                except:
+                    pass
+        """
+        assert codes(lint_src("crash/consistency.py", src)) == ["LSVD004"]
+
+    def test_reraise_is_fine(self):
+        src = """
+            def probe():
+                try:
+                    risky()
+                except Exception:
+                    cleanup()
+                    raise
+        """
+        assert lint_src("core/volume.py", src) == []
+
+    def test_recording_the_error_is_fine(self):
+        src = """
+            def probe(self):
+                try:
+                    risky()
+                except Exception as exc:
+                    self.errors.append(str(exc))
+        """
+        assert lint_src("core/scrub.py", src) == []
+
+    def test_narrow_except_is_fine(self):
+        src = """
+            def probe():
+                try:
+                    risky()
+                except (ValueError, KeyError):
+                    return None
+        """
+        assert lint_src("core/block_store.py", src) == []
+
+    def test_outside_recovery_dirs_unrestricted(self):
+        src = """
+            def probe():
+                try:
+                    risky()
+                except Exception:
+                    return None
+        """
+        assert lint_src("analysis/report.py", src) == []
+
+
+# ---------------------------------------------------------------------------
+# LSVD005 unit confusion
+# ---------------------------------------------------------------------------
+
+
+class TestUnitConfusion:
+    def test_mixed_unannotated_params_flagged(self):
+        src = """
+            def translate(lba, offset):
+                return lba, offset
+        """
+        diags = lint_src("core/extent_map.py", src)
+        assert codes(diags) == ["LSVD005", "LSVD005"]
+
+    def test_annotated_params_ok(self):
+        src = """
+            def translate(lba: int, offset: int) -> int:
+                return lba
+        """
+        assert lint_src("core/extent_map.py", src) == []
+
+    def test_single_family_needs_no_annotations(self):
+        src = """
+            def only_lbas(lba, other_lba):
+                return lba, other_lba
+        """
+        assert lint_src("core/extent_map.py", src) == []
+
+    def test_direct_lba_byte_arithmetic_flagged(self):
+        src = "pos = lba + byte_off\n"
+        diags = lint_src("core/volume.py", src)
+        assert codes(diags) == ["LSVD005"]
+
+    def test_converted_arithmetic_ok(self):
+        src = "pos = lba * BLOCK + byte_off\n"
+        assert lint_src("core/volume.py", src) == []
+
+
+# ---------------------------------------------------------------------------
+# LSVD006 struct/header consistency
+# ---------------------------------------------------------------------------
+
+
+class TestStructConsistency:
+    def test_pack_arity_mismatch_flagged(self):
+        src = """
+            import struct
+            _HDR = struct.Struct("<4sHHQ")
+            blob = _HDR.pack(b"MAGC", 1, 2)
+        """
+        diags = lint_src("core/x.py", src)
+        assert codes(diags) == ["LSVD006"]
+        assert "packs 3 value(s)" in diags[0].message
+
+    def test_pack_correct_arity_ok(self):
+        src = """
+            import struct
+            _HDR = struct.Struct("<4sHHQ")
+            blob = _HDR.pack(b"MAGC", 1, 2, 3)
+        """
+        assert lint_src("core/x.py", src) == []
+
+    def test_unpack_target_arity_mismatch_flagged(self):
+        src = """
+            import struct
+            _EXT = struct.Struct("<QIQ")
+            lba, length = _EXT.unpack_from(buf, 0)
+        """
+        assert codes(lint_src("core/x.py", src)) == ["LSVD006"]
+
+    def test_literal_struct_pack_checked(self):
+        src = """
+            import struct
+            blob = struct.pack("<HH", 1)
+        """
+        assert codes(lint_src("core/x.py", src)) == ["LSVD006"]
+
+    def test_starred_args_skipped(self):
+        src = """
+            import struct
+            _ROW = struct.Struct("<QQ")
+            def pack_rows(rows):
+                return b"".join(_ROW.pack(*row) for row in rows)
+        """
+        assert lint_src("core/x.py", src) == []
+
+    def test_dataclass_cross_check(self):
+        src = """
+            import struct
+            from dataclasses import dataclass
+
+            _EXT = struct.Struct("<QIQ")
+
+            @dataclass
+            class Extent:
+                lba: int
+                length: int
+        """
+        config = replace(
+            LintConfig(), struct_dataclass_map={"core/x.py": {"_EXT": "Extent"}}
+        )
+        diags = lint_src("core/x.py", src, config)
+        assert codes(diags) == ["LSVD006"]
+        assert "2 field(s)" in diags[0].message and "3" in diags[0].message
+
+    def test_format_field_count(self):
+        assert format_field_count("<4sHHQQIII") == 8
+        assert format_field_count("<QI") == 2
+        assert format_field_count("<4sHHI I") == 5  # whitespace is legal
+        assert format_field_count("<8sQ") == 2
+        assert format_field_count("4x") == 0  # pad bytes consume no values
+        assert format_field_count("<3H") == 3
+        assert format_field_count("not a format") is None
+
+
+# ---------------------------------------------------------------------------
+# suppression semantics
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_disable_only_silences_named_code_on_that_line(self):
+        # one line violating LSVD002 *and* LSVD005: disabling LSVD002
+        # must leave the LSVD005 finding intact
+        src = "x = (seq + 1) + (lba + byte_off)  # lint: disable=LSVD002\n"
+        diags = lint_src("core/x.py", src)
+        assert codes(diags) == ["LSVD005"]
+
+    def test_disable_is_line_scoped(self):
+        src = """
+            y = seq + 1  # lint: disable=LSVD002
+            z = seq + 2
+        """
+        diags = lint_src("core/x.py", src)
+        assert codes(diags) == ["LSVD002"]
+        assert diags[0].line == 3
+
+    def test_multiple_codes_one_comment(self):
+        src = "x = (seq + 1) + (lba + byte_off)  # lint: disable=LSVD002,LSVD005\n"
+        assert lint_src("core/x.py", src) == []
+
+    def test_comment_inside_string_is_not_a_suppression(self):
+        src = 'msg = "# lint: disable=LSVD002"\ny = seq + 1\n'
+        assert codes(lint_src("core/x.py", src)) == ["LSVD002"]
+
+    def test_parse_suppressions_table(self):
+        table = parse_suppressions(
+            "a = 1  # lint: disable=LSVD001\n"
+            "b = 2\n"
+            "c = 3  # lint: disable=LSVD002, LSVD003 -- reason\n"
+        )
+        assert table == {1: {"LSVD001"}, 3: {"LSVD002", "LSVD003"}}
+
+
+# ---------------------------------------------------------------------------
+# reporters & CLI
+# ---------------------------------------------------------------------------
+
+
+class TestReporting:
+    def make_diag(self):
+        return Diagnostic(
+            path="repro/core/x.py",
+            line=3,
+            col=5,
+            code="LSVD001",
+            message="direct object-store mutation",
+            fixit="route through BlockStore",
+        )
+
+    def test_json_document_schema(self):
+        doc = json_document([self.make_diag()])
+        assert doc["schema_version"] == 1
+        assert doc["tool"] == "repro-lint"
+        assert doc["summary"] == {
+            "total": 1,
+            "by_code": {"LSVD001": 1},
+            "clean": False,
+        }
+        (entry,) = doc["diagnostics"]
+        assert set(entry) == {
+            "path", "line", "col", "code", "message", "fixit", "severity",
+        }
+        assert entry["severity"] == "error"
+        json.dumps(doc)  # must be serialisable
+
+    def test_text_render_format(self):
+        line = self.make_diag().render()
+        assert line.startswith("repro/core/x.py:3:5: LSVD001 ")
+        assert "(fix: " in line
+
+    def test_cli_reports_violation_and_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\nstamp = time.time()\n")
+        assert lint_main([str(tmp_path), "--no-config"]) == 1
+        out = capsys.readouterr().out
+        assert "LSVD003" in out and "bad.py:2:" in out
+
+    def test_cli_select_and_ignore(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\nstamp = time.time()\ny = seq + 1\n")
+        assert lint_main([str(tmp_path), "--no-config", "--select", "LSVD002"]) == 1
+        assert "LSVD003" not in capsys.readouterr().out
+        assert lint_main([str(tmp_path), "--no-config", "--ignore", "LSVD002,LSVD003"]) == 0
+
+    def test_cli_missing_path_exits_two(self, capsys):
+        assert lint_main(["/nonexistent/nowhere"]) == 2
+
+    def test_cli_json_on_violation(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("y = seq + 1\n")
+        assert lint_main([str(tmp_path), "--no-config", "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["by_code"] == {"LSVD002": 1}
+
+    def test_syntax_error_reported_not_crash(self, tmp_path):
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def broken(:\n")
+        diags = run_lint([bad])
+        assert codes(diags) == ["LSVD000"]
+
+
+# ---------------------------------------------------------------------------
+# configuration
+# ---------------------------------------------------------------------------
+
+
+class TestConfig:
+    def test_module_key_anchors_on_package_dir(self):
+        assert LintConfig.module_key("src/repro/core/log.py") == "core/log.py"
+        assert LintConfig.module_key("/a/b/repro/sim/engine.py") == "sim/engine.py"
+        assert LintConfig.module_key("scratch.py") == "scratch.py"
+
+    def test_pyproject_loading_extends_allowlists(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.repro-lint]\n"
+            'ignore = ["LSVD005"]\n'
+            'immutability-allow = ["analysis/report.py"]\n'
+            'sequence-allow = ["tools/x.py"]\n'
+        )
+        config = LintConfig.from_pyproject(pyproject)
+        assert not config.code_enabled("LSVD005")
+        assert config.code_enabled("LSVD001")
+        assert config.module_allowed(
+            "repro/analysis/report.py", config.immutability_allow
+        )
+        assert config.module_allowed("repro/tools/x.py", config.sequence_allow)
+
+    def test_discover_config_walks_up(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.repro-lint]\nignore = ["LSVD006"]\n'
+        )
+        nested = tmp_path / "repro" / "core"
+        nested.mkdir(parents=True)
+        config = discover_config(nested)
+        assert not config.code_enabled("LSVD006")
+
+    def test_real_repo_pyproject_parses(self):
+        import pathlib
+
+        repo = pathlib.Path(__file__).resolve().parents[1]
+        config = LintConfig.from_pyproject(repo / "pyproject.toml")
+        assert config.code_enabled("LSVD001")

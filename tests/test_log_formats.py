@@ -16,7 +16,6 @@ from repro.core.checkpoint import (
 )
 from repro.core.errors import CorruptRecordError
 from repro.core.log import (
-    KIND_CHECKPOINT,
     KIND_DATA,
     KIND_GC,
     ObjectExtent,

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core import LSVDConfig, LSVDVolume
 from repro.core.block_store import BlockStore
-from repro.core.errors import RecoveryError, VolumeNotFoundError
+from repro.core.errors import VolumeNotFoundError
 from repro.core.log import object_name
 from repro.devices.image import DiskImage
 from repro.objstore import InMemoryObjectStore, UnsettledObjectStore

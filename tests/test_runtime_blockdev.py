@@ -1,6 +1,5 @@
 """Tests for the fio driver, including block-layer elevator merging."""
 
-import pytest
 
 from repro.runtime.blockdev import _MergingQueue, drive_ops, run_fio
 from repro.sim import Simulator

@@ -1,6 +1,5 @@
 """Latency-distribution behaviour of the runtimes (sanity envelope)."""
 
-import pytest
 
 from repro.cluster import StorageCluster
 from repro.core import LSVDConfig

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.core import LSVDConfig, LSVDVolume
 from repro.core.scrub import Scrubber

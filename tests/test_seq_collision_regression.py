@@ -10,7 +10,6 @@ stale high-water mark and lose acknowledged-and-committed data.
 
 import random
 
-import pytest
 
 from repro.core import LSVDConfig, LSVDVolume
 from repro.crash import HistoryRecorder, PrefixChecker

@@ -1,6 +1,5 @@
 """Tests for daemon (background) events in the simulation engine."""
 
-import pytest
 
 from repro.sim import Simulator
 

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.cluster import ErasureCodedLayout, StorageCluster
-from repro.devices.hdd import HDD, HDDSpec
+from repro.cluster import StorageCluster
 from repro.devices.ssd import SSD, SSDSpec
 from repro.runtime import ClientMachine, SimulatedObjectStore
 from repro.sim import Simulator

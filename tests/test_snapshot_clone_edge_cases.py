@@ -5,8 +5,7 @@ import random
 import pytest
 
 from repro.core import LSVDConfig, LSVDVolume
-from repro.core.block_store import BlockStore
-from repro.core.errors import LSVDError, VolumeExistsError, VolumeNotFoundError
+from repro.core.errors import LSVDError, VolumeExistsError
 from repro.devices.image import DiskImage
 from repro.objstore import InMemoryObjectStore
 

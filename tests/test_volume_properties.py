@@ -7,7 +7,6 @@ drains, GC, snapshots, crash/recovery cycles, and clone divergence.
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

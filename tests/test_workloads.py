@@ -13,7 +13,7 @@ from repro.workloads import (
     oltp,
     varmail,
 )
-from repro.workloads.base import FLUSH, READ, WRITE, IOOp, take
+from repro.workloads.base import FLUSH, READ, WRITE, take
 
 KiB = 1024
 MiB = 1024 * 1024
