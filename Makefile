@@ -4,21 +4,27 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: all lint ruff mypy invariants test
+.PHONY: all lint ruff mypy invariants test obs-smoke
 
 all: lint test
 
 lint: ruff mypy invariants
 
 ruff:
-	ruff check src tests
+	ruff check src tests benchmarks/obs_smoke.py
 
 mypy:
 	mypy
 
-# the LSVD invariant checker (LSVD001-LSVD006); see DESIGN.md
+# the LSVD invariant checker (LSVD001-LSVD007); see DESIGN.md
 invariants:
 	$(PYTHON) -m repro.lint src/repro
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# quick observability exercise of both stacks; emits BENCH_obs_*.json
+# (CI uploads them as artifacts so the perf trajectory is reviewable)
+obs-smoke:
+	mkdir -p bench-out
+	$(PYTHON) benchmarks/obs_smoke.py --out-dir bench-out

@@ -1,0 +1,127 @@
+"""Observability smoke run: exercise both stacks, dump BENCH_*.json.
+
+``make obs-smoke`` (CI uploads the artifacts) runs two quick workloads —
+the pure-logic volume behind a :class:`~repro.obs.TimedStore`, and the
+timed LSVD runtime under a short fio job — and writes their registries to
+``BENCH_obs_core.json`` / ``BENCH_obs_runtime.json`` via
+:func:`~repro.obs.write_bench_json`, plus the rendered metric tables to
+stdout.  Everything is deterministic, so diffs between two runs of the
+same tree are real regressions.
+
+Usage::
+
+    python benchmarks/obs_smoke.py [--out-dir DIR] [--ops N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.report import registry_table
+from repro.core import LSVDConfig, LSVDVolume
+from repro.devices.image import DiskImage
+from repro.objstore import InMemoryObjectStore
+from repro.obs import Registry, TimedStore, write_bench_json
+
+MiB = 1 << 20
+GiB = 1 << 30
+
+
+def core_smoke(ops: int) -> Registry:
+    """Pure-logic stack: overwrite-heavy writes + a read pass."""
+    obs = Registry()
+    timed = TimedStore(InMemoryObjectStore(), obs)
+    obs.trace.clock = timed.now
+    config = LSVDConfig(batch_size=256 * 1024, checkpoint_interval=16)
+    vol = LSVDVolume.create(timed, "smoke", 32 * MiB, DiskImage(8 * MiB), config, obs=obs)
+    window = 256  # 1 MiB of 4 KiB blocks: garbage accumulates fast
+    state = 1
+    offsets = []
+    for i in range(ops):
+        state = (state * 48271) % 2147483647
+        offset = (state % window) * 4096
+        offsets.append(offset)
+        vol.write(offset, bytes([i % 256]) * 4096)
+        if i % 16 == 15:
+            vol.flush()
+    vol.drain()
+    for offset in offsets[: ops // 2]:
+        vol.read(offset, 4096)
+    vol.close()
+    return obs
+
+
+def runtime_smoke() -> Registry:
+    """Timed runtime: a short random-write fio job on simulated LSVD."""
+    from repro.cluster import StorageCluster
+    from repro.devices.ssd import SSD, SSDSpec
+    from repro.runtime import (
+        ClientMachine,
+        LSVDRuntime,
+        SimulatedObjectStore,
+        run_fio,
+    )
+    from repro.sim import Simulator
+    from repro.workloads import FioJob
+
+    sim = Simulator()
+    machine = ClientMachine(sim)
+    cluster = StorageCluster(
+        sim, 4, 8, lambda s, n: SSD(s, SSDSpec.sata_consumer(), name=n)
+    )
+    backend = SimulatedObjectStore(sim, cluster, machine.network)
+    device = LSVDRuntime(sim, machine, backend, 1 * GiB, 4 * GiB, LSVDConfig())
+    job = FioJob(rw="randwrite", bs=4096, iodepth=16, size=256 * MiB, seed=1)
+    result = run_fio(sim, device, job, duration=0.5, warmup=0.1)
+    obs = device.obs
+    fio = obs.histogram("fio.write_latency_s")
+    for bound, count in zip(result.latency.bounds, result.latency.bucket_counts):
+        if count:
+            fio.observe(bound, count=count)
+    obs.gauge("fio.iops").set(result.iops)
+    obs.gauge("fio.mbps").set(result.mbps)
+    return obs
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out-dir", default=".")
+    parser.add_argument("--ops", type=int, default=800)
+    args = parser.parse_args(argv)
+
+    core = core_smoke(args.ops)
+    client = core.value("store.client_bytes")
+    backend_bytes = (
+        core.value("store.data_bytes")
+        + core.value("store.gc_bytes")
+        + core.value("store.ckpt_bytes")
+    )
+    put = core.histogram("backend.put_latency_s")
+    figures = {
+        "write_amplification": backend_bytes / client if client else 0.0,
+        "gc_bytes_relocated": core.value("gc.bytes_relocated"),
+        "read_cache_hits": core.value("rc.hits"),
+        "read_cache_misses": core.value("rc.misses"),
+        "backend_put_p99_s": put.percentile(99),
+        "trace_events": len(core.trace),
+    }
+    path = write_bench_json("obs_core", core, figures=figures, out_dir=args.out_dir)
+    print(registry_table(core, caption="obs smoke: pure-logic stack").render())
+    print(f"\nwrote {path}")
+
+    runtime = runtime_smoke()
+    figures = {
+        "iops": runtime.value("fio.iops"),
+        "mbps": runtime.value("fio.mbps"),
+        "write_p99_s": runtime.histogram("fio.write_latency_s").percentile(99),
+        "objects_put": runtime.value("lsvd.objects_put"),
+    }
+    path = write_bench_json("obs_runtime", runtime, figures=figures, out_dir=args.out_dir)
+    print()
+    print(registry_table(runtime, caption="obs smoke: timed runtime").render())
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -52,6 +52,34 @@ class Table:
         print("\n" + self.render() + "\n")
 
 
+def registry_table(registry, caption: str = "metrics") -> Table:
+    """One row per registered metric, sorted by name (repro.obs surface).
+
+    Counters and gauges render their scalar value; histograms render the
+    count/mean/p50/p95/p99/max summary so latency tails (Figure 7) are
+    visible without an exporter round-trip.
+    """
+    from repro.obs import Histogram
+
+    table = Table(caption, ["metric", "kind", "value", "p50", "p95", "p99", "max"])
+    for metric in registry.metrics():
+        if isinstance(metric, Histogram):
+            table.add(
+                metric.name,
+                "histogram",
+                f"n={metric.count} mean={metric.mean:.6g}",
+                f"{metric.percentile(50):.6g}",
+                f"{metric.percentile(95):.6g}",
+                f"{metric.percentile(99):.6g}",
+                f"{metric.max if metric.max is not None else 0:.6g}",
+            )
+        else:
+            value = metric.value
+            shown = str(int(value)) if float(value).is_integer() else f"{value:.6g}"
+            table.add(metric.name, metric.kind, shown, "", "", "", "")
+    return table
+
+
 def size_histogram_table(
     caption: str, histograms: Dict[str, Dict[int, int]], buckets: Optional[List[int]] = None
 ) -> Table:

@@ -12,6 +12,8 @@ Gives the library the operational surface of a real block-storage tool::
     python -m repro.cli ROOT fsck    VOLUME
     python -m repro.cli ROOT scrub   VOLUME
     python -m repro.cli ROOT lint    [PATHS...]
+    python -m repro.cli ROOT stats   VOLUME [--exercise N] [--format F]
+    python -m repro.cli ROOT trace   VOLUME [--exercise N] [--limit N]
 
 ``ROOT`` is a directory acting as the S3 bucket; the cache SSD is an
 ephemeral in-memory image (each invocation mounts with ``cache_lost``,
@@ -60,6 +62,88 @@ def _open(store: DirectoryObjectStore, name: str) -> LSVDVolume:
     return LSVDVolume.open(
         store, name, DiskImage(DEFAULT_CACHE), _config(), cache_lost=True
     )
+
+
+def _open_observed(store: DirectoryObjectStore, name: str):
+    """Mount with a fresh registry, timing the backend via TimedStore.
+
+    The pure-logic core has no clock, so backend latency percentiles come
+    from the TimedStore cost model; its virtual clock also stamps the
+    trace (same determinism contract as the simulated runtime).
+    """
+    from repro.obs import Registry, TimedStore
+
+    obs = Registry()
+    timed = TimedStore(store, obs)
+    obs.trace.clock = timed.now
+    vol = LSVDVolume.open(
+        timed, name, DiskImage(DEFAULT_CACHE), _config(), cache_lost=True, obs=obs
+    )
+    return vol, obs
+
+
+def _exercise(vol: LSVDVolume, ops: int) -> None:
+    """Deterministic mixed workload behind ``stats``/``trace --exercise``.
+
+    Overwrite-heavy 4 KiB writes confined to a small window (so garbage
+    accumulates and GC fires), periodic flushes, then a read pass over the
+    same window after a drain (so reads miss the write cache and exercise
+    the read cache).  Offsets come from a fixed LCG — no randomness, two
+    identical invocations emit byte-identical traces.
+    """
+    block = 4096
+    # confine writes to 1 MiB so overwrites push live/total below the GC
+    # watermark within a few hundred ops
+    window = max(1, min(vol.size, 1 * MiB) // block)
+    state = 1
+    offsets = []
+    for i in range(ops):
+        state = (state * 48271) % 2147483647
+        offset = (state % window) * block
+        offsets.append(offset)
+        vol.write(offset, bytes([i % 256]) * block)
+        if i % 16 == 15:
+            vol.flush()
+    vol.drain()
+    for offset in offsets[: max(1, ops // 2)]:
+        vol.read(offset, block)
+        vol.read(offset, block)  # second read is a read-cache hit
+
+
+def _stats_headline(obs) -> str:
+    """The four numbers the paper's evaluation leads with."""
+    from repro.obs import Histogram
+
+    client = obs.value("store.client_bytes")
+    backend = (
+        obs.value("store.data_bytes")
+        + obs.value("store.gc_bytes")
+        + obs.value("store.ckpt_bytes")
+    )
+    hits = obs.value("rc.hits")
+    misses = obs.value("rc.misses")
+    lookups = hits + misses
+    put = obs.get("backend.put_latency_s")
+    p99 = put.percentile(99) if isinstance(put, Histogram) else 0.0
+    return "\n".join(
+        [
+            f"write amplification:  {backend / client:.3f}" if client else
+            "write amplification:  n/a",
+            f"read cache hit rate:  {hits / lookups:.3f}" if lookups else
+            "read cache hit rate:  n/a",
+            f"gc bytes relocated:   {obs.value('gc.bytes_relocated') / MiB:.2f} MiB",
+            f"backend put p99:      {p99 * 1e3:.3f} ms",
+        ]
+    )
+
+
+def _emit(text: str, out: Optional[str]) -> None:
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {out}")
+    elif text:
+        sys.stdout.write(text if text.endswith("\n") else text + "\n")
 
 
 def cmd_create(store, args) -> int:
@@ -167,6 +251,40 @@ def cmd_scrub(store, args) -> int:
     return 0 if not findings else 1
 
 
+def cmd_stats(store, args) -> int:
+    from repro.analysis.report import registry_table
+    from repro.obs import metrics_json, prometheus_text, registry_csv
+
+    vol, obs = _open_observed(store, args.volume)
+    if args.exercise:
+        _exercise(vol, args.exercise)
+    vol.close()
+    if args.format == "prometheus":
+        text = prometheus_text(obs)
+    elif args.format == "json":
+        text = metrics_json(obs, extra={"volume": args.volume})
+    elif args.format == "csv":
+        text = registry_csv(obs)
+    else:
+        table = registry_table(obs, caption=f"metrics for {args.volume!r}")
+        text = table.render() + "\n\n" + _stats_headline(obs) + "\n"
+    _emit(text, args.out)
+    return 0
+
+
+def cmd_trace(store, args) -> int:
+    vol, obs = _open_observed(store, args.volume)
+    if args.exercise:
+        _exercise(vol, args.exercise)
+    vol.close()
+    events = obs.trace.events(args.type)
+    if args.limit:
+        events = events[-args.limit :]
+    text = "".join(event.to_json() + "\n" for event in events)
+    _emit(text, args.out)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="LSVD volume management"
@@ -224,6 +342,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("paths", nargs="*", default=["src/repro"])
     p.add_argument("--format", choices=("text", "json"), default="text")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser("stats", help="mount, optionally exercise, dump metrics")
+    p.add_argument("volume")
+    p.add_argument("--exercise", type=int, default=0, metavar="N",
+                   help="run a deterministic N-op workload before reporting")
+    p.add_argument("--format", choices=("table", "prometheus", "json", "csv"),
+                   default="table")
+    p.add_argument("--out", default=None, help="write to a file instead of stdout")
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("trace", help="dump the structured event trace as JSONL")
+    p.add_argument("volume")
+    p.add_argument("--exercise", type=int, default=0, metavar="N",
+                   help="run a deterministic N-op workload before dumping")
+    p.add_argument("--type", default=None, help="only events of this type")
+    p.add_argument("--limit", type=int, default=0, help="newest N events only")
+    p.add_argument("--out", default=None, help="write to a file instead of stdout")
+    p.set_defaults(fn=cmd_trace)
     return parser
 
 

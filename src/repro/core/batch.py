@@ -55,7 +55,7 @@ class WriteBatch:
         offset = len(self._buffer)
         self._buffer.extend(data)
         self._map.update(lba, len(data), "buf", offset)
-        self.bytes_in += len(data)
+        self.bytes_in += len(data)  # lint: disable=LSVD007 -- batch payload accounting, sealed into the object header, not a stat
         if record_seq:
             self.last_record_seq = record_seq
 

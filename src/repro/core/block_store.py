@@ -49,20 +49,28 @@ from repro.core.log import (
     object_name,
 )
 from repro.core.object_map import ObjectMap
+from repro.obs import DEFAULT_SIZE_BUCKETS, Registry, bind_metrics, metric_field
 from repro.objstore.s3 import NoSuchKeyError, ObjectStore
 
 
-@dataclass
 class StoreStats:
-    """Aggregate write-amplification accounting (Table 5, §4.2.2)."""
+    """Aggregate write-amplification accounting (Table 5, §4.2.2).
 
-    client_bytes: int = 0  # bytes entering batches
-    merged_bytes: int = 0  # eliminated by intra-batch coalescing
-    data_bytes: int = 0  # payload bytes in DATA objects
-    gc_bytes: int = 0  # payload bytes in GC objects
-    ckpt_bytes: int = 0
-    objects_put: int = 0
-    objects_deleted: int = 0
+    Registry-backed (``store.*`` group); the derived ratios stay plain
+    properties so existing call sites read them unchanged.
+    """
+
+    client_bytes = metric_field("store.client_bytes")  # bytes entering batches
+    merged_bytes = metric_field("store.merged_bytes")  # intra-batch coalescing
+    data_bytes = metric_field("store.data_bytes")  # payload in DATA objects
+    gc_bytes = metric_field("store.gc_bytes")  # payload in GC objects
+    ckpt_bytes = metric_field("store.ckpt_bytes")
+    objects_put = metric_field("store.objects_put")
+    objects_deleted = metric_field("store.objects_deleted")
+
+    def __init__(self, obs: Optional[Registry] = None):
+        self.obs = obs if obs is not None else Registry()
+        bind_metrics(self)
 
     @property
     def backend_bytes(self) -> int:
@@ -101,6 +109,7 @@ class BlockStore:
         size: int,
         config: Optional[LSVDConfig] = None,
         base_chain: Optional[List[Tuple[str, int]]] = None,
+        obs: Optional[Registry] = None,
     ):
         self.store = store
         self.name = name
@@ -120,7 +129,11 @@ class BlockStore:
         self._ckpt_history: List[int] = []
         self._objects_since_ckpt = 0
         self._header_cache: Dict[int, ObjectHeader] = {}
-        self.stats = StoreStats()
+        self.obs = obs if obs is not None else Registry()
+        self.stats = StoreStats(self.obs)
+        self._object_bytes = self.obs.histogram(
+            "store.object_bytes", buckets=DEFAULT_SIZE_BUCKETS
+        )
 
     # ------------------------------------------------------------------
     # naming / clone chain
@@ -187,6 +200,13 @@ class BlockStore:
                 self.last_record_seq_destaged, sealed.last_record_seq
             )
         self._objects_since_ckpt += 1
+        self._object_bytes.observe(len(sealed.payload))
+        self.obs.trace.emit(
+            "backend_put",
+            seq=sealed.seq,
+            kind="gc" if sealed.kind == KIND_GC else "data",
+            bytes=len(sealed.payload),
+        )
         return result
 
     @property
@@ -392,6 +412,8 @@ class BlockStore:
         )
         self.stats.ckpt_bytes += len(payload)
         self.stats.objects_put += 1
+        self._object_bytes.observe(len(payload))
+        self.obs.trace.emit("checkpoint", seq=seq, bytes=len(payload))
         self._ckpt_history.append(seq)
         self.last_ckpt_seq = seq
         self._objects_since_ckpt = 0
@@ -458,10 +480,11 @@ class BlockStore:
         size: int,
         config: Optional[LSVDConfig] = None,
         uuid: Optional[bytes] = None,
+        obs: Optional[Registry] = None,
     ) -> "BlockStore":
         if store.exists(f"{name}.super") or store.list(f"{name}."):
             raise VolumeExistsError(f"volume {name!r} already exists")
-        bs = cls(store, name, uuid or os.urandom(16), size, config)
+        bs = cls(store, name, uuid or os.urandom(16), size, config, obs=obs)
         bs.write_checkpoint()  # seq 1: recovery always finds a checkpoint
         return bs
 
@@ -473,6 +496,7 @@ class BlockStore:
         config: Optional[LSVDConfig] = None,
         upto: Optional[int] = None,
         read_only: bool = False,
+        obs: Optional[Registry] = None,
     ) -> Tuple["BlockStore", RecoveredState]:
         """Mount an existing volume, running log recovery (§3.3)."""
         meta = cls.read_super(store, name)
@@ -483,6 +507,7 @@ class BlockStore:
             meta["size"],
             config,
             base_chain=[tuple(x) for x in meta.get("base_chain", [])],
+            obs=obs,
         )
         bs.snapshots = dict(meta.get("snapshots", {}))
         state = bs._recover(
@@ -645,6 +670,7 @@ class BlockStore:
         clone_name: str,
         config: Optional[LSVDConfig] = None,
         at_snapshot: Optional[str] = None,
+        obs: Optional[Registry] = None,
     ) -> "BlockStore":
         """Create a copy-on-write clone sharing the base's object prefix."""
         base_meta = cls.read_super(store, base_name)
@@ -667,6 +693,7 @@ class BlockStore:
             base.size,
             config,
             base_chain=chain,
+            obs=obs,
         )
         clone.omap = base.omap
         for info in clone.omap.objects.values():

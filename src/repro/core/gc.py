@@ -34,6 +34,7 @@ from typing import Callable, List, Optional, Tuple
 from repro.core.batch import seal_gc_batch
 from repro.core.block_store import BlockStore
 from repro.core.config import LSVDConfig
+from repro.obs import Registry, bind_metrics, metric_field
 
 
 @dataclass
@@ -52,17 +53,20 @@ class GCPlan:
         return sum(length for _l, length, _s, _d in self.pieces)
 
 
-@dataclass
 class GCStats:
-    """Cumulative collector statistics."""
+    """Cumulative collector statistics, backed by a ``gc.*`` registry group."""
 
-    rounds: int = 0
-    victims_cleaned: int = 0
-    bytes_relocated: int = 0
-    bytes_read_backend: int = 0
-    bytes_read_cache: int = 0
-    holes_plugged: int = 0
-    deletes_deferred: int = 0
+    rounds = metric_field("gc.rounds")
+    victims_cleaned = metric_field("gc.victims_cleaned")
+    bytes_relocated = metric_field("gc.bytes_relocated")
+    bytes_read_backend = metric_field("gc.bytes_read_backend")
+    bytes_read_cache = metric_field("gc.bytes_read_cache")
+    holes_plugged = metric_field("gc.holes_plugged")
+    deletes_deferred = metric_field("gc.deletes_deferred")
+
+    def __init__(self, obs: Optional[Registry] = None):
+        self.obs = obs if obs is not None else Registry()
+        bind_metrics(self)
 
 
 class GarbageCollector:
@@ -79,7 +83,8 @@ class GarbageCollector:
         #: optional hook: cache_reader(lba, length) -> bytes | None, used to
         #: satisfy GC reads from the local cache instead of the backend.
         self.cache_reader = cache_reader
-        self.stats = GCStats()
+        self.obs: Registry = getattr(store, "obs", None) or Registry()
+        self.stats = GCStats(self.obs)
 
     # ------------------------------------------------------------------
     def needs_gc(self) -> bool:
@@ -187,6 +192,14 @@ class GarbageCollector:
         self.stats.victims_cleaned += len(plan.victims)
         self.stats.bytes_relocated += plan.live_bytes
         self.stats.holes_plugged += plan.holes_plugged
+        self.obs.trace.emit(
+            "gc_round",
+            victims=len(plan.victims),
+            bytes_relocated=plan.live_bytes,
+            holes_plugged=plan.holes_plugged,
+            bytes_read_backend=plan.bytes_read_backend,
+            bytes_read_cache=plan.bytes_read_cache,
+        )
         return results
 
     def _commit_chunk(self, pieces: List[Tuple[int, int, int, bytes]]):

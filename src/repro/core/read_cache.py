@@ -26,6 +26,7 @@ from repro.core.errors import CorruptRecordError
 from repro.core.extent_map import ExtentMap
 from repro.core.log import align_up
 from repro.devices.image import DiskImage
+from repro.obs import Registry, bind_metrics, metric_field
 
 #: target identifier used in the read-cache extent map
 RC_TARGET = "rc"
@@ -34,12 +35,19 @@ RC_TARGET = "rc"
 class ReadCache:
     """A FIFO byte-ring read cache over a DiskImage region."""
 
+    # statistics (registry-backed; see repro.obs)
+    hits = metric_field("rc.hits")
+    misses = metric_field("rc.misses")
+    inserted_bytes = metric_field("rc.inserted_bytes")
+    evicted_bytes = metric_field("rc.evicted_bytes")
+
     def __init__(
         self,
         image: DiskImage,
         region_offset: int = 0,
         region_size: Optional[int] = None,
         map_slot_size: int = 1 << 20,
+        obs: Optional[Registry] = None,
     ):
         self.image = image
         self.region_offset = region_offset
@@ -52,11 +60,9 @@ class ReadCache:
 
         self.map = ExtentMap()  # vLBA -> (RC_TARGET, absolute image offset)
         self._ring_virt = 0
-        # statistics
-        self.hits = 0
-        self.misses = 0
-        self.inserted_bytes = 0
-        self.evicted_bytes = 0
+        self.obs = obs if obs is not None else Registry()
+        bind_metrics(self)
+        self._occupancy = self.obs.gauge("rc.occupancy_bytes")
 
     # ------------------------------------------------------------------
     def _phys(self, virt: int) -> int:
@@ -87,6 +93,7 @@ class ReadCache:
         self.image.write(phys, data)
         self.map.update(lba, length, RC_TARGET, phys)
         self.inserted_bytes += length
+        self._occupancy.set(min(self._ring_virt, self.data_size))
 
     def invalidate(self, lba: int, length: int) -> None:
         """Drop cached data for a written range (write-after-read hazard)."""
@@ -109,6 +116,7 @@ class ReadCache:
         stale = [
             ext for ext in list(self.map) if not (ext.offset + ext.length <= phys or ext.offset >= end)
         ]
+        dropped = 0
         for ext in stale:
             # clip precisely: only the overlapping part is evicted
             lo = max(ext.offset, phys)
@@ -116,6 +124,9 @@ class ReadCache:
             lba_lo = ext.lba + (lo - ext.offset)
             self.map.remove(lba_lo, hi - lo)
             self.evicted_bytes += hi - lo
+            dropped += hi - lo
+        if dropped:
+            self.obs.trace.emit("cache_evict", bytes=dropped)
 
     # ------------------------------------------------------------------
     # persistence (clean shutdown only; see module docstring)

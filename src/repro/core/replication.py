@@ -14,21 +14,26 @@ wrote 103 GB to the virtual disk but shipped only 85 GB to the replica.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from repro.core import checkpoint as ckpt_codec
 from repro.core.errors import CorruptRecordError
 from repro.core.log import KIND_CHECKPOINT, decode_object, object_name
 from repro.objstore.s3 import NoSuchKeyError, ObjectStore
+from repro.obs import Registry, bind_metrics, metric_field
 
 
-@dataclass
 class ReplicationStats:
-    objects_copied: int = 0
-    bytes_copied: int = 0
-    objects_skipped_deleted: int = 0
-    checkpoints_deferred: int = 0
+    """Registry-backed replication counters (``replication.*``)."""
+
+    objects_copied = metric_field("replication.objects_copied")
+    bytes_copied = metric_field("replication.bytes_copied")
+    objects_skipped_deleted = metric_field("replication.objects_skipped_deleted")
+    checkpoints_deferred = metric_field("replication.checkpoints_deferred")
+
+    def __init__(self, obs: Optional[Registry] = None):
+        self.obs = obs if obs is not None else Registry()
+        bind_metrics(self)
 
 
 class Replicator:
@@ -40,6 +45,7 @@ class Replicator:
         target: ObjectStore,
         volume_name: str,
         min_age: float = 60.0,
+        obs: Optional[Registry] = None,
     ):
         self.source = source
         self.target = target
@@ -48,7 +54,8 @@ class Replicator:
         self._first_seen: Dict[str, float] = {}
         self._copied: Set[str] = set()
         self._skipped: Set[str] = set()  # GC-deleted before shipping
-        self.stats = ReplicationStats()
+        self.obs = obs if obs is not None else Registry()
+        self.stats = ReplicationStats(self.obs)
 
     def observe(self, now: float) -> List[str]:
         """Scan the source for new objects; returns newly seen names."""

@@ -10,13 +10,14 @@ falls inside the object's data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.core.block_store import BlockStore
 from repro.core.errors import CorruptRecordError
 from repro.core.log import decode_object
 from repro.objstore.s3 import NoSuchKeyError
+from repro.obs import Registry, bind_metrics, metric_field
 
 
 @dataclass
@@ -25,12 +26,17 @@ class ScrubFinding:
     problem: str
 
 
-@dataclass
 class ScrubStats:
-    objects_checked: int = 0
-    bytes_verified: int = 0
-    passes_completed: int = 0
-    findings: List[ScrubFinding] = field(default_factory=list)
+    """Registry-backed scrub counters (``scrub.*``); findings stay a list."""
+
+    objects_checked = metric_field("scrub.objects_checked")
+    bytes_verified = metric_field("scrub.bytes_verified")
+    passes_completed = metric_field("scrub.passes_completed")
+
+    def __init__(self, obs: Optional[Registry] = None):
+        self.obs = obs if obs is not None else Registry()
+        bind_metrics(self)
+        self.findings: List[ScrubFinding] = []
 
 
 class Scrubber:
@@ -39,7 +45,7 @@ class Scrubber:
     def __init__(self, store: BlockStore):
         self.store = store
         self._cursor = 0
-        self.stats = ScrubStats()
+        self.stats = ScrubStats(getattr(store, "obs", None))
 
     def step(self, max_objects: int = 4) -> List[ScrubFinding]:
         """Verify up to ``max_objects``; wraps around at the end."""

@@ -45,6 +45,7 @@ from repro.core.gc import GarbageCollector
 from repro.core.read_cache import ReadCache
 from repro.core.write_cache import WriteCache
 from repro.devices.image import DiskImage
+from repro.obs import Registry
 
 
 @dataclass
@@ -82,10 +83,20 @@ class LSVDVolume:
         self.rc = read_cache
         self.config = config or block_store.config
         self.read_only = read_only
+        #: one registry for the whole stack; the block store owns it and
+        #: the caches/collector were constructed against the same object
+        self.obs: Registry = block_store.obs
         self.gc = GarbageCollector(
             block_store, self.config, cache_reader=self._gc_cache_read
         )
         self.gc_enabled = True
+        self._m_writes = self.obs.counter("volume.writes")
+        self._m_reads = self.obs.counter("volume.reads")
+        self._m_bytes_written = self.obs.counter("volume.bytes_written")
+        self._m_bytes_read = self.obs.counter("volume.bytes_read")
+        self._m_flushes = self.obs.counter("volume.flushes")
+        self._m_batch_commits = self.obs.counter("volume.batch_commits")
+        self._m_checkpoints = self.obs.counter("volume.checkpoints")
         # settlement ledger
         self._pending: Dict[object, Tuple[str, object]] = {}
         self._batches: List[_BatchEntry] = []
@@ -103,11 +114,13 @@ class LSVDVolume:
         size: int,
         cache_image: DiskImage,
         config: Optional[LSVDConfig] = None,
+        obs: Optional[Registry] = None,
     ) -> "LSVDVolume":
         """Create a brand-new virtual disk backed by ``store``."""
         config = config or LSVDConfig()
-        bs = BlockStore.create(store, name, size, config)
-        wc, rc = cls._partition_cache(cache_image, config)
+        obs = obs if obs is not None else Registry()
+        bs = BlockStore.create(store, name, size, config, obs=obs)
+        wc, rc = cls._partition_cache(cache_image, config, obs)
         wc.format()
         return cls(bs, wc, rc, config)
 
@@ -119,6 +132,7 @@ class LSVDVolume:
         cache_image: DiskImage,
         config: Optional[LSVDConfig] = None,
         cache_lost: bool = False,
+        obs: Optional[Registry] = None,
     ) -> "LSVDVolume":
         """Mount an existing disk, running full crash recovery (§3.3).
 
@@ -130,13 +144,15 @@ class LSVDVolume:
         locally persisted writes.
         """
         config = config or LSVDConfig()
-        bs, state = BlockStore.open(store, name, config)
-        wc, rc = cls._partition_cache(cache_image, config)
+        obs = obs if obs is not None else Registry()
+        bs, state = BlockStore.open(store, name, config, obs=obs)
+        wc, rc = cls._partition_cache(cache_image, config, obs)
         vol = cls(bs, wc, rc, config)
         if cache_lost:
             wc.format()
             wc.resume_after(state.last_record_seq)
             wc.checkpoint()
+            obs.trace.emit("recovery_complete", replayed=0, cache_lost=True)
             return vol
         wc.recover()
         # The cache may have rolled back records that were already
@@ -149,7 +165,14 @@ class LSVDVolume:
         if wc._clean:
             rc.load_map()
         # rewind & replay: push cache records the backend has not seen
+        replayed = 0
         for record, _ref in wc.records_after(state.last_record_seq):
+            obs.trace.emit(
+                "recovery_replay",
+                record_seq=record.seq,
+                extents=len(record.extents),
+            )
+            replayed += 1
             for index, (lba, length) in enumerate(record.extents):
                 data = wc.record_data(record, index)
                 sealed = bs.add_write(lba, data, record.seq)
@@ -157,6 +180,7 @@ class LSVDVolume:
                     vol._commit_data(sealed)
         # anything at or below the backend high-water mark is already safe
         wc.release_through(state.last_record_seq)
+        obs.trace.emit("recovery_complete", replayed=replayed, cache_lost=False)
         return vol
 
     @classmethod
@@ -168,13 +192,15 @@ class LSVDVolume:
         cache_image: DiskImage,
         config: Optional[LSVDConfig] = None,
         at_snapshot: Optional[str] = None,
+        obs: Optional[Registry] = None,
     ) -> "LSVDVolume":
         """Create a copy-on-write clone of ``base_name`` (§3.6)."""
         config = config or LSVDConfig()
+        obs = obs if obs is not None else Registry()
         bs = BlockStore.clone_from(
-            store, base_name, clone_name, config, at_snapshot=at_snapshot
+            store, base_name, clone_name, config, at_snapshot=at_snapshot, obs=obs
         )
-        wc, rc = cls._partition_cache(cache_image, config)
+        wc, rc = cls._partition_cache(cache_image, config, obs)
         wc.format()
         return cls(bs, wc, rc, config)
 
@@ -186,30 +212,34 @@ class LSVDVolume:
         snapshot: str,
         cache_image: DiskImage,
         config: Optional[LSVDConfig] = None,
+        obs: Optional[Registry] = None,
     ) -> "LSVDVolume":
         """Mount a snapshot read-only (§3.6)."""
         config = config or LSVDConfig()
+        obs = obs if obs is not None else Registry()
         meta = BlockStore.read_super(store, name)
         snaps = meta.get("snapshots", {})
         if snapshot not in snaps:
             raise LSVDError(f"volume {name!r} has no snapshot {snapshot!r}")
         bs, _state = BlockStore.open(
-            store, name, config, upto=snaps[snapshot], read_only=True
+            store, name, config, upto=snaps[snapshot], read_only=True, obs=obs
         )
-        wc, rc = cls._partition_cache(cache_image, config)
+        wc, rc = cls._partition_cache(cache_image, config, obs)
         wc.format()
         vol = cls(bs, wc, rc, config, read_only=True)
         vol.gc_enabled = False
         return vol
 
     @staticmethod
-    def _partition_cache(image: DiskImage, config: LSVDConfig):
+    def _partition_cache(
+        image: DiskImage, config: LSVDConfig, obs: Optional[Registry] = None
+    ):
         wc_size = int(image.size * config.write_cache_fraction) // 4096 * 4096
         wc_slot = max(64 * 1024, min(1 << 20, wc_size // 8)) // 4096 * 4096
         rc_size = image.size - wc_size
         rc_slot = max(64 * 1024, min(1 << 20, rc_size // 8)) // 4096 * 4096
-        wc = WriteCache(image, 0, wc_size, ckpt_slot_size=wc_slot)
-        rc = ReadCache(image, wc_size, rc_size, map_slot_size=rc_slot)
+        wc = WriteCache(image, 0, wc_size, ckpt_slot_size=wc_slot, obs=obs)
+        rc = ReadCache(image, wc_size, rc_size, map_slot_size=rc_slot, obs=obs)
         return wc, rc
 
     # ------------------------------------------------------------------
@@ -226,6 +256,8 @@ class LSVDVolume:
             raise LSVDError("volume is read-only")
         if not data:
             return
+        self._m_writes.inc()
+        self._m_bytes_written.inc(len(data))
         try:
             record = self.wc.append([(offset, data)])
         except CacheFullError:
@@ -241,6 +273,8 @@ class LSVDVolume:
         self._check_io(offset, length)
         if length == 0:
             return b""
+        self._m_reads.inc()
+        self._m_bytes_read.inc(length)
         out = bytearray(length)
         # 1: write cache (always the newest data)
         covered = _Coverage(offset, length)
@@ -284,6 +318,8 @@ class LSVDVolume:
             self._check_io(offset, len(data))
         if not writes:
             return
+        self._m_writes.inc()
+        self._m_bytes_written.inc(sum(len(d) for _o, d in writes))
         try:
             record = self.wc.append(writes)
         except CacheFullError:
@@ -314,6 +350,7 @@ class LSVDVolume:
 
     def flush(self) -> None:
         """Commit barrier: one flush of the cache SSD (§3.2)."""
+        self._m_flushes.inc()
         self.wc.barrier()
 
     # ------------------------------------------------------------------
@@ -404,6 +441,13 @@ class LSVDVolume:
     def _commit_data(self, sealed: SealedBatch) -> None:
         entry = _BatchEntry(sealed.seq, sealed.last_record_seq)
         self._batches.append(entry)
+        self._m_batch_commits.inc()
+        self.obs.trace.emit(
+            "write_commit",
+            seq=sealed.seq,
+            bytes=sealed.data_len,
+            records_through=sealed.last_record_seq,
+        )
         result = self.bs.commit(sealed)
         if result is None:
             entry.settled = True
@@ -425,6 +469,7 @@ class LSVDVolume:
             self._write_checkpoint()
 
     def _write_checkpoint(self) -> int:
+        self._m_checkpoints.inc()
         seq, result = self.bs.write_checkpoint()
         if result is None:
             self.bs.retire_old_checkpoints()

@@ -44,6 +44,7 @@ from repro.core.errors import CacheFullError, CorruptRecordError
 from repro.core.extent_map import ExtentMap
 from repro.core.log import CacheRecord, align_up, decode_record, encode_record, pack_record
 from repro.devices.image import DiskImage
+from repro.obs import Registry, bind_metrics, metric_field
 
 _SUPER = struct.Struct("<4sHHQQQQ")  # magic ver flags log_off log_size slot_size uuid_lo
 _SUPER_MAGIC = b"LSWC"
@@ -65,12 +66,18 @@ class RecordRef:
 class WriteCache:
     """The log-structured write-back cache over a DiskImage region."""
 
+    # statistics (registry-backed; see repro.obs)
+    bytes_logged = metric_field("wc.bytes_logged")
+    client_bytes = metric_field("wc.client_bytes")
+    barriers = metric_field("wc.barriers")
+
     def __init__(
         self,
         image: DiskImage,
         region_offset: int = 0,
         region_size: Optional[int] = None,
         ckpt_slot_size: int = 1 << 20,
+        obs: Optional[Registry] = None,
     ):
         self.image = image
         self.region_offset = region_offset
@@ -94,10 +101,9 @@ class WriteCache:
         self._ckpt_seq = 0
         self._ckpt_head = 0  # head position captured by the last checkpoint
         self._clean = False
-        # statistics
-        self.bytes_logged = 0
-        self.client_bytes = 0
-        self.barriers = 0
+        self.obs = obs if obs is not None else Registry()
+        bind_metrics(self)
+        self._occupancy = self.obs.gauge("wc.occupancy_bytes")
 
     # ------------------------------------------------------------------
     # geometry helpers
@@ -152,6 +158,7 @@ class WriteCache:
         self.records.append(RecordRef(record.seq, virt, size))
         self.next_seq += 1
         self.bytes_logged += size
+        self._occupancy.set(self.used_bytes)
         self._clean = False
         return record
 
@@ -214,6 +221,8 @@ class WriteCache:
                 self.tail_virt = self.records[0].virt
             else:
                 self.tail_virt = self.head_virt
+        if freed:
+            self._occupancy.set(self.used_bytes)
         return freed
 
     def _drop_map_entries(self, ref: RecordRef) -> None:

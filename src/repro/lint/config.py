@@ -72,6 +72,41 @@ DEFAULT_DETERMINISM_DIRS: Tuple[str, ...] = (
     "workloads/",
     "devices/",
     "crash/",
+    "obs/",
+)
+
+#: directories whose stat counters / reporting must go through repro.obs
+DEFAULT_OBS_DIRS: Tuple[str, ...] = (
+    "core/",
+    "runtime/",
+)
+
+#: modules exempt from LSVD007: the user-facing reporting surfaces.  The
+#: CLI and the analysis/lint reporters print by design; they *consume*
+#: the registry rather than feeding it.
+DEFAULT_OBS_ALLOW: Tuple[str, ...] = (
+    "cli.py",
+    "analysis/report.py",
+    "lint/reporters.py",
+)
+
+#: attribute-name substrings that mark an ad-hoc stat counter when
+#: incremented as a public ``self.<name> += ...``
+DEFAULT_STAT_MARKERS: Tuple[str, ...] = (
+    "hits",
+    "misses",
+    "bytes",
+    "writes",
+    "reads",
+    "puts",
+    "gets",
+    "deletes",
+    "barriers",
+    "flushes",
+    "evicted",
+    "evictions",
+    "rounds",
+    "count",
 )
 
 #: directories where exception handlers must not swallow errors
@@ -119,6 +154,9 @@ class LintConfig:
     error_recording_names: Tuple[str, ...] = DEFAULT_ERROR_RECORDING
     lba_markers: Tuple[str, ...] = DEFAULT_LBA_MARKERS
     byte_markers: Tuple[str, ...] = DEFAULT_BYTE_MARKERS
+    obs_dirs: Tuple[str, ...] = DEFAULT_OBS_DIRS
+    obs_allow: Tuple[str, ...] = DEFAULT_OBS_ALLOW
+    stat_markers: Tuple[str, ...] = DEFAULT_STAT_MARKERS
     struct_dataclass_map: Mapping[str, Mapping[str, str]] = field(
         default_factory=lambda: dict(DEFAULT_STRUCT_DATACLASS_MAP)
     )
@@ -182,6 +220,8 @@ class LintConfig:
             immutability_allow=_extend(base.immutability_allow, "immutability-allow"),
             store_receivers=_extend(base.store_receivers, "store-receivers"),
             sequence_allow=_extend(base.sequence_allow, "sequence-allow"),
+            obs_allow=_extend(base.obs_allow, "obs-allow"),
+            stat_markers=_extend(base.stat_markers, "stat-markers"),
         )
 
 

@@ -2,6 +2,7 @@
 
 from repro.lint.rules.determinism import DeterminismRule
 from repro.lint.rules.immutability import ImmutabilityRule
+from repro.lint.rules.obs import ObservabilityRule
 from repro.lint.rules.recovery import RecoveryHandlerRule
 from repro.lint.rules.sequence import SequenceHygieneRule
 from repro.lint.rules.structs import StructConsistencyRule
@@ -15,12 +16,14 @@ ALL_RULES = [
     RecoveryHandlerRule,
     UnitConfusionRule,
     StructConsistencyRule,
+    ObservabilityRule,
 ]
 
 __all__ = [
     "ALL_RULES",
     "DeterminismRule",
     "ImmutabilityRule",
+    "ObservabilityRule",
     "RecoveryHandlerRule",
     "SequenceHygieneRule",
     "StructConsistencyRule",

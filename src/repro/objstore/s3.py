@@ -139,8 +139,10 @@ class UnsettledObjectStore(ObjectStore):
     must clean up (§3.3).
     """
 
-    def __init__(self, inner: ObjectStore):
+    def __init__(self, inner: ObjectStore, obs=None):
         self.inner = inner
+        #: optional repro.obs Registry; crash() records a trace event in it
+        self.obs = obs
         self._pending: Dict[int, _PendingPut] = {}
         self._next_handle = 0
 
@@ -165,6 +167,8 @@ class UnsettledObjectStore(ObjectStore):
         """Client crash: in-flight PUTs vanish; returns their names."""
         lost = [p.name for p in self._pending.values()]
         self._pending.clear()
+        if self.obs is not None:
+            self.obs.trace.emit("crash", lost_puts=len(lost))
         return lost
 
     @property

@@ -13,11 +13,19 @@ from typing import Optional
 from repro.cluster.cluster import StorageCluster
 from repro.cluster.layouts import ErasureCodedLayout
 from repro.devices.network import NetworkLink
+from repro.obs import Registry, bind_metrics, metric_field
 from repro.sim.engine import Event, Simulator
 
 
 class SimulatedObjectStore:
     """Timing facade for an S3-compatible store over a cluster."""
+
+    # statistics (registry-backed; see repro.obs)
+    puts = metric_field("backend.puts")
+    gets = metric_field("backend.gets")
+    deletes = metric_field("backend.deletes")
+    bytes_put = metric_field("backend.bytes_put")
+    bytes_got = metric_field("backend.bytes_got")
 
     def __init__(
         self,
@@ -26,28 +34,35 @@ class SimulatedObjectStore:
         network: NetworkLink,
         layout: Optional[ErasureCodedLayout] = None,
         request_latency: float = 5.9e-3,
+        obs: Optional[Registry] = None,
     ):
         self.sim = sim
         self.cluster = cluster
         self.network = network
         self.layout = layout or ErasureCodedLayout()
         self.request_latency = request_latency
-        self.puts = 0
-        self.gets = 0
-        self.deletes = 0
-        self.bytes_put = 0
-        self.bytes_got = 0
+        self.obs = obs if obs is not None else Registry()
+        bind_metrics(self)
+        # latency histograms measured with the simulated clock; stamp the
+        # trace from the same clock so events stay deterministic (LSVD003)
+        self._put_latency = self.obs.histogram("backend.put_latency_s")
+        self._get_latency = self.obs.histogram("backend.get_latency_s")
+        self._delete_latency = self.obs.histogram("backend.delete_latency_s")
+        if self.obs.trace.clock is None:
+            self.obs.trace.clock = lambda: self.sim.now
 
     def put(self, key: str, nbytes: int) -> Event:
         """PUT of ``nbytes``; the event fires when the object is durable."""
         done = self.sim.event()
         self.puts += 1
         self.bytes_put += nbytes
+        started = self.sim.now
 
         def run():
             yield self.network.send(nbytes)
             yield self.sim.timeout(self.request_latency)
             yield self.layout.put(self.cluster, key, nbytes)
+            self._put_latency.observe(self.sim.now - started)
             done.succeed()
 
         self.sim.process(run(), name=f"put:{key}")
@@ -58,11 +73,13 @@ class SimulatedObjectStore:
         done = self.sim.event()
         self.gets += 1
         self.bytes_got += nbytes
+        started = self.sim.now
 
         def run():
             yield self.sim.timeout(self.request_latency)
             yield self.layout.get_range(self.cluster, key, offset, nbytes)
             yield self.network.receive(nbytes)
+            self._get_latency.observe(self.sim.now - started)
             done.succeed()
 
         self.sim.process(run(), name=f"get:{key}")
@@ -71,10 +88,12 @@ class SimulatedObjectStore:
     def delete(self, key: str) -> Event:
         done = self.sim.event()
         self.deletes += 1
+        started = self.sim.now
 
         def run():
             yield self.sim.timeout(self.request_latency)
             yield self.layout.delete(self.cluster, key)
+            self._delete_latency.observe(self.sim.now - started)
             done.succeed()
 
         self.sim.process(run(), name=f"del:{key}")

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional
 
+from repro.obs import Registry, bind_metrics, gauge_field, metric_field
 from repro.runtime.machine import ClientMachine
 from repro.runtime.params import BcacheParams
 from repro.runtime.rbd import RBDRuntime
@@ -30,6 +31,16 @@ class BcacheRBDRuntime:
 
     BLOCK = 4096
 
+    # statistics (registry-backed; see repro.obs)
+    dirty_bytes = gauge_field("bcache.dirty_bytes")
+    client_writes = metric_field("bcache.client_writes")
+    client_reads = metric_field("bcache.client_reads")
+    client_bytes_written = metric_field("bcache.client_bytes_written")
+    barriers = metric_field("bcache.barriers")
+    metadata_writes = metric_field("bcache.metadata_writes")
+    destaged_writes = metric_field("bcache.destaged_writes")
+    destaged_bytes = metric_field("bcache.destaged_bytes")
+
     def __init__(
         self,
         sim: Simulator,
@@ -39,6 +50,7 @@ class BcacheRBDRuntime:
         params: Optional[BcacheParams] = None,
         name: str = "bcache",
         read_hit_rate: float = 1.0,
+        obs: Optional[Registry] = None,
     ):
         self.sim = sim
         self.machine = machine
@@ -47,8 +59,10 @@ class BcacheRBDRuntime:
         self.name = name
         self.cache_capacity = cache_size
         self.read_hit_rate = read_hit_rate
+        #: share the backing RBD volume's registry unless told otherwise
+        self.obs = obs or getattr(backing, "obs", None) or Registry()
+        bind_metrics(self)
 
-        self.dirty_bytes = 0
         self._space_waiters: Deque[Event] = deque()
         self._inflight_writes = 0
         self._drain_waiters: Deque[Event] = deque()
@@ -59,15 +73,6 @@ class BcacheRBDRuntime:
         self._dirty_lbas: Deque[int] = deque()  # destaged in sorted order
         self._dirty_set = set()
         self._rng_state = 777
-
-        # statistics
-        self.client_writes = 0
-        self.client_reads = 0
-        self.client_bytes_written = 0
-        self.barriers = 0
-        self.metadata_writes = 0
-        self.destaged_writes = 0
-        self.destaged_bytes = 0
 
         sim.process(self._writeback_daemon(), name=f"{name}-writeback")
 

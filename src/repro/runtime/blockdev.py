@@ -8,9 +8,10 @@ window (after an optional warm-up).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Optional, Tuple
 
+from repro.obs import Histogram
 from repro.sim.engine import Simulator
 from repro.workloads.base import FLUSH, IOOp
 from repro.workloads.fio import FioJob
@@ -18,13 +19,18 @@ from repro.workloads.fio import FioJob
 
 @dataclass
 class FioResult:
-    """Measured performance of one job."""
+    """Measured performance of one job.
+
+    Per-op latencies feed a shared-bucket :class:`~repro.obs.Histogram`,
+    so results report min/max and p50/p95/p99 (Figure 7's tail behaviour),
+    not just a mean.
+    """
 
     ops: int = 0
     bytes: int = 0
     flushes: int = 0
     duration: float = 0.0
-    latency_sum: float = 0.0
+    latency: Histogram = field(default_factory=lambda: Histogram("fio.latency_s"))
 
     @property
     def iops(self) -> float:
@@ -35,8 +41,15 @@ class FioResult:
         return self.bytes / self.duration / 1e6 if self.duration > 0 else 0.0
 
     @property
+    def latency_sum(self) -> float:
+        return self.latency.sum
+
+    @property
     def mean_latency(self) -> float:
-        return self.latency_sum / self.ops if self.ops else 0.0
+        return self.latency.sum / self.ops if self.ops else 0.0
+
+    def latency_percentile(self, p: float) -> float:
+        return self.latency.percentile(p)
 
 
 class _MergingQueue:
@@ -130,7 +143,7 @@ def run_jobs(
                         # a merged request completes `merged` client ops
                         result.ops += merged
                         result.bytes += op.length
-                    result.latency_sum += (sim.now - issued) * merged
+                    result.latency.observe(sim.now - issued, count=merged)
 
         for _ in range(job.iodepth):
             sim.process(worker(), name=f"fio-{index}")
@@ -172,7 +185,7 @@ def drive_ops(
                 else:
                     result.ops += 1
                     result.bytes += op.length
-                result.latency_sum += sim.now - issued
+                result.latency.observe(sim.now - issued)
 
     for _ in range(iodepth):
         sim.process(worker(), name="drive")

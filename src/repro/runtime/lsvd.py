@@ -25,6 +25,7 @@ from typing import Deque, Optional, Tuple
 from repro.core.config import LSVDConfig
 from repro.core.log import align_up
 from repro.gcsim.simulator import GCSimulator
+from repro.obs import Registry, bind_metrics, gauge_field, metric_field
 from repro.runtime.backend import SimulatedObjectStore
 from repro.runtime.machine import ClientMachine
 from repro.runtime.params import LSVDParams
@@ -58,6 +59,16 @@ class _HookedGCSim(GCSimulator):
 class LSVDRuntime:
     """A simulated LSVD virtual disk."""
 
+    # statistics (registry-backed; see repro.obs)
+    dirty_bytes = gauge_field("lsvd.dirty_bytes")
+    client_writes = metric_field("lsvd.client_writes")
+    client_reads = metric_field("lsvd.client_reads")
+    client_bytes_written = metric_field("lsvd.client_bytes_written")
+    client_bytes_read = metric_field("lsvd.client_bytes_read")
+    objects_put = metric_field("lsvd.objects_put")
+    gc_objects_put = metric_field("lsvd.gc_objects_put")
+    backend_bytes_put = metric_field("lsvd.backend_bytes_put")
+
     def __init__(
         self,
         sim: Simulator,
@@ -70,6 +81,7 @@ class LSVDRuntime:
         name: str = "vd",
         read_hit_rate: float = 1.0,
         gc_enabled: bool = True,
+        obs: Optional[Registry] = None,
     ):
         self.sim = sim
         self.machine = machine
@@ -79,11 +91,14 @@ class LSVDRuntime:
         self.name = name
         self.volume_size = volume_size
         self.read_hit_rate = read_hit_rate
+        #: share the backend facade's registry so lsvd.* and backend.*
+        #: metrics of one stack land in one snapshot
+        self.obs = obs or getattr(backend, "obs", None) or Registry()
+        bind_metrics(self)
 
         self.write_cache_capacity = int(
             cache_size * self.config.write_cache_fraction
         )
-        self.dirty_bytes = 0
         self._batch_log_bytes = 0  # log footprint of the accumulating batch
         self._space_waiters: Deque[Event] = deque()
         self._log_head = 0  # for sequential SSD writes
@@ -110,14 +125,6 @@ class LSVDRuntime:
         self._barrier_active = False
         self._gate_waiters: Deque[Event] = deque()
 
-        # statistics
-        self.client_writes = 0
-        self.client_reads = 0
-        self.client_bytes_written = 0
-        self.client_bytes_read = 0
-        self.objects_put = 0
-        self.gc_objects_put = 0
-        self.backend_bytes_put = 0
         self._seq = 0
         self._rng_state = 12345
 

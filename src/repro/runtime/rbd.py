@@ -14,6 +14,7 @@ from typing import Optional
 from repro.baselines.rbd import MiB
 from repro.cluster.cluster import StorageCluster
 from repro.cluster.layouts import ReplicationLayout
+from repro.obs import Registry, bind_metrics, metric_field
 from repro.runtime.machine import ClientMachine
 from repro.runtime.params import RBDParams
 from repro.sim.engine import Event, Simulator
@@ -22,6 +23,12 @@ from repro.workloads.base import FLUSH, READ, WRITE, IOOp
 
 class RBDRuntime:
     """A simulated RBD virtual disk (triple-replicated, journaled)."""
+
+    # statistics (registry-backed; see repro.obs)
+    client_writes = metric_field("rbd.client_writes")
+    client_reads = metric_field("rbd.client_reads")
+    client_bytes_written = metric_field("rbd.client_bytes_written")
+    client_bytes_read = metric_field("rbd.client_bytes_read")
 
     def __init__(
         self,
@@ -32,6 +39,7 @@ class RBDRuntime:
         params: Optional[RBDParams] = None,
         name: str = "rbd",
         object_size: int = 4 * MiB,
+        obs: Optional[Registry] = None,
     ):
         self.sim = sim
         self.machine = machine
@@ -40,10 +48,8 @@ class RBDRuntime:
         self.params = params or RBDParams()
         self.name = name
         self.object_size = object_size
-        self.client_writes = 0
-        self.client_reads = 0
-        self.client_bytes_written = 0
-        self.client_bytes_read = 0
+        self.obs = obs if obs is not None else Registry()
+        bind_metrics(self)
 
     def submit(self, op: IOOp) -> Event:
         done = self.sim.event()

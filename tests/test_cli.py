@@ -97,3 +97,71 @@ def test_replicate_command(tmp_path, capsys):
 def test_unknown_volume_errors(tmp_path, capsys):
     rc, _out, err = run(capsys, str(tmp_path), "info", "ghost")
     assert rc == 2 and "error" in err
+
+
+def test_stats_reports_headline_metrics(tmp_path, capsys):
+    root = str(tmp_path)
+    run(capsys, root, "create", "vol", "--size", "16M")
+    rc, out, _ = run(capsys, root, "stats", "vol", "--exercise", "600")
+    assert rc == 0
+    # the full registry table...
+    assert "store.client_bytes" in out
+    assert "backend.put_latency_s" in out
+    # ...and the paper's headline figures, all registry-derived
+    assert "write amplification:  0." in out or "write amplification:  1." in out
+    assert "read cache hit rate:  0." in out
+    assert "gc bytes relocated:" in out and "0.00 MiB" not in out
+    assert "backend put p99:" in out and "0.000 ms" not in out
+
+
+def test_stats_alternate_formats(tmp_path, capsys):
+    import json
+
+    root = str(tmp_path)
+    run(capsys, root, "create", "vol", "--size", "16M")
+    rc, out, _ = run(capsys, root, "stats", "vol", "--format", "prometheus")
+    assert rc == 0 and "# TYPE volume_writes counter" in out
+    rc, out, _ = run(capsys, root, "stats", "vol", "--format", "csv")
+    assert rc == 0 and out.startswith("metric,value")
+    out_file = tmp_path / "m.json"
+    rc, out, _ = run(
+        capsys, root, "stats", "vol", "--format", "json", "--out", str(out_file)
+    )
+    assert rc == 0 and "wrote" in out
+    doc = json.loads(out_file.read_text())
+    assert doc["volume"] == "vol" and "metrics" in doc
+
+
+def test_trace_dumps_typed_jsonl(tmp_path, capsys):
+    import json
+
+    from repro.obs import EVENT_TYPES
+
+    root = str(tmp_path)
+    run(capsys, root, "create", "vol", "--size", "16M")
+    rc, out, _ = run(capsys, root, "trace", "vol", "--exercise", "200")
+    assert rc == 0
+    events = [json.loads(line) for line in out.splitlines()]
+    assert events
+    assert {e["type"] for e in events} <= EVENT_TYPES
+    assert all("ts" in e for e in events)
+    # filtered + limited dump (600 ops seal several objects)
+    rc, out, _ = run(
+        capsys, root, "trace", "vol", "--exercise", "600",
+        "--type", "backend_put", "--limit", "2",
+    )
+    filtered = [json.loads(line) for line in out.splitlines()]
+    assert len(filtered) == 2
+    assert all(e["type"] == "backend_put" for e in filtered)
+
+
+def test_trace_runs_are_deterministic(tmp_path, capsys):
+    """Identical volumes + identical exercises -> byte-identical traces."""
+    outputs = []
+    for sub in ("a", "b"):
+        root = str(tmp_path / sub)
+        run(capsys, root, "create", "vol", "--size", "16M")
+        _, out, _ = run(capsys, root, "trace", "vol", "--exercise", "150")
+        outputs.append(out)
+    assert outputs[0] == outputs[1]
+    assert outputs[0]

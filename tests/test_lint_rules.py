@@ -367,6 +367,122 @@ class TestStructConsistency:
 
 
 # ---------------------------------------------------------------------------
+# LSVD007 observability
+# ---------------------------------------------------------------------------
+
+
+class TestObservability:
+    BAD_COUNTER = """
+        class Cache:
+            def __init__(self):
+                self.hits = 0
+
+            def lookup(self):
+                self.hits += 1
+    """
+
+    def test_flags_undeclared_stat_counter_in_core(self):
+        diags = lint_src("core/cache.py", self.BAD_COUNTER)
+        assert codes(diags) == ["LSVD007"]
+        assert "self.hits" in diags[0].message
+        assert "metric_field" in diags[0].fixit
+
+    def test_flags_in_runtime_too(self):
+        assert codes(lint_src("runtime/dev.py", self.BAD_COUNTER)) == ["LSVD007"]
+
+    def test_other_packages_are_not_instrumented(self):
+        assert lint_src("analysis/report.py", self.BAD_COUNTER) == []
+        assert lint_src("workloads/fio.py", self.BAD_COUNTER) == []
+
+    def test_metric_field_declaration_exempts_the_increment(self):
+        src = """
+            from repro.obs import metric_field
+
+            class Cache:
+                hits = metric_field("rc.hits")
+
+                def lookup(self):
+                    self.hits += 1
+        """
+        assert lint_src("core/cache.py", src) == []
+
+    def test_gauge_field_declaration_exempts_subtraction(self):
+        src = """
+            from repro.obs import gauge_field
+
+            class Dev:
+                dirty_bytes = gauge_field("dev.dirty_bytes")
+
+                def release(self, n):
+                    self.dirty_bytes -= n
+        """
+        assert lint_src("runtime/dev.py", src) == []
+
+    def test_private_attributes_are_mechanism_not_metrics(self):
+        src = """
+            class Cache:
+                def lookup(self):
+                    self._hits += 1
+        """
+        assert lint_src("core/cache.py", src) == []
+
+    def test_non_stat_names_pass(self):
+        src = """
+            class Cache:
+                def push(self):
+                    self.depth += 1
+        """
+        assert lint_src("core/cache.py", src) == []
+
+    def test_flags_print_in_instrumented_code(self):
+        src = """
+            def report(stats):
+                print("hits:", stats)
+        """
+        diags = lint_src("core/cache.py", src)
+        assert codes(diags) == ["LSVD007"]
+        assert "print()" in diags[0].message
+
+    def test_print_is_fine_outside_instrumented_dirs(self):
+        src = """
+            def report(stats):
+                print("hits:", stats)
+        """
+        assert lint_src("analysis/report.py", src) == []
+
+    def test_suppression_comment_silences(self):
+        src = """
+            class Batch:
+                def add(self, data):
+                    self.bytes_in += len(data)  # lint: disable=LSVD007 -- payload accounting
+        """
+        assert lint_src("core/batch.py", src) == []
+
+    def test_obs_allow_extension_exempts_module(self):
+        config = replace(
+            LintConfig(), obs_allow=LintConfig().obs_allow + ("core/cache.py",)
+        )
+        assert lint_src("core/cache.py", self.BAD_COUNTER, config) == []
+
+    def test_pyproject_obs_allow_and_stat_markers(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.repro-lint]\n"
+            'obs-allow = ["core/cache.py"]\n'
+            'stat-markers = ["frobs"]\n'
+        )
+        config = LintConfig.from_pyproject(pyproject)
+        assert config.module_allowed("repro/core/cache.py", config.obs_allow)
+        src = """
+            class Dev:
+                def tick(self):
+                    self.frobs += 1
+        """
+        assert codes(lint_src("runtime/dev.py", src, config)) == ["LSVD007"]
+        assert lint_src("core/cache.py", self.BAD_COUNTER, config) == []
+
+
+# ---------------------------------------------------------------------------
 # suppression semantics
 # ---------------------------------------------------------------------------
 

@@ -59,6 +59,38 @@ def test_rbd_write_latency_dominated_by_journal_flush():
     assert lat < 6e-3
 
 
+def test_fio_result_reports_latency_percentiles():
+    """Per-op latencies feed a histogram: p50/p95/p99 and min/max exist
+    and are ordered (Figure 7 reports tails, not just means)."""
+    from repro.runtime.blockdev import run_fio
+    from repro.workloads.fio import FioJob
+
+    sim, dev = lsvd()
+    job = FioJob(rw="randwrite", bs=4096, iodepth=8, size=64 << 20, seed=3)
+    result = run_fio(sim, dev, job, duration=0.2)
+    assert result.ops > 0
+    assert result.latency.count == result.ops
+    p50 = result.latency_percentile(50)
+    p95 = result.latency_percentile(95)
+    p99 = result.latency_percentile(99)
+    assert 0 < result.latency.min <= p50 <= p95 <= p99 <= result.latency.max
+    # percentiles bracket the mean; the mean matches the legacy sum view
+    assert result.latency.min <= result.mean_latency <= result.latency.max
+    assert result.mean_latency == result.latency_sum / result.ops
+
+
+def test_fio_merged_ops_count_into_the_histogram():
+    """A merged sequential request records one sample per client op."""
+    from repro.runtime.blockdev import run_fio
+    from repro.workloads.fio import FioJob
+
+    sim, dev = lsvd()
+    job = FioJob(rw="write", bs=4096, iodepth=1, size=64 << 20, seed=1)
+    result = run_fio(sim, dev, job, duration=0.05)
+    assert result.ops > 0
+    assert result.latency.count == result.ops
+
+
 def test_bcache_fsync_latency_far_above_lsvd():
     """§4.2.2 at op granularity: a write+fsync pair."""
 
