@@ -4,19 +4,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: all lint ruff mypy invariants test obs-smoke
+.PHONY: all lint ruff mypy invariants test obs-smoke shard-smoke
 
 all: lint test
 
 lint: ruff mypy invariants
 
 ruff:
-	ruff check src tests benchmarks/obs_smoke.py
+	ruff check src tests benchmarks/obs_smoke.py benchmarks/shard_smoke.py
 
 mypy:
 	mypy
 
-# the LSVD invariant checker (LSVD001-LSVD007); see DESIGN.md
+# the LSVD invariant checker (LSVD001-LSVD008); see DESIGN.md
 invariants:
 	$(PYTHON) -m repro.lint src/repro
 
@@ -28,3 +28,9 @@ test:
 obs-smoke:
 	mkdir -p bench-out
 	$(PYTHON) benchmarks/obs_smoke.py --out-dir bench-out
+
+# shard-scaling sweep (1/2/4/8 shards); fails unless aggregate backend
+# PUT throughput rises monotonically from 1 to 4 shards
+shard-smoke:
+	mkdir -p bench-out
+	$(PYTHON) benchmarks/shard_smoke.py --out-dir bench-out

@@ -2,13 +2,14 @@
 
 Gives the library the operational surface of a real block-storage tool::
 
-    python -m repro.cli ROOT create  VOLUME --size 64M
+    python -m repro.cli ROOT create  VOLUME --size 64M [--shards N]
     python -m repro.cli ROOT info    VOLUME
     python -m repro.cli ROOT import  VOLUME FILE [--offset N]
     python -m repro.cli ROOT export  VOLUME FILE [--offset N --length N]
     python -m repro.cli ROOT snapshot VOLUME NAME
     python -m repro.cli ROOT clone   BASE NEW [--snapshot NAME]
-    python -m repro.cli ROOT replicate VOLUME TARGET_ROOT
+    python -m repro.cli ROOT replicate VOLUME TARGET_ROOT [--shards N]
+    python -m repro.cli ROOT shard-status [VOLUME]
     python -m repro.cli ROOT fsck    VOLUME
     python -m repro.cli ROOT scrub   VOLUME
     python -m repro.cli ROOT lint    [PATHS...]
@@ -18,6 +19,8 @@ Gives the library the operational surface of a real block-storage tool::
 ``ROOT`` is a directory acting as the S3 bucket; the cache SSD is an
 ephemeral in-memory image (each invocation mounts with ``cache_lost``,
 i.e. from the backend's consistent prefix — exactly the crash-safe path).
+Roots created with ``--shards N`` carry a ``shard-layout.json`` manifest
+and every command transparently scatter-gathers across the shards.
 """
 
 from __future__ import annotations
@@ -31,7 +34,13 @@ from repro.core.errors import LSVDError, VolumeExistsError, VolumeNotFoundError
 from repro.core.replication import Replicator
 from repro.core.scrub import Scrubber
 from repro.devices.image import DiskImage
-from repro.objstore.directory import DirectoryObjectStore
+from repro.objstore.s3 import ObjectStore
+from repro.shard import (
+    LAYOUTS,
+    ShardedObjectStore,
+    open_directory_store,
+    sharded_directory_store,
+)
 from repro.tools import fsck_volume
 
 MiB = 1 << 20
@@ -58,13 +67,13 @@ def _config() -> LSVDConfig:
     return LSVDConfig(batch_size=1 * MiB, checkpoint_interval=16)
 
 
-def _open(store: DirectoryObjectStore, name: str) -> LSVDVolume:
+def _open(store: ObjectStore, name: str) -> LSVDVolume:
     return LSVDVolume.open(
         store, name, DiskImage(DEFAULT_CACHE), _config(), cache_lost=True
     )
 
 
-def _open_observed(store: DirectoryObjectStore, name: str):
+def _open_observed(store: ObjectStore, name: str):
     """Mount with a fresh registry, timing the backend via TimedStore.
 
     The pure-logic core has no clock, so backend latency percentiles come
@@ -74,6 +83,9 @@ def _open_observed(store: DirectoryObjectStore, name: str):
     from repro.obs import Registry, TimedStore
 
     obs = Registry()
+    if isinstance(store, ShardedObjectStore):
+        # route the store's shard.* counters into the reported registry
+        store.obs = obs
     timed = TimedStore(store, obs)
     obs.trace.clock = timed.now
     vol = LSVDVolume.open(
@@ -147,8 +159,16 @@ def _emit(text: str, out: Optional[str]) -> None:
 
 
 def cmd_create(store, args) -> int:
+    if args.shards > 1 or args.layout != "round-robin":
+        store = sharded_directory_store(args.root, args.shards, args.layout)
     LSVDVolume.create(store, args.volume, args.size, DiskImage(DEFAULT_CACHE), _config())
-    print(f"created {args.volume!r}: {args.size} bytes")
+    extra = ""
+    if isinstance(store, ShardedObjectStore):
+        extra = (
+            f" across {store.router.n_shards} shards"
+            f" ({store.router.layout.name})"
+        )
+    print(f"created {args.volume!r}: {args.size} bytes{extra}")
     return 0
 
 
@@ -214,7 +234,14 @@ def cmd_clone(store, args) -> int:
 
 
 def cmd_replicate(store, args) -> int:
-    target = DirectoryObjectStore(args.target_root)
+    if args.shards:
+        # the replica may be sharded differently from the source: routing
+        # is per-store, the object stream itself is placement-agnostic
+        target: ObjectStore = sharded_directory_store(
+            args.target_root, args.shards, args.layout
+        )
+    else:
+        target = open_directory_store(args.target_root)
     rep = Replicator(store, target, args.volume, min_age=0.0)
     rep.observe(now=0.0)
     copied = rep.step(now=1.0)
@@ -251,6 +278,35 @@ def cmd_scrub(store, args) -> int:
     return 0 if not findings else 1
 
 
+def cmd_shard_status(store, args) -> int:
+    """Per-shard occupancy and balance for a sharded root."""
+    if not isinstance(store, ShardedObjectStore):
+        prefix = args.volume + "." if args.volume else ""
+        names = store.list(prefix)
+        print("not sharded (no shard-layout.json manifest): 1 backend")
+        print(f"objects: {len(names)}  "
+              f"bytes: {sum(store.size(n) for n in names) / MiB:.2f} MiB")
+        return 0
+    router = store.router
+    prefix = args.volume + "." if args.volume else ""
+    usage = store.shard_usage(prefix)
+    total_objects = sum(count for count, _nbytes in usage)
+    total_bytes = sum(nbytes for _count, nbytes in usage)
+    scope = f"volume {args.volume!r}" if args.volume else "all objects"
+    print(f"{router.n_shards} shards, layout {router.layout.name!r} ({scope})")
+    for index, (count, nbytes) in enumerate(usage):
+        share = (count / total_objects * 100) if total_objects else 0.0
+        print(f"  {router.shard_name(index)}: {count:>6} objects  "
+              f"{nbytes / MiB:>10.2f} MiB  {share:5.1f}%")
+    print(f"  total:    {total_objects:>6} objects  {total_bytes / MiB:>10.2f} MiB")
+    if total_objects:
+        fair = total_objects / router.n_shards
+        hottest = max(count for count, _nbytes in usage)
+        print(f"  imbalance: {hottest / fair:.3f} "
+              "(1.0 = even; hottest shard vs fair share)")
+    return 0
+
+
 def cmd_stats(store, args) -> int:
     from repro.analysis.report import registry_table
     from repro.obs import metrics_json, prometheus_text, registry_csv
@@ -259,6 +315,9 @@ def cmd_stats(store, args) -> int:
     if args.exercise:
         _exercise(vol, args.exercise)
     vol.close()
+    # the store's own operation counters (merged across shards when the
+    # root is sharded) land in the same snapshot as the stack metrics
+    store.stats.publish(obs)
     if args.format == "prometheus":
         text = prometheus_text(obs)
     elif args.format == "json":
@@ -295,6 +354,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("create", help="create a new volume")
     p.add_argument("volume")
     p.add_argument("--size", type=parse_size, default=64 * MiB)
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="stripe the object stream across N backend shards")
+    p.add_argument("--layout", choices=sorted(LAYOUTS), default="round-robin",
+                   help="seq->shard placement (with --shards)")
     p.set_defaults(fn=cmd_create)
 
     p = sub.add_parser("info", help="show volume metadata and usage")
@@ -328,7 +391,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("replicate", help="copy the object stream elsewhere")
     p.add_argument("volume")
     p.add_argument("target_root")
+    p.add_argument("--shards", type=int, default=0, metavar="N",
+                   help="create the replica sharded across N backends")
+    p.add_argument("--layout", choices=sorted(LAYOUTS), default="round-robin",
+                   help="replica placement (with --shards)")
     p.set_defaults(fn=cmd_replicate)
+
+    p = sub.add_parser("shard-status", help="per-shard occupancy and balance")
+    p.add_argument("volume", nargs="?", default=None,
+                   help="limit to one volume's stream (default: all objects)")
+    p.set_defaults(fn=cmd_shard_status)
 
     p = sub.add_parser("fsck", help="verify the object stream")
     p.add_argument("volume")
@@ -365,10 +437,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    store = DirectoryObjectStore(args.root)
     try:
+        # sharded roots are self-describing (shard-layout.json manifest)
+        store = open_directory_store(args.root)
         return args.fn(store, args)
-    except (VolumeNotFoundError, VolumeExistsError, LSVDError, OSError) as exc:
+    except (VolumeNotFoundError, VolumeExistsError, LSVDError, ValueError,
+            OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -48,6 +48,7 @@ from repro.core.log import (
     encode_object,
     object_name,
 )
+from repro.core.naming import stream_prefix, stream_seqs, super_name
 from repro.core.object_map import ObjectMap
 from repro.obs import DEFAULT_SIZE_BUCKETS, Registry, bind_metrics, metric_field
 from repro.objstore.s3 import NoSuchKeyError, ObjectStore
@@ -458,12 +459,12 @@ class BlockStore:
                 )
             }
         )
-        self.store.put(f"{self.name}.super", blob)
+        self.store.put(super_name(self.name), blob)
 
     @staticmethod
     def read_super(store: ObjectStore, name: str) -> dict:
         try:
-            blob = store.get(f"{name}.super")
+            blob = store.get(super_name(name))
         except NoSuchKeyError:
             raise VolumeNotFoundError(f"volume {name!r} has no superblock") from None
         sections = ckpt.decode_sections(blob)
@@ -482,7 +483,7 @@ class BlockStore:
         uuid: Optional[bytes] = None,
         obs: Optional[Registry] = None,
     ) -> "BlockStore":
-        if store.exists(f"{name}.super") or store.list(f"{name}."):
+        if store.exists(super_name(name)) or store.list(stream_prefix(name)):
             raise VolumeExistsError(f"volume {name!r} already exists")
         bs = cls(store, name, uuid or os.urandom(16), size, config, obs=obs)
         bs.write_checkpoint()  # seq 1: recovery always finds a checkpoint
@@ -518,12 +519,15 @@ class BlockStore:
         return bs, state
 
     def _listed_seqs(self) -> List[int]:
-        seqs = []
-        for obj in self.store.list(f"{self.name}."):
-            suffix = obj[len(self.name) + 1 :]
-            if suffix.isdigit():
-                seqs.append(int(suffix))
-        return sorted(seqs)
+        """Every stream sequence number the store can currently see.
+
+        ``store.list`` is the recovery oracle: with a single backend it
+        is one LIST; with a :class:`~repro.shard.ShardedObjectStore` it
+        is the scatter-gathered union of every shard's listing, so the
+        consecutive-run rule below operates on the *global* sequence
+        regardless of where individual objects landed.
+        """
+        return stream_seqs(self.store.list(stream_prefix(self.name)), self.name)
 
     def _recover(
         self, super_ckpt_hint: int, upto: Optional[int], read_only: bool
@@ -561,7 +565,9 @@ class BlockStore:
                 )
             del self.omap.objects[obj_seq]
         # delete stranded objects beyond the first hole (§3.3) — unless we
-        # are mounting a historical snapshot read-only.
+        # are mounting a historical snapshot read-only.  The store routes
+        # each delete to wherever the object lives (a sharded store sends
+        # it to the owning shard), so one pass cleans every backend.
         stranded = []
         if not read_only and upto is None:
             for s in sorted(present):
@@ -683,7 +689,7 @@ class BlockStore:
                 )
             upto = snaps[at_snapshot]
         base, state = cls.open(store, base_name, config, upto=upto, read_only=True)
-        if store.exists(f"{clone_name}.super") or store.list(f"{clone_name}."):
+        if store.exists(super_name(clone_name)) or store.list(stream_prefix(clone_name)):
             raise VolumeExistsError(f"volume {clone_name!r} already exists")
         chain = base.base_chain + [(base_name, state.last_seq)]
         clone = cls(

@@ -25,6 +25,11 @@ from typing import List, Optional, Tuple
 from repro.core.config import BLOCK
 from repro.core.errors import CorruptRecordError
 
+# The key grammar lives in repro.core.naming; re-exported here because
+# the wire format and the naming scheme are versioned together and most
+# stream users import both from this module.
+from repro.core.naming import object_name, parse_object_name
+
 MAGIC = b"LSVD"
 VERSION = 1
 
@@ -258,14 +263,21 @@ def decode_object(buf: bytes) -> Tuple[ObjectHeader, bytes]:
     return header, data
 
 
-def object_name(volume: str, seq: int) -> str:
-    """Stream object name: order is encoded in the name (§3.1)."""
-    return f"{volume}.{seq:08d}"
-
-
-def parse_object_name(name: str) -> Tuple[str, int]:
-    """Inverse of :func:`object_name`."""
-    volume, _, seq = name.rpartition(".")
-    if not volume or not seq.isdigit():
-        raise ValueError(f"not a stream object name: {name!r}")
-    return volume, int(seq)
+__all__ = [
+    "CacheRecord",
+    "KIND_CHECKPOINT",
+    "KIND_DATA",
+    "KIND_GC",
+    "KIND_SUPERBLOCK",
+    "ObjectExtent",
+    "ObjectHeader",
+    "align_up",
+    "decode_object",
+    "decode_object_header",
+    "decode_record",
+    "encode_object",
+    "encode_record",
+    "object_name",
+    "pack_record",
+    "parse_object_name",
+]

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Set
 from repro.core import checkpoint as ckpt_codec
 from repro.core.errors import CorruptRecordError
 from repro.core.log import KIND_CHECKPOINT, decode_object, object_name
+from repro.core.naming import stream_prefix, super_name
 from repro.objstore.s3 import NoSuchKeyError, ObjectStore
 from repro.obs import Registry, bind_metrics, metric_field
 
@@ -60,7 +61,7 @@ class Replicator:
     def observe(self, now: float) -> List[str]:
         """Scan the source for new objects; returns newly seen names."""
         fresh = []
-        for name in self.source.list(f"{self.volume_name}."):
+        for name in self.source.list(stream_prefix(self.volume_name)):
             if name not in self._first_seen:
                 self._first_seen[name] = now
                 fresh.append(name)
@@ -101,8 +102,8 @@ class Replicator:
         # the superblock is tiny: refresh it on every step
         try:
             self.target.put(
-                f"{self.volume_name}.super",
-                self.source.get(f"{self.volume_name}.super"),
+                super_name(self.volume_name),
+                self.source.get(super_name(self.volume_name)),
             )
         except NoSuchKeyError:
             pass
@@ -136,7 +137,7 @@ class Replicator:
         """Highest sequence number owned by a clone base (those objects
         live under other prefixes and are replicated separately)."""
         try:
-            blob = self.source.get(f"{self.volume_name}.super")
+            blob = self.source.get(super_name(self.volume_name))
             sections = ckpt_codec.decode_sections(blob)
             meta = ckpt_codec.unpack_json(sections["super"])
         except (NoSuchKeyError, CorruptRecordError, KeyError):

@@ -42,6 +42,8 @@ DEFAULT_IMMUTABILITY_ALLOW: Tuple[str, ...] = (
     "objstore/simulated.py",
     "runtime/backend.py",
     "runtime/lsvd.py",
+    "runtime/sharded.py",
+    "shard/store.py",
 )
 
 #: receiver names that identify an object-store handle at a call site
@@ -73,7 +75,13 @@ DEFAULT_DETERMINISM_DIRS: Tuple[str, ...] = (
     "devices/",
     "crash/",
     "obs/",
+    "shard/",
 )
+
+#: modules that may compute shard placement / spell out shard names —
+#: the LSVD008 ownership boundary.  A directory prefix covers the whole
+#: package.
+DEFAULT_SHARD_ALLOW: Tuple[str, ...] = ("shard/",)
 
 #: directories whose stat counters / reporting must go through repro.obs
 DEFAULT_OBS_DIRS: Tuple[str, ...] = (
@@ -149,6 +157,7 @@ class LintConfig:
     immutability_allow: Tuple[str, ...] = DEFAULT_IMMUTABILITY_ALLOW
     store_receivers: Tuple[str, ...] = DEFAULT_STORE_RECEIVERS
     sequence_allow: Tuple[str, ...] = DEFAULT_SEQUENCE_ALLOW
+    shard_allow: Tuple[str, ...] = DEFAULT_SHARD_ALLOW
     determinism_dirs: Tuple[str, ...] = DEFAULT_DETERMINISM_DIRS
     recovery_dirs: Tuple[str, ...] = DEFAULT_RECOVERY_DIRS
     error_recording_names: Tuple[str, ...] = DEFAULT_ERROR_RECORDING
@@ -220,6 +229,7 @@ class LintConfig:
             immutability_allow=_extend(base.immutability_allow, "immutability-allow"),
             store_receivers=_extend(base.store_receivers, "store-receivers"),
             sequence_allow=_extend(base.sequence_allow, "sequence-allow"),
+            shard_allow=_extend(base.shard_allow, "shard-allow"),
             obs_allow=_extend(base.obs_allow, "obs-allow"),
             stat_markers=_extend(base.stat_markers, "stat-markers"),
         )

@@ -5,6 +5,7 @@ from repro.lint.rules.immutability import ImmutabilityRule
 from repro.lint.rules.obs import ObservabilityRule
 from repro.lint.rules.recovery import RecoveryHandlerRule
 from repro.lint.rules.sequence import SequenceHygieneRule
+from repro.lint.rules.sharding import ShardOwnershipRule
 from repro.lint.rules.structs import StructConsistencyRule
 from repro.lint.rules.units import UnitConfusionRule
 
@@ -17,6 +18,7 @@ ALL_RULES = [
     UnitConfusionRule,
     StructConsistencyRule,
     ObservabilityRule,
+    ShardOwnershipRule,
 ]
 
 __all__ = [
@@ -26,6 +28,7 @@ __all__ = [
     "ObservabilityRule",
     "RecoveryHandlerRule",
     "SequenceHygieneRule",
+    "ShardOwnershipRule",
     "StructConsistencyRule",
     "UnitConfusionRule",
 ]

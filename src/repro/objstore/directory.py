@@ -39,7 +39,7 @@ class DirectoryObjectStore(ObjectStore):
     def _path(self, name: str) -> Path:
         return self.root / _encode(name)
 
-    def put(self, name: str, data: bytes) -> None:
+    def _write_atomic(self, name: str, data: bytes) -> None:
         # write-then-rename gives the atomic PUT semantics LSVD relies on
         fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".tmp-")
         try:
@@ -52,6 +52,9 @@ class DirectoryObjectStore(ObjectStore):
             except OSError:
                 pass
             raise
+
+    def put(self, name: str, data: bytes) -> None:
+        self._write_atomic(name, data)
         self.stats.puts += 1
         self.stats.bytes_put += len(data)
 
@@ -103,6 +106,16 @@ class DirectoryObjectStore(ObjectStore):
             return self._path(name).stat().st_size
         except FileNotFoundError:
             raise NoSuchKeyError(name) from None
+
+    def copy(self, src: str, dst: str) -> None:
+        """Server-side copy: bytes never leave the store, only ``copies``
+        is charged (the replication primitive of §4.8)."""
+        try:
+            data = self._path(src).read_bytes()
+        except FileNotFoundError:
+            raise NoSuchKeyError(src) from None
+        self._write_atomic(dst, data)
+        self.stats.copies += 1
 
     def total_bytes(self, prefix: str = "") -> int:
         return sum(self.size(n) for n in self.list(prefix))

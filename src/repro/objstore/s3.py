@@ -10,8 +10,8 @@ any PUT that has not completed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import dataclass, fields
+from typing import Dict, Iterable, List
 
 
 class NoSuchKeyError(KeyError):
@@ -30,6 +30,27 @@ class ObjectStoreStats:
     copies: int = 0
     bytes_put: int = 0
     bytes_got: int = 0
+
+    def add(self, other: "ObjectStoreStats") -> None:
+        """Accumulate ``other`` into this instance (per-shard merging)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    @classmethod
+    def merged(cls, parts: Iterable["ObjectStoreStats"]) -> "ObjectStoreStats":
+        total = cls()
+        for part in parts:
+            total.add(part)
+        return total
+
+    def publish(self, obs, prefix: str = "objstore") -> None:
+        """Mirror the counters into a :class:`repro.obs.Registry`.
+
+        Called at reporting time (``repro stats``) so per-store counters
+        land in the same snapshot as the stack's own metrics.
+        """
+        for f in fields(self):
+            obs.counter(f"{prefix}.{f.name}").set(getattr(self, f.name))
 
 
 class ObjectStore:
@@ -143,6 +164,10 @@ class UnsettledObjectStore(ObjectStore):
         self.inner = inner
         #: optional repro.obs Registry; crash() records a trace event in it
         self.obs = obs
+        # Share the inner store's counters so wrapping is transparent to
+        # accounting: ``repro stats`` sees PUT/GET/copy traffic whether or
+        # not the store was wrapped for fault injection.
+        self.stats = getattr(inner, "stats", None) or ObjectStoreStats()
         self._pending: Dict[int, _PendingPut] = {}
         self._next_handle = 0
 
@@ -175,6 +200,10 @@ class UnsettledObjectStore(ObjectStore):
     def in_flight(self) -> int:
         return len(self._pending)
 
+    def pending_handles(self) -> List[int]:
+        """Handles of every in-flight PUT, oldest first."""
+        return sorted(self._pending)
+
     # -- reads pass through (only settled objects are visible) ------------
     def get(self, name: str) -> bytes:
         return self.inner.get(name)
@@ -193,3 +222,13 @@ class UnsettledObjectStore(ObjectStore):
 
     def size(self, name: str) -> int:
         return self.inner.size(name)
+
+    def copy(self, src: str, dst: str) -> None:
+        """Server-side copy, delegated to the inner store.
+
+        The base-class fallback (``put(dst, get(src))``) would enqueue an
+        in-flight PUT whose handle nobody holds — the copy would silently
+        vanish at the next :meth:`crash`.  Real server-side copies do not
+        travel through the client, so they settle immediately.
+        """
+        self.inner.copy(src, dst)

@@ -30,6 +30,7 @@ from repro.runtime.lsvd import LSVDRuntime
 from repro.runtime.machine import ClientMachine
 from repro.runtime.params import BcacheParams, LSVDParams, RBDParams
 from repro.runtime.rbd import RBDRuntime
+from repro.runtime.sharded import ShardedSimulatedBackend, make_sharded_backend
 
 __all__ = [
     "BcacheParams",
@@ -40,7 +41,9 @@ __all__ = [
     "LSVDRuntime",
     "RBDParams",
     "RBDRuntime",
+    "ShardedSimulatedBackend",
     "SimulatedObjectStore",
+    "make_sharded_backend",
     "run_fio",
     "run_jobs",
 ]

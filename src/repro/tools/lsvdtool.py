@@ -26,6 +26,7 @@ from repro.core.log import (
     decode_object,
     object_name,
 )
+from repro.core.naming import parse_object_name, stream_prefix, stream_seq
 from repro.objstore.s3 import ObjectStore
 
 _KIND_NAMES = {KIND_DATA: "data", KIND_GC: "gc", KIND_CHECKPOINT: "ckpt"}
@@ -94,7 +95,7 @@ class StreamReport:
 
 def inspect_object(store: ObjectStore, name: str) -> ObjectReport:
     """Decode and CRC-verify a single stream object."""
-    seq = int(name.rsplit(".", 1)[1])
+    _volume, seq = parse_object_name(name)
     try:
         header, data = decode_object(store.get(name))
         return ObjectReport(
@@ -123,11 +124,9 @@ def inspect_stream(store: ObjectStore, volume: str) -> StreamReport:
         base_chain=[tuple(x) for x in meta.get("base_chain", [])],
     )
     names = [
-        n
-        for n in store.list(f"{volume}.")
-        if n.rsplit(".", 1)[1].isdigit()
+        n for n in store.list(stream_prefix(volume)) if stream_seq(n, volume) is not None
     ]
-    for name in sorted(names, key=lambda n: int(n.rsplit(".", 1)[1])):
+    for name in sorted(names, key=lambda n: stream_seq(n, volume) or 0):
         obj = inspect_object(store, name)
         report.objects.append(obj)
         if not obj.crc_ok:
@@ -171,7 +170,7 @@ def fsck_volume(store: ObjectStore, volume: str) -> StreamReport:
 def main(argv: Optional[List[str]] = None) -> int:
     import argparse
 
-    from repro.objstore.directory import DirectoryObjectStore
+    from repro.shard import open_directory_store
 
     parser = argparse.ArgumentParser(
         prog="lsvdtool", description="inspect LSVD object streams"
@@ -181,7 +180,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--objects", action="store_true", help="per-object detail")
     args = parser.parse_args(argv)
 
-    store = DirectoryObjectStore(args.root)
+    # sharded roots are self-describing; the fsck walks the global stream
+    store = open_directory_store(args.root)
     try:
         report = fsck_volume(store, args.volume)
     except VolumeNotFoundError as exc:

@@ -487,6 +487,79 @@ class TestObservability:
 # ---------------------------------------------------------------------------
 
 
+class TestShardOwnership:
+    BAD_MOD = """
+        def place(seq, n_shards):
+            return (seq + 7) % n_shards
+    """
+    BAD_NAME = """
+        def shard_dir(i):
+            return f"shard-{i:02d}"
+    """
+
+    def test_flags_modulo_on_shard_count(self):
+        diags = lint_src("core/destage.py", self.BAD_MOD)
+        assert "LSVD008" in codes(diags)
+        shard_diag = next(d for d in diags if d.code == "LSVD008")
+        assert "n_shards" in shard_diag.message
+        assert "ShardRouter" in shard_diag.fixit
+
+    def test_flags_attribute_shard_count_too(self):
+        src = """
+            class Router:
+                def pick(self, key):
+                    return hash(key) % self.num_shards
+        """
+        assert "LSVD008" in codes(lint_src("runtime/destage.py", src))
+
+    def test_flags_fstring_shard_name_construction(self):
+        diags = lint_src("tools/admin.py", self.BAD_NAME)
+        assert codes(diags) == ["LSVD008"]
+        assert "shard name" in diags[0].message
+
+    def test_flags_format_and_percent_templates(self):
+        src = """
+            def a(i):
+                return "shard-{}".format(i)
+
+            def b(i):
+                return "shard-%02d" % i
+        """
+        assert codes(lint_src("analysis/report.py", src)) == ["LSVD008", "LSVD008"]
+
+    def test_fixed_literals_are_fine(self):
+        src = """
+            def build(sub):
+                p = sub.add_parser("shard-status")
+                return p
+        """
+        assert lint_src("cli.py", src) == []
+
+    def test_shard_package_is_exempt(self):
+        # (seq arithmetic still answers to LSVD002 there — only the shard
+        # ownership rule stands down inside repro/shard/)
+        assert "LSVD008" not in codes(lint_src("shard/router.py", self.BAD_MOD))
+        assert lint_src("shard/store.py", self.BAD_NAME) == []
+
+    def test_suppression_comment_silences(self):
+        src = """
+            def place(seq, n_shards):
+                return seq % n_shards  # lint: disable=LSVD002,LSVD008 -- migration tool
+        """
+        assert lint_src("tools/reshard.py", src) == []
+
+    def test_shard_allow_extends_from_config(self):
+        config = replace(LintConfig(), shard_allow=("tools/reshard.py",))
+        assert lint_src("tools/reshard.py", self.BAD_NAME, config) == []
+
+    def test_other_modulo_arithmetic_passes(self):
+        src = """
+            def bucket(key, n_buckets):
+                return key % n_buckets
+        """
+        assert lint_src("core/cache.py", src) == []
+
+
 class TestSuppressions:
     def test_disable_only_silences_named_code_on_that_line(self):
         # one line violating LSVD002 *and* LSVD005: disabling LSVD002
