@@ -4,19 +4,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: all lint ruff mypy invariants test obs-smoke shard-smoke
+.PHONY: all lint ruff mypy invariants test obs-smoke shard-smoke perf-smoke
 
 all: lint test
 
 lint: ruff mypy invariants
 
 ruff:
-	ruff check src tests benchmarks/obs_smoke.py benchmarks/shard_smoke.py
+	ruff check src tests benchmarks/obs_smoke.py benchmarks/shard_smoke.py benchmarks/perf_smoke.py
 
 mypy:
 	mypy
 
-# the LSVD invariant checker (LSVD001-LSVD008); see DESIGN.md
+# the LSVD invariant checker (LSVD001-LSVD009); see DESIGN.md
 invariants:
 	$(PYTHON) -m repro.lint src/repro
 
@@ -34,3 +34,10 @@ obs-smoke:
 shard-smoke:
 	mkdir -p bench-out
 	$(PYTHON) benchmarks/shard_smoke.py --out-dir bench-out
+
+# data-plane fast path: extent map (chunked vs seed flat baseline), volume
+# random I/O, GC repack; fails unless the chunked map is >=10x the flat
+# list on 100k-extent random update and the 1M-extent pass stays in budget
+perf-smoke:
+	mkdir -p bench-out
+	$(PYTHON) benchmarks/perf_smoke.py --out-dir bench-out

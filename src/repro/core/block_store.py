@@ -253,7 +253,7 @@ class BlockStore:
 
     def fetch_with_prefetch(
         self, seq: int, offset: int, length: int, request_lba: Optional[int] = None
-    ) -> List[Tuple[int, bytes]]:
+    ) -> List[Tuple[int, memoryview]]:
         """Fetch a mapped extent plus temporally adjacent data (§3.2).
 
         Reads a window of up to ``config.prefetch_bytes`` around the
@@ -261,14 +261,15 @@ class BlockStore:
         falls inside the window back to its vLBA using the object header.
         Because objects hold data in write order, this prefetches by
         *temporal* locality.  Returns (vLBA, data) pieces, the requested
-        range guaranteed covered.
+        range guaranteed covered.  The pieces are zero-copy memoryviews
+        over the single fetched blob; callers assemble or copy as needed.
         """
         header = self.header_of(seq)
         window = max(self.config.prefetch_bytes, length)
         start = max(0, offset - (window - length) // 2)
         end = min(header.data_len, start + window)
-        blob = self.fetch(seq, start, end - start)
-        pieces: List[Tuple[int, bytes]] = []
+        blob = memoryview(self.fetch(seq, start, end - start))
+        pieces: List[Tuple[int, memoryview]] = []
         data_off = 0
         for ext in header.extents:
             ext_start, ext_end = data_off, data_off + ext.length

@@ -4,8 +4,17 @@ An :class:`ExtentMap` maps ranges of a virtual address space to ranges of a
 target space: vLBA -> pLBA for the write cache, vLBA -> cache slot for the
 read cache, and vLBA -> (object sequence number, offset) for the block
 store.  The paper's prototype uses red-black trees at 40 bytes/entry and
-the production rewrite a B+-tree at 24 bytes/entry; here a sorted list with
-binary search gives the same semantics with O(log n) lookup.
+the production rewrite a B+-tree at 24 bytes/entry because map operations
+dominate the client-side CPU budget at scale.
+
+This implementation is a two-level B+-tree-style structure: extents live
+in bounded *leaf chunks* (sorted lists of at most ``2 * _CHUNK_TARGET``
+extents), and a small top-level index of each chunk's first LBA routes
+every operation to the right leaf with two binary searches.  Point
+operations therefore cost O(log n + C) where C is the chunk bound — the
+list insert/delete that made the previous flat-list layout O(n) per
+update now moves at most one bounded chunk.  See DESIGN.md ("Chunked
+extent map") for the layout and the O(sqrt n) argument.
 
 Keys and offsets are plain integers (bytes throughout this codebase).  The
 ``target`` is any hashable (e.g. an object sequence number); splitting an
@@ -20,7 +29,7 @@ from dataclasses import dataclass
 from typing import Any, Hashable, Iterator, List, Optional, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Extent:
     """A mapped run: ``length`` addresses at ``lba`` live at
     ``target[offset : offset + length]``."""
@@ -46,37 +55,47 @@ class Extent:
 class ExtentMap:
     """Ordered, non-overlapping map from address ranges to target ranges."""
 
+    #: leaf sizing: a chunk splits in two once it exceeds ``2 * target``;
+    #: carve folds a shrunken chunk into its neighbour when the pair fits.
+    _CHUNK_TARGET = 128
+
     def __init__(self) -> None:
-        # parallel arrays sorted by lba; kept non-overlapping at all times
-        self._lbas: List[int] = []
-        self._exts: List[Extent] = []
+        # Leaf chunks of extents sorted by lba, globally non-overlapping.
+        # _lbas mirrors each chunk's extent lbas (bisect without key=),
+        # _firsts is the top-level index: _firsts[i] == _chunks[i][0].lba.
+        self._chunks: List[List[Extent]] = []
+        self._lbas: List[List[int]] = []
+        self._firsts: List[int] = []
+        self._count = 0
+        self._mapped = 0
 
     # -- queries -----------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._exts)
+        return self._count
 
     def __iter__(self) -> Iterator[Extent]:
-        return iter(self._exts)
+        for chunk in self._chunks:
+            yield from chunk
 
     def lookup(self, lba: int, length: int) -> List[Extent]:
         """Mapped pieces overlapping [lba, lba+length), clipped, in order.
 
         Unmapped gaps are simply absent from the result.
         """
-        if length <= 0:
+        if length <= 0 or not self._chunks:
             return []
-        out: List[Extent] = []
-        idx = bisect_right(self._lbas, lba) - 1
-        if idx < 0:
-            idx = 0
         end = lba + length
-        while idx < len(self._exts):
-            ext = self._exts[idx]
-            if ext.lba >= end:
-                break
-            if ext.end > lba:
+        out: List[Extent] = []
+        ci, ei = self._start_pos(lba)
+        while ci < len(self._chunks):
+            chunk = self._chunks[ci]
+            for j in range(ei, len(chunk)):
+                ext = chunk[j]
+                if ext.lba >= end:
+                    return out
                 out.append(ext.slice(lba, length))
-            idx += 1
+            ci += 1
+            ei = 0
         return out
 
     def lookup_with_gaps(
@@ -97,13 +116,13 @@ class ExtentMap:
 
     def mapped_bytes(self) -> int:
         """Total mapped address space (bytes, since addresses are bytes)."""
-        return sum(ext.length for ext in self._exts)
+        return self._mapped
 
     def bounds(self) -> Tuple[int, int]:
         """(lowest mapped address, highest mapped end); (0, 0) if empty."""
-        if not self._exts:
+        if not self._chunks:
             return (0, 0)
-        return (self._exts[0].lba, self._exts[-1].end)
+        return (self._chunks[0][0].lba, self._chunks[-1][-1].end)
 
     # -- mutation ----------------------------------------------------------
     def update(
@@ -116,9 +135,7 @@ class ExtentMap:
         garbage collection.
         """
         displaced = self._carve(lba, length)
-        new = Extent(lba, length, target, offset)
-        idx = bisect_right(self._lbas, lba)
-        self._insert_coalescing(idx, new)
+        self._insert(Extent(lba, length, target, offset))
         return displaced
 
     def remove(self, lba: int, length: int) -> List[Extent]:
@@ -126,8 +143,36 @@ class ExtentMap:
         return self._carve(lba, length)
 
     def clear(self) -> None:
+        self._chunks.clear()
         self._lbas.clear()
-        self._exts.clear()
+        self._firsts.clear()
+        self._count = 0
+        self._mapped = 0
+
+    # -- position finding ---------------------------------------------
+    def _start_pos(self, lba: int) -> Tuple[int, int]:
+        """(chunk, index) of the first extent whose ``end`` exceeds ``lba``.
+
+        The predecessor extent (greatest lba' <= lba) is tested
+        *explicitly* for overlap: when it ends at or before ``lba`` the
+        scan starts at its successor, and when ``lba`` precedes the whole
+        map there is no predecessor at all and the scan starts at the very
+        first extent.  (The flat-list ancestor clamped a -1 bisect result
+        to 0, which happened to work but hid the distinction; the chunked
+        layout makes the off-by-one fatal, so it is spelled out.)
+        """
+        ci = bisect_right(self._firsts, lba) - 1
+        if ci < 0:
+            # lba lies strictly before the first mapped extent
+            return (0, 0)
+        lbas = self._lbas[ci]
+        ei = bisect_right(lbas, lba) - 1  # >= 0: lbas[0] == _firsts[ci] <= lba
+        if self._chunks[ci][ei].end > lba:
+            return (ci, ei)  # predecessor spans past lba
+        # predecessor ends at/before lba: start at the next extent
+        if ei + 1 < len(lbas):
+            return (ci, ei + 1)
+        return (ci + 1, 0)
 
     # -- internals -----------------------------------------------------
     def _carve(self, lba: int, length: int) -> List[Extent]:
@@ -136,69 +181,248 @@ class ExtentMap:
             raise ValueError("length must be positive")
         end = lba + length
         displaced: List[Extent] = []
-        idx = bisect_right(self._lbas, lba) - 1
-        if idx < 0:
-            idx = 0
-        # skip extents entirely before the carve range
-        while idx < len(self._exts) and self._exts[idx].end <= lba:
-            idx += 1
-        while idx < len(self._exts) and self._exts[idx].lba < end:
-            ext = self._exts[idx]
-            displaced.append(ext.slice(lba, length))
+        if not self._chunks:
+            return displaced
+        ci, ei = self._start_pos(lba)
+        while ci < len(self._chunks):
+            chunk = self._chunks[ci]
+            n = len(chunk)
+            if ei >= n:
+                ci += 1
+                ei = 0
+                continue
+            if chunk[ei].lba >= end:
+                break
+            # the overlapping run [ei, j) within this chunk; the clipped
+            # piece is Extent.slice() inlined — this loop is the hottest
+            # code in the write path
+            j = ei
             left: Optional[Extent] = None
             right: Optional[Extent] = None
-            if ext.lba < lba:
-                left = Extent(ext.lba, lba - ext.lba, ext.target, ext.offset)
-            if ext.end > end:
-                right = Extent(
-                    end, ext.end - end, ext.target, ext.offset + (end - ext.lba)
+            carved = 0
+            while j < n:
+                ext = chunk[j]
+                e_lba = ext.lba
+                if e_lba >= end:
+                    break
+                e_end = e_lba + ext.length
+                start = e_lba if e_lba > lba else lba
+                stop = e_end if e_end < end else end
+                displaced.append(
+                    Extent(start, stop - start, ext.target, ext.offset + (start - e_lba))
                 )
-            # replace ext with surviving fragments
-            del self._lbas[idx], self._exts[idx]
-            for frag in (left, right):
-                if frag is not None:
-                    self._lbas.insert(idx, frag.lba)
-                    self._exts.insert(idx, frag)
-                    idx += 1
+                carved += stop - start
+                if e_lba < lba:
+                    left = Extent(e_lba, lba - e_lba, ext.target, ext.offset)
+                if e_end > end:
+                    right = Extent(
+                        end, e_end - end, ext.target, ext.offset + (end - e_lba)
+                    )
+                j += 1
+            self._mapped -= carved
+            # ext.length == piece.length + frag lengths, so subtracting the
+            # displaced overlap above already accounts for the fragments
+            frags = [f for f in (left, right) if f is not None]
+            self._replace_run(ci, ei, j, frags)
+            if j < n or right is not None:
+                break
+            # carve may continue into the next chunk; if this chunk
+            # emptied and was removed, the next one now sits at ci
+            if ci < len(self._chunks) and self._chunks[ci] is chunk:
+                ci += 1
+            ei = 0
+        # try both pairs around the carve point: a chunk shrunk by
+        # ascending-order removals only ever sees its *left* neighbour
+        # shrink afterwards, so folding right alone would never fire
+        ci = min(ci, len(self._chunks) - 1)
+        self._maybe_fold(ci)
+        self._maybe_fold(ci - 1)
         return displaced
 
-    def _insert_coalescing(self, idx: int, new: Extent) -> None:
-        """Insert ``new`` at idx, merging with contiguous neighbours."""
-        prev = self._exts[idx - 1] if idx > 0 else None
-        if (
+    def _insert(self, new: Extent) -> None:
+        """Insert a (pre-carved, non-overlapping) extent, coalescing with
+        contiguous same-target neighbours on both sides.
+
+        One routing bisect finds the leaf; the insertion index within it
+        identifies both neighbours for free, so the common case (no
+        coalescing possible) inserts with two binary searches total.  The
+        rare merge case removes the absorbed neighbours and re-routes.
+        """
+        self._mapped += new.length
+        chunks = self._chunks
+        if not chunks:
+            chunks.append([new])
+            self._lbas.append([new.lba])
+            self._firsts.append(new.lba)
+            self._count += 1
+            return
+        ci = bisect_right(self._firsts, new.lba) - 1
+        if ci < 0:
+            ci = 0  # new becomes the very first extent: prepend to chunk 0
+        chunk = chunks[ci]
+        ei = bisect_right(self._lbas[ci], new.lba)
+        # neighbours around the insertion slot: prev is chunk[ei-1] (or the
+        # previous leaf's tail), nxt is chunk[ei] (or the next leaf's head)
+        if ei > 0:
+            prev, ppos = chunk[ei - 1], (ci, ei - 1)
+        elif ci > 0:
+            pchunk = chunks[ci - 1]
+            prev, ppos = pchunk[-1], (ci - 1, len(pchunk) - 1)
+        else:
+            prev = None
+        if ei < len(chunk):
+            nxt, npos = chunk[ei], (ci, ei)
+        elif ci + 1 < len(chunks):
+            nxt, npos = chunks[ci + 1][0], (ci + 1, 0)
+        else:
+            nxt = None
+        merge_prev = (
             prev is not None
-            and prev.end == new.lba
+            and prev.lba + prev.length == new.lba
             and prev.target == new.target
             and prev.offset + prev.length == new.offset
-        ):
-            new = Extent(prev.lba, prev.length + new.length, new.target, prev.offset)
-            idx -= 1
-            del self._lbas[idx], self._exts[idx]
-        nxt = self._exts[idx] if idx < len(self._exts) else None
-        if (
+        )
+        merge_next = (
             nxt is not None
-            and new.end == nxt.lba
+            and new.lba + new.length == nxt.lba
             and nxt.target == new.target
             and new.offset + new.length == nxt.offset
-        ):
+        )
+        if not merge_prev and not merge_next:
+            self._leaf_insert(ci, new, ei)
+            return
+        # rare path: absorb the mergeable neighbour(s), then re-route —
+        # removals can shift or drop leaves, so positions are recomputed
+        if merge_prev and merge_next:
+            new = Extent(
+                prev.lba, prev.length + new.length + nxt.length, new.target, prev.offset
+            )
+            if ppos[0] == npos[0]:
+                self._replace_run(ppos[0], ppos[1], npos[1] + 1, [])
+            else:
+                self._replace_run(npos[0], npos[1], npos[1] + 1, [])
+                self._replace_run(ppos[0], ppos[1], ppos[1] + 1, [])
+        elif merge_prev:
+            new = Extent(prev.lba, prev.length + new.length, new.target, prev.offset)
+            self._replace_run(ppos[0], ppos[1], ppos[1] + 1, [])
+        else:
             new = Extent(new.lba, new.length + nxt.length, new.target, new.offset)
-            del self._lbas[idx], self._exts[idx]
-        self._lbas.insert(idx, new.lba)
-        self._exts.insert(idx, new)
+            self._replace_run(npos[0], npos[1], npos[1] + 1, [])
+        if not chunks:
+            chunks.append([new])
+            self._lbas.append([new.lba])
+            self._firsts.append(new.lba)
+            self._count += 1
+            return
+        ci = bisect_right(self._firsts, new.lba) - 1
+        if ci < 0:
+            ci = 0
+        self._leaf_insert(ci, new)
+
+    # -- leaf mutation (the blessed bounded-chunk helpers; LSVD009) ----
+    def _leaf_insert(self, ci: int, new: Extent, ei: Optional[int] = None) -> None:
+        """Insert into leaf chunk ``ci``; splits the chunk when oversized.
+
+        ``ei`` is the insertion index when the caller already bisected.
+        """
+        chunk, lbas = self._chunks[ci], self._lbas[ci]
+        if ei is None:
+            ei = bisect_right(lbas, new.lba)
+        chunk.insert(ei, new)
+        lbas.insert(ei, new.lba)
+        self._count += 1
+        self._firsts[ci] = chunk[0].lba
+        if len(chunk) > 2 * self._CHUNK_TARGET:
+            self._split_chunk(ci)
+
+    def _replace_run(self, ci: int, i0: int, i1: int, frags: List[Extent]) -> None:
+        """Replace ``chunk[i0:i1]`` with ``frags``; drop the leaf if empty."""
+        chunk, lbas = self._chunks[ci], self._lbas[ci]
+        chunk[i0:i1] = frags
+        lbas[i0:i1] = [f.lba for f in frags]
+        self._count += len(frags) - (i1 - i0)
+        if not chunk:
+            del self._chunks[ci]
+            del self._lbas[ci]
+            del self._firsts[ci]
+        else:
+            self._firsts[ci] = chunk[0].lba
+
+    def _split_chunk(self, ci: int) -> None:
+        """Split an oversized leaf into two half-full neighbours."""
+        chunk, lbas = self._chunks[ci], self._lbas[ci]
+        mid = len(chunk) // 2
+        right, right_lbas = chunk[mid:], lbas[mid:]
+        del chunk[mid:]
+        del lbas[mid:]
+        self._chunks.insert(ci + 1, right)
+        self._lbas.insert(ci + 1, right_lbas)
+        self._firsts.insert(ci + 1, right[0].lba)
+
+    def _maybe_fold(self, ci: int) -> None:
+        """Fold a carve-shrunken leaf into its right neighbour.
+
+        Keeps the chunk count near n / target after heavy removal so the
+        top-level index stays small; only fires when the merged leaf stays
+        within the split bound, so fold and split cannot ping-pong.
+        """
+        if ci < 0 or ci + 1 >= len(self._chunks):
+            return
+        chunk = self._chunks[ci]
+        nxt = self._chunks[ci + 1]
+        if len(chunk) >= self._CHUNK_TARGET // 4:
+            return
+        if len(chunk) + len(nxt) > self._CHUNK_TARGET:
+            return
+        chunk.extend(nxt)
+        self._lbas[ci].extend(self._lbas[ci + 1])
+        del self._chunks[ci + 1]
+        del self._lbas[ci + 1]
+        del self._firsts[ci + 1]
 
     # -- (de)serialisation ------------------------------------------------
     def entries(self) -> List[Tuple[int, int, Any, int]]:
         """Plain-tuple dump for checkpointing."""
-        return [(e.lba, e.length, e.target, e.offset) for e in self._exts]
+        return [(e.lba, e.length, e.target, e.offset) for e in self]
 
     @classmethod
     def from_entries(cls, entries) -> "ExtentMap":
-        m = cls()
+        """Rebuild from an :meth:`entries` dump (checkpoint restore).
+
+        Adjacent same-target contiguous runs are coalesced on the way in:
+        a checkpoint written while two extents were logically mergeable
+        (e.g. by an older writer) must not leave the restored map
+        permanently larger than the live map that produced it — restore
+        is idempotent: ``m.entries() == from_entries(m.entries()).entries()``.
+        """
+        flat: List[Extent] = []
         for lba, length, target, offset in entries:
-            m._lbas.append(lba)
-            m._exts.append(Extent(lba, length, target, offset))
-        # defensive: verify sortedness and non-overlap
-        for a, b in zip(m._exts, m._exts[1:]):
-            if b.lba < a.end:
-                raise ValueError("entries overlap or are unsorted")
+            ext = Extent(lba, length, target, offset)
+            if flat:
+                prev = flat[-1]
+                if ext.lba < prev.end:
+                    raise ValueError("entries overlap or are unsorted")
+                if (
+                    prev.end == ext.lba
+                    and prev.target == ext.target
+                    and prev.offset + prev.length == ext.offset
+                ):
+                    flat[-1] = Extent(
+                        prev.lba, prev.length + ext.length, prev.target, prev.offset
+                    )
+                    continue
+            flat.append(ext)
+        m = cls()
+        m._bulk_load(flat)
         return m
+
+    def _bulk_load(self, flat: List[Extent]) -> None:
+        """Load a sorted, non-overlapping, coalesced extent list wholesale."""
+        step = self._CHUNK_TARGET
+        for i in range(0, len(flat), step):
+            chunk = flat[i : i + step]
+            self._chunks.append(chunk)
+            self._lbas.append([e.lba for e in chunk])
+            self._firsts.append(chunk[0].lba)
+        self._count = len(flat)
+        self._mapped = sum(e.length for e in flat)

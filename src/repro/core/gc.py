@@ -152,12 +152,15 @@ class GarbageCollector:
         return out
 
     def _read_live(self, lba: int, length: int, src_seq: int, plan: GCPlan) -> bytes:
-        """Fetch live data, preferring the local cache (§3.5)."""
+        """Fetch live data, preferring the local cache (§3.5).
+
+        Per-piece accounting goes on the *plan*; the cumulative stats are
+        bumped once per round in :meth:`execute` (hot-path hygiene).
+        """
         if self.cache_reader is not None:
             cached = self.cache_reader(lba, length)
             if cached is not None:
                 plan.bytes_read_cache += length
-                self.stats.bytes_read_cache += length
                 return cached
         # locate within the source object(s) and range-read; a plugged
         # hole may resolve to a different object than src_seq.
@@ -165,7 +168,8 @@ class GarbageCollector:
         for ext in self.store.omap.lookup(lba, length):
             pieces.append(self.store.fetch(ext.target, ext.offset, ext.length))
         plan.bytes_read_backend += length
-        self.stats.bytes_read_backend += length
+        if len(pieces) == 1:
+            return pieces[0]
         return b"".join(pieces)
 
     # ------------------------------------------------------------------
@@ -192,6 +196,8 @@ class GarbageCollector:
         self.stats.victims_cleaned += len(plan.victims)
         self.stats.bytes_relocated += plan.live_bytes
         self.stats.holes_plugged += plan.holes_plugged
+        self.stats.bytes_read_backend += plan.bytes_read_backend
+        self.stats.bytes_read_cache += plan.bytes_read_cache
         self.obs.trace.emit(
             "gc_round",
             victims=len(plan.victims),

@@ -24,6 +24,7 @@ from typing import List, Optional, Tuple
 
 from repro.core.config import BLOCK
 from repro.core.errors import CorruptRecordError
+from repro.core.sgio import Buffer
 
 # The key grammar lives in repro.core.naming; re-exported here because
 # the wire format and the naming scheme are versioned together and most
@@ -45,7 +46,7 @@ _OBJ_HDR = struct.Struct("<4sHH16sQQIII")  # magic ver kind uuid seq last_rec n_
 _OBJ_EXT = struct.Struct("<QIQ")  # lba, length, src_seq (0 = fresh data)
 
 
-def _crc(*chunks: bytes) -> int:
+def _crc(*chunks: Buffer) -> int:
     value = 0
     for chunk in chunks:
         value = zlib.crc32(chunk, value)
@@ -96,39 +97,63 @@ class CacheRecord:
 
 
 def pack_record(
-    seq: int, writes: List[Tuple[int, bytes]], epoch: int = 0
+    seq: int, writes: List[Tuple[int, Buffer]], epoch: int = 0
 ) -> CacheRecord:
     """Build a cache record from (vLBA, payload) writes.
 
     Each payload is padded to the 4 KiB block grid — the space expansion
     for small writes the paper accepts as the price of a pure log (§3.1).
+    The padded data area is assembled as one pre-sized buffer: the zero
+    fill comes free with the allocation and each payload is copied exactly
+    once, with no per-write ``data + padding`` temporaries.
     """
     extents = [(lba, len(data)) for lba, data in writes]
-    chunks = []
+    blob = bytearray(sum(align_up(n) for _lba, n in extents))
+    pos = 0
     for _lba, data in writes:
-        pad = align_up(len(data)) - len(data)
-        chunks.append(data + b"\x00" * pad)
-    return CacheRecord(seq=seq, extents=extents, data=b"".join(chunks), epoch=epoch)
+        blob[pos : pos + len(data)] = data
+        pos += align_up(len(data))
+    return CacheRecord(seq=seq, extents=extents, data=bytes(blob), epoch=epoch)
 
 
 def encode_record(record: CacheRecord) -> bytes:
-    ext_blob = b"".join(_REC_EXT.pack(l, n) for l, n in record.extents)
-    hdr_no_crc = _REC_HDR.pack(
+    """Serialise a record into one contiguous, block-aligned buffer.
+
+    Header, extent table, alignment padding, and data are laid out in a
+    single pre-sized bytearray (padding is the allocation's zero fill);
+    the CRC is computed over views of that buffer, so encoding performs
+    one data copy total.
+    """
+    n_ext = len(record.extents)
+    hdr_size = align_up(_REC_HDR.size + _REC_EXT.size * n_ext)
+    out = bytearray(hdr_size + len(record.data))
+    _REC_HDR.pack_into(
+        out, 0,
         MAGIC, VERSION, KIND_DATA, record.seq, record.epoch, 0,
-        len(record.extents), len(record.data),
+        n_ext, len(record.data),
     )
-    crc = _crc(hdr_no_crc, ext_blob, record.data)
-    hdr = _REC_HDR.pack(
+    pos = _REC_HDR.size
+    for lba, length in record.extents:
+        _REC_EXT.pack_into(out, pos, lba, length)
+        pos += _REC_EXT.size
+    out[hdr_size:] = record.data
+    view = memoryview(out)
+    crc = _crc(view[: _REC_HDR.size], view[_REC_HDR.size : pos], record.data)
+    del view  # release the exported buffer before mutating sizes
+    _REC_HDR.pack_into(
+        out, 0,
         MAGIC, VERSION, KIND_DATA, record.seq, record.epoch, crc,
-        len(record.extents), len(record.data),
+        n_ext, len(record.data),
     )
-    raw = hdr + ext_blob
-    pad = align_up(len(raw)) - len(raw)
-    return raw + b"\x00" * pad + record.data
+    return bytes(out)
 
 
-def decode_record(buf: bytes, offset: int = 0) -> Optional[CacheRecord]:
-    """Decode the record at ``offset``; None if invalid/torn (end of log)."""
+def decode_record(buf: Buffer, offset: int = 0) -> Optional[CacheRecord]:
+    """Decode the record at ``offset``; None if invalid/torn (end of log).
+
+    ``buf`` may be any bytes-like object; validation (CRC, extent table)
+    runs over memoryviews and only the record's payload is copied out.
+    """
     if offset + _REC_HDR.size > len(buf):
         return None
     magic, ver, kind, seq, epoch, crc, n_ext, data_len = _REC_HDR.unpack_from(
@@ -144,9 +169,10 @@ def decode_record(buf: bytes, offset: int = 0) -> Optional[CacheRecord]:
     extents = [
         _REC_EXT.unpack_from(buf, ext_off + i * _REC_EXT.size) for i in range(n_ext)
     ]
-    data = bytes(buf[offset + hdr_size : offset + hdr_size + data_len])
+    view = memoryview(buf)
+    data = bytes(view[offset + hdr_size : offset + hdr_size + data_len])
     hdr_no_crc = _REC_HDR.pack(MAGIC, ver, kind, seq, epoch, 0, n_ext, data_len)
-    if _crc(hdr_no_crc, bytes(buf[ext_off:ext_end]), data) != crc:
+    if _crc(hdr_no_crc, view[ext_off:ext_end], data) != crc:
         return None
     expected_data = sum(align_up(n) for _l, n in extents)
     if expected_data != data_len:
@@ -188,8 +214,13 @@ class ObjectHeader:
         return self.header_size + sum(e.length for e in self.extents[:index])
 
 
-def encode_object(header: ObjectHeader, data: bytes) -> bytes:
-    """Serialise header+data into the immutable object payload."""
+def encode_object(header: ObjectHeader, data: Buffer) -> bytes:
+    """Serialise header+data into the immutable object payload.
+
+    ``data`` may be any bytes-like object (the batch seal hands in the
+    gathered ``bytearray`` directly); the final ``join`` is the single
+    copy that builds the immutable PUT payload.
+    """
     ext_blob = b"".join(
         _OBJ_EXT.pack(e.lba, e.length, e.src_seq) for e in header.extents
     )
@@ -216,10 +247,10 @@ def encode_object(header: ObjectHeader, data: bytes) -> bytes:
         len(data),
         crc,
     )
-    return base + ext_blob + data
+    return b"".join((base, ext_blob, data))
 
 
-def decode_object_header(buf: bytes) -> ObjectHeader:
+def decode_object_header(buf: Buffer) -> ObjectHeader:
     """Parse an object header (a prefix of the object is enough)."""
     if len(buf) < _OBJ_HDR.size:
         raise CorruptRecordError("object shorter than fixed header")
@@ -247,18 +278,23 @@ def decode_object_header(buf: bytes) -> ObjectHeader:
     )
 
 
-def decode_object(buf: bytes) -> Tuple[ObjectHeader, bytes]:
-    """Parse a whole object, verifying the CRC over header and data."""
+def decode_object(buf: Buffer) -> Tuple[ObjectHeader, bytes]:
+    """Parse a whole object, verifying the CRC over header and data.
+
+    The CRC runs over memoryviews of ``buf``; only the data area is
+    copied out (the one materialisation the caller keeps).
+    """
     header = decode_object_header(buf)
     hdr_size = header.header_size
     if len(buf) < hdr_size + header.data_len:
         raise CorruptRecordError("object truncated inside data")
-    data = bytes(buf[hdr_size : hdr_size + header.data_len])
+    view = memoryview(buf)
+    data = bytes(view[hdr_size : hdr_size + header.data_len])
     magic, ver, kind, uuid, seq, last_rec, n_ext, data_len, crc = _OBJ_HDR.unpack_from(
         buf, 0
     )
     base = _OBJ_HDR.pack(MAGIC, ver, kind, uuid, seq, last_rec, n_ext, data_len, 0)
-    if _crc(base, bytes(buf[_OBJ_HDR.size : hdr_size]), data) != crc:
+    if _crc(base, view[_OBJ_HDR.size : hdr_size], data) != crc:
         raise CorruptRecordError(f"object seq={seq} CRC mismatch")
     return header, data
 

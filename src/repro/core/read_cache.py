@@ -123,9 +123,9 @@ class ReadCache:
             hi = min(ext.offset + ext.length, end)
             lba_lo = ext.lba + (lo - ext.offset)
             self.map.remove(lba_lo, hi - lo)
-            self.evicted_bytes += hi - lo
             dropped += hi - lo
         if dropped:
+            self.evicted_bytes += dropped
             self.obs.trace.emit("cache_evict", bytes=dropped)
 
     # ------------------------------------------------------------------

@@ -318,12 +318,13 @@ class LSVDVolume:
             self._check_io(offset, len(data))
         if not writes:
             return
+        total = sum(len(d) for _o, d in writes)
         self._m_writes.inc()
-        self._m_bytes_written.inc(sum(len(d) for _o, d in writes))
+        self._m_bytes_written.inc(total)
         try:
             record = self.wc.append(writes)
         except CacheFullError:
-            self._make_room(sum(len(d) for _o, d in writes))
+            self._make_room(total)
             record = self.wc.append(writes)
         for offset, data in writes:
             self.rc.invalidate(offset, len(data))
@@ -546,7 +547,7 @@ class LSVDVolume:
         cursor = 0
         for start, length, ext in _clip_against(self.wc.map, lba, len(data)):
             if ext is None:
-                self.rc.insert(start, data[start - lba : start - lba + length])
+                self.rc.insert(start, data[start - lba : start - lba + length])  # lint: disable=LSVD009 -- ReadCache.insert (cache API), not a list shuffle
 
     def _check_io(self, offset: int, length: int) -> None:
         if offset % SECTOR or length % SECTOR:

@@ -150,11 +150,16 @@ class WriteCache:
         virt = self._reserve(size)
         phys = self._phys(virt)
         self.image.write(phys, encoded)
-        # map each extent to its data location on SSD
+        # map each extent to its data location on SSD; the stat update is
+        # one batched delta after the loop (hot-path hygiene, LSVD009)
         data_phys = phys + record.header_size
-        for index, (lba, length) in enumerate(record.extents):
-            self.map.update(lba, length, WC_TARGET, data_phys + record.data_offset_of(index))
-            self.client_bytes += length
+        data_off = 0
+        total = 0
+        for lba, length in record.extents:
+            self.map.update(lba, length, WC_TARGET, data_phys + data_off)
+            data_off += align_up(length)
+            total += length
+        self.client_bytes += total
         self.records.append(RecordRef(record.seq, virt, size))
         self.next_seq += 1
         self.bytes_logged += size

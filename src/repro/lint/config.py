@@ -117,6 +117,27 @@ DEFAULT_STAT_MARKERS: Tuple[str, ...] = (
     "count",
 )
 
+#: data-plane modules held to hot-path hygiene (LSVD009): no O(n) list
+#: shuffles or per-extent ``bytes()`` copies outside blessed helpers
+DEFAULT_HOTPATH_MODULES: Tuple[str, ...] = (
+    "core/extent_map.py",
+    "core/volume.py",
+    "core/batch.py",
+    "core/log.py",
+)
+
+#: blessed fast-path helpers: ``module.py::function`` entries exempt one
+#: function (the extent map's bounded-chunk mutators, where the shifted
+#: list is a chunk, not the whole map); a bare module suffix exempts the
+#: file.  Cold-path exemptions (recovery decode, checkpoint restore) are
+#: added from pyproject via ``hotpath-allow``.
+DEFAULT_HOTPATH_BLESSED: Tuple[str, ...] = (
+    "core/extent_map.py::_leaf_insert",
+    "core/extent_map.py::_split_chunk",
+    "core/extent_map.py::_replace_run",
+    "core/extent_map.py::_maybe_fold",
+)
+
 #: directories where exception handlers must not swallow errors
 DEFAULT_RECOVERY_DIRS: Tuple[str, ...] = (
     "core/",
@@ -166,6 +187,8 @@ class LintConfig:
     obs_dirs: Tuple[str, ...] = DEFAULT_OBS_DIRS
     obs_allow: Tuple[str, ...] = DEFAULT_OBS_ALLOW
     stat_markers: Tuple[str, ...] = DEFAULT_STAT_MARKERS
+    hotpath_modules: Tuple[str, ...] = DEFAULT_HOTPATH_MODULES
+    hotpath_blessed: Tuple[str, ...] = DEFAULT_HOTPATH_BLESSED
     struct_dataclass_map: Mapping[str, Mapping[str, str]] = field(
         default_factory=lambda: dict(DEFAULT_STRUCT_DATACLASS_MAP)
     )
@@ -232,6 +255,7 @@ class LintConfig:
             shard_allow=_extend(base.shard_allow, "shard-allow"),
             obs_allow=_extend(base.obs_allow, "obs-allow"),
             stat_markers=_extend(base.stat_markers, "stat-markers"),
+            hotpath_blessed=_extend(base.hotpath_blessed, "hotpath-allow"),
         )
 
 

@@ -1,6 +1,7 @@
 """Rule registry: one module per rule family."""
 
 from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.hotpath import HotPathRule
 from repro.lint.rules.immutability import ImmutabilityRule
 from repro.lint.rules.obs import ObservabilityRule
 from repro.lint.rules.recovery import RecoveryHandlerRule
@@ -19,11 +20,13 @@ ALL_RULES = [
     StructConsistencyRule,
     ObservabilityRule,
     ShardOwnershipRule,
+    HotPathRule,
 ]
 
 __all__ = [
     "ALL_RULES",
     "DeterminismRule",
+    "HotPathRule",
     "ImmutabilityRule",
     "ObservabilityRule",
     "RecoveryHandlerRule",

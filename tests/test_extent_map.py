@@ -135,6 +135,27 @@ def test_lookup_with_gaps_covers_range():
     ]
 
 
+def test_lookup_strictly_before_first_extent():
+    """Regression: a query entirely below the first mapped extent.
+
+    The flat-list ancestor clamped a -1 bisect result to index 0, which
+    silently worked; the chunked layout handles the no-predecessor case
+    explicitly (see ExtentMap._start_pos).  Both the miss and the
+    partial-overlap-from-below shapes must behave.
+    """
+    m = ExtentMap()
+    m.update(1000, 50, "a", 0)
+    m.update(2000, 50, "b", 0)
+    assert m.lookup(0, 500) == []
+    assert m.remove(0, 500) == []
+    # query starting strictly before the first extent but reaching into it
+    [ext] = m.lookup(900, 150)
+    assert (ext.lba, ext.length, ext.target) == (1000, 50, "a")
+    # update landing entirely before the first extent displaces nothing
+    assert m.update(0, 10, "z", 0) == []
+    assert [e.lba for e in m] == [0, 1000, 2000]
+
+
 def test_slice_requires_overlap():
     ext = Extent(0, 10, "a", 0)
     with pytest.raises(ValueError):
@@ -152,6 +173,124 @@ def test_entries_roundtrip():
 def test_from_entries_rejects_overlap():
     with pytest.raises(ValueError):
         ExtentMap.from_entries([(0, 10, 1, 0), (5, 10, 2, 0)])
+
+
+def test_from_entries_coalesces_adjacent_same_target_runs():
+    """An old checkpoint may contain mergeable neighbours; restore must
+    fold them so the restored map matches what a live map would hold."""
+    m = ExtentMap.from_entries(
+        [
+            (0, 10, "a", 0),
+            (10, 10, "a", 10),  # contiguous with the previous: merges
+            (20, 10, "a", 100),  # offset breaks contiguity: stays
+            (30, 10, "b", 110),  # target changes: stays
+            (50, 10, "b", 120),  # gap: stays
+        ]
+    )
+    assert m.entries() == [
+        (0, 20, "a", 0),
+        (20, 10, "a", 100),
+        (30, 10, "b", 110),
+        (50, 10, "b", 120),
+    ]
+    assert m.mapped_bytes() == 50
+
+
+def test_from_entries_restore_is_idempotent():
+    m = ExtentMap()
+    for i in range(500):
+        m.update(i * 7, 5, i % 3, i * 100)
+    once = ExtentMap.from_entries(m.entries())
+    assert once.entries() == m.entries()
+    twice = ExtentMap.from_entries(once.entries())
+    assert twice.entries() == once.entries()
+    assert twice.mapped_bytes() == m.mapped_bytes()
+
+
+# ---------------------------------------------------------------------------
+# multi-chunk behaviour: force the map past one leaf (chunk bound is 256)
+# ---------------------------------------------------------------------------
+
+
+def _chunk_invariants(m):
+    """The structural invariants of the chunked layout."""
+    assert len(m._chunks) == len(m._lbas) == len(m._firsts)
+    total = 0
+    prev_end = None
+    for chunk, lbas, first in zip(m._chunks, m._lbas, m._firsts):
+        assert chunk, "empty leaf chunks must be removed"
+        assert len(chunk) <= 2 * m._CHUNK_TARGET
+        assert first == chunk[0].lba
+        assert lbas == [e.lba for e in chunk]
+        for e in chunk:
+            if prev_end is not None:
+                assert e.lba >= prev_end
+            prev_end = e.end
+        total += len(chunk)
+    assert total == len(m)
+    assert m.mapped_bytes() == sum(e.length for e in m)
+
+
+def test_multi_chunk_split_and_iteration_order():
+    m = ExtentMap()
+    n = 1000  # isolated extents: forces several leaf splits
+    for i in range(n):
+        m.update(i * 10, 5, i, 0)
+    assert len(m) == n
+    assert len(m._chunks) > 1
+    assert [e.lba for e in m] == [i * 10 for i in range(n)]
+    _chunk_invariants(m)
+
+
+def test_multi_chunk_carve_spanning_chunks():
+    m = ExtentMap()
+    n = 1000
+    for i in range(n):
+        m.update(i * 10, 5, i, 0)
+    # carve a range spanning many leaves in one call: [95, 4995) overlaps
+    # the 490 extents with lba 100..4990
+    displaced = m.remove(95, 4900)
+    assert sum(d.length for d in displaced) == 5 * 490
+    assert [e.lba for e in m.lookup(0, 200)] == [0, 10, 20, 30, 40, 50, 60, 70, 80, 90]
+    _chunk_invariants(m)
+
+
+def test_multi_chunk_overwrite_everything_collapses_to_one():
+    m = ExtentMap()
+    for i in range(600):
+        m.update(i * 10, 10, i, 0)
+    assert len(m._chunks) > 1
+    displaced = m.update(0, 6000, "big", 0)
+    assert sum(d.length for d in displaced) == 6000
+    assert len(m) == 1
+    assert len(m._chunks) == 1
+    _chunk_invariants(m)
+
+
+def test_multi_chunk_fold_after_heavy_removal():
+    m = ExtentMap()
+    for i in range(1000):
+        m.update(i * 10, 5, i, 0)
+    chunks_before = len(m._chunks)
+    # remove 7 of every 8 extents in scattered small carves; the shrunken
+    # leaves must fold into their neighbours instead of lingering
+    for i in range(1000):
+        if i % 8 != 3:
+            m.remove(i * 10, 10)
+    _chunk_invariants(m)
+    assert len(m) == 125
+    assert len(m._chunks) < chunks_before
+
+
+def test_multi_chunk_coalesce_across_chunk_boundary():
+    """Sequential same-target writes must merge even when the neighbour
+    sits in the previous leaf chunk."""
+    m = ExtentMap()
+    for i in range(2000):
+        m.update(i * 10, 10, "seq", i * 10)
+    assert len(m) == 1  # everything contiguous: one extent survives
+    assert m.mapped_bytes() == 20000
+    _chunk_invariants(m)
 
 
 def test_zero_length_lookup_empty():

@@ -39,5 +39,15 @@ def test_cli_json_clean_document(capsys):
 def test_every_rule_actually_ran_against_the_tree():
     """Guard against a rule being silently disabled by configuration."""
     config = LintConfig.from_pyproject(REPO / "pyproject.toml")
-    for code in ("LSVD001", "LSVD002", "LSVD003", "LSVD004", "LSVD005", "LSVD006"):
+    for code in (
+        "LSVD001",
+        "LSVD002",
+        "LSVD003",
+        "LSVD004",
+        "LSVD005",
+        "LSVD006",
+        "LSVD007",
+        "LSVD008",
+        "LSVD009",
+    ):
         assert config.code_enabled(code), f"{code} is disabled in pyproject.toml"

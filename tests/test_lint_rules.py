@@ -560,6 +560,118 @@ class TestShardOwnership:
         assert lint_src("core/cache.py", src) == []
 
 
+# ---------------------------------------------------------------------------
+# LSVD009 hot-path hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestHotPath:
+    BAD_INSERT = """
+        def carve(entries, i, frag):
+            entries.insert(i, frag)
+    """
+    BAD_DEL = """
+        def drop(entries, i):
+            del entries[i]
+    """
+    BAD_COPY = """
+        def pieces(buf, exts):
+            return [bytes(buf[e.offset : e.offset + e.length]) for e in exts]
+    """
+
+    def test_flags_list_insert_in_data_plane_module(self):
+        diags = lint_src("core/extent_map.py", self.BAD_INSERT)
+        assert codes(diags) == ["LSVD009"]
+        assert "list.insert" in diags[0].message
+
+    def test_flags_del_subscript(self):
+        diags = lint_src("core/volume.py", self.BAD_DEL)
+        assert codes(diags) == ["LSVD009"]
+        assert "del" in diags[0].message
+
+    def test_flags_per_extent_bytes_copy(self):
+        diags = lint_src("core/batch.py", self.BAD_COPY)
+        assert codes(diags) == ["LSVD009"]
+        assert "bytes" in diags[0].message
+        assert "sgio" in diags[0].fixit
+
+    def test_non_hotpath_modules_are_ignored(self):
+        # checkpoint/recovery modules may shuffle lists freely
+        assert lint_src("core/checkpoint.py", self.BAD_INSERT) == []
+        assert lint_src("core/write_cache.py", self.BAD_COPY) == []
+
+    def test_blessed_helper_is_exempt(self):
+        src = """
+            def _leaf_insert(chunk, lbas, ei, new):
+                chunk.insert(ei, new)
+                lbas.insert(ei, new.lba)
+        """
+        assert lint_src("core/extent_map.py", src) == []
+
+    def test_blessing_is_per_function_not_per_name_prefix(self):
+        # a different function in the same module is still checked
+        src = """
+            def _leaf_insert(chunk, ei, new):
+                chunk.insert(ei, new)
+
+            def rebalance(chunk, ei, new):
+                chunk.insert(ei, new)
+        """
+        diags = lint_src("core/extent_map.py", src)
+        assert codes(diags) == ["LSVD009"]
+        assert diags[0].line == 6
+
+    def test_nested_function_shadows_blessing(self):
+        # a def nested inside a blessed helper is its own scope: blessing
+        # does not leak into it
+        src = """
+            def _split_chunk(chunks, ci):
+                def helper(xs, i):
+                    xs.insert(i, None)
+                chunks.insert(ci, [])
+                return helper
+        """
+        diags = lint_src("core/extent_map.py", src)
+        assert codes(diags) == ["LSVD009"]
+        assert diags[0].line == 4
+
+    def test_hotpath_allow_extends_from_pyproject(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.repro-lint]\n"
+            'hotpath-allow = ["core/batch.py::pieces"]\n'
+        )
+        config = LintConfig.from_pyproject(pyproject)
+        assert lint_src("core/batch.py", self.BAD_COPY, config) == []
+
+    def test_whole_module_exemption(self):
+        config = replace(LintConfig(), hotpath_blessed=("core/log.py",))
+        assert lint_src("core/log.py", self.BAD_DEL, config) == []
+
+    def test_real_decode_paths_are_allowlisted(self):
+        import pathlib
+
+        repo = pathlib.Path(__file__).resolve().parents[1]
+        config = LintConfig.from_pyproject(repo / "pyproject.toml")
+        assert "core/log.py::decode_record" in config.hotpath_blessed
+        assert "core/log.py::decode_object" in config.hotpath_blessed
+
+    def test_suppression_comment_silences(self):
+        src = """
+            def insert_piece(cache, lba, data):
+                cache.insert(lba, data)  # lint: disable=LSVD009 -- cache API
+        """
+        assert lint_src("core/volume.py", src) == []
+
+    def test_bytes_of_name_is_fine(self):
+        # the single whole-buffer materialisation is the blessed pattern
+        src = """
+            def seal(out):
+                return bytes(out)
+        """
+        assert lint_src("core/log.py", src) == []
+
+
 class TestSuppressions:
     def test_disable_only_silences_named_code_on_that_line(self):
         # one line violating LSVD002 *and* LSVD005: disabling LSVD002
