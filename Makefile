@@ -4,21 +4,21 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: all lint ruff mypy invariants test obs-smoke shard-smoke perf-smoke
+.PHONY: all lint ruff mypy invariants test obs-smoke shard-smoke perf-smoke lint-bench
 
 all: lint test
 
 lint: ruff mypy invariants
 
 ruff:
-	ruff check src tests benchmarks/obs_smoke.py benchmarks/shard_smoke.py benchmarks/perf_smoke.py
+	ruff check src tests benchmarks/obs_smoke.py benchmarks/shard_smoke.py benchmarks/perf_smoke.py benchmarks/lint_bench.py
 
 mypy:
 	mypy
 
-# the LSVD invariant checker (LSVD001-LSVD009); see DESIGN.md
+# the LSVD invariant checker (LSVD001-LSVD013); see DESIGN.md
 invariants:
-	$(PYTHON) -m repro.lint src/repro
+	$(PYTHON) -m repro.lint src/repro benchmarks examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -41,3 +41,9 @@ shard-smoke:
 perf-smoke:
 	mkdir -p bench-out
 	$(PYTHON) benchmarks/perf_smoke.py --out-dir bench-out
+
+# full-tree lint wall-clock gate; emits BENCH_lint.json (timings plus
+# the JSON diagnostics document) and fails on a superlinear regression
+lint-bench:
+	mkdir -p bench-out
+	$(PYTHON) benchmarks/lint_bench.py --out-dir bench-out

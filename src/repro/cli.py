@@ -264,6 +264,10 @@ def cmd_lint(store, args) -> int:
     from repro.lint.cli import main as lint_main
 
     argv = list(args.paths) + ["--format", args.format]
+    if args.rule:
+        argv += ["--rule", args.rule]
+    if args.explain:
+        argv.append("--explain")
     return lint_main(argv)
 
 
@@ -413,6 +417,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("lint", help="check source against LSVD invariants")
     p.add_argument("paths", nargs="*", default=["src/repro"])
     p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--rule", default=None, metavar="CODE",
+                   help="restrict the run (or --explain) to one rule")
+    p.add_argument("--explain", action="store_true",
+                   help="print rule invariants/examples/paper sections")
     p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("stats", help="mount, optionally exercise, dump metrics")

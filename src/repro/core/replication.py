@@ -94,20 +94,33 @@ class Replicator:
             if self._is_unshippable_checkpoint(data):
                 self.stats.checkpoints_deferred += 1
                 continue  # retry next step; a newer ckpt will supersede
-            self.target.put(name, data)
+            self._ship(name, data)
             self._copied.add(name)
             self.stats.objects_copied += 1
             self.stats.bytes_copied += len(data)
             copied.append(name)
         # the superblock is tiny: refresh it on every step
         try:
-            self.target.put(
+            self._ship(
                 super_name(self.volume_name),
                 self.source.get(super_name(self.volume_name)),
             )
         except NoSuchKeyError:
             pass
         return copied
+
+    def _ship(self, name: str, data: bytes) -> None:
+        """PUT one object to the target, settling immediately.
+
+        The replicator has no settlement ledger of its own: "copied"
+        means *durable at the target*, so when the target is an
+        unsettled fault-injection store the in-flight write must be
+        completed here — otherwise ``_copied`` records objects the
+        replica can still lose, and it silently never converges.
+        """
+        handle = self.target.put(name, data)
+        if handle is not None:
+            self.target.settle(handle)  # type: ignore[attr-defined]
 
     def _is_unshippable_checkpoint(self, data: bytes) -> bool:
         """True if this checkpoint references a stream object not yet at

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import pathlib
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Mapping, Optional, Sequence, Set, Tuple
 
 try:  # Python 3.11+
     import tomllib
@@ -168,6 +168,175 @@ DEFAULT_STRUCT_DATACLASS_MAP: Dict[str, Dict[str, str]] = {
     "core/log.py": {"_OBJ_EXT": "ObjectExtent"},
 }
 
+# -- flow rules (LSVD010-LSVD013) -------------------------------------------
+
+#: directories whose PUT handles are settlement-tracked (LSVD010)
+DEFAULT_SETTLEMENT_DIRS: Tuple[str, ...] = (
+    "core/",
+    "shard/",
+    "objstore/",
+    "runtime/",
+    "obs/",
+)
+
+#: method names whose return value is an in-flight-write handle
+DEFAULT_FLOW_PUT_METHODS: Tuple[str, ...] = ("put",)
+
+#: receiver names whose ``.put()`` yields a trackable handle; matched as
+#: the exact name or a ``_``-separated suffix (``dst_shard`` -> ``shard``)
+DEFAULT_FLOW_PUT_RECEIVERS: Tuple[str, ...] = DEFAULT_STORE_RECEIVERS + ("shard",)
+
+#: modules holding completion/ack call sites (LSVD011) — the write path,
+#: its settlement ledger, replication, and the timed destage pipeline
+DEFAULT_DURABILITY_MODULES: Tuple[str, ...] = (
+    "core/volume.py",
+    "core/write_cache.py",
+    "core/block_store.py",
+    "core/replication.py",
+    "runtime/lsvd.py",
+)
+
+#: calls that complete/acknowledge client-visible state: releasing cache
+#: log space, retiring superseded checkpoints, deleting GC victims
+DEFAULT_DURABILITY_ACK_CALLS: Tuple[str, ...] = (
+    "release_through",
+    "retire_old_checkpoints",
+    "_advance_release_frontier",
+    "delete_victims",
+    "_release_space",
+)
+
+#: calls whose completion is durability evidence dominating an ack
+DEFAULT_DURABILITY_EVIDENCE_CALLS: Tuple[str, ...] = (
+    "settle",
+    "settle_put",
+    "settle_all",
+    "flush",
+    "barrier",
+    "recover",
+)
+
+#: calls that count as evidence only when awaited/yielded — in the timed
+#: model ``yield backend.put(...)`` resumes when the PUT settles
+DEFAULT_DURABILITY_YIELD_EVIDENCE: Tuple[str, ...] = (
+    "put",
+    "write",
+    "flush",
+    "barrier",
+)
+
+#: function-name substrings marking recovery/GC code paths (LSVD012)
+DEFAULT_RECOVERY_FUNCTION_MARKERS: Tuple[str, ...] = (
+    "recover",
+    "replay",
+    "restore",
+    "mount",
+    "load",
+    "open",
+    "clean",
+    "gc",
+    "victim",
+)
+
+#: ``self.<attr>`` substrings naming recovery-critical in-memory state
+DEFAULT_RECOVERY_STATE_MARKERS: Tuple[str, ...] = (
+    "map",
+    "omap",
+    "record",
+    "snapshot",
+    "seq",
+    "epoch",
+    "super",
+    "ckpt",
+    "checkpoint",
+    "history",
+    "frontier",
+    "batch",
+)
+
+#: method names that mutate a container attribute in place
+DEFAULT_STATE_MUTATORS: Tuple[str, ...] = (
+    "update",
+    "add",
+    "add_object",
+    "remove",
+    "discard",
+    "pop",
+    "popleft",
+    "append",
+    "appendleft",
+    "extend",
+    "clear",
+    "insert",
+    "apply_extent",
+    "apply_gc_extent",
+    "restore",
+    "trim",
+    "drop_object",
+    "setdefault",
+)
+
+#: calls that persist state durably (checked against durable receivers)
+DEFAULT_DURABLE_WRITE_CALLS: Tuple[str, ...] = (
+    "put",
+    "write",
+    "flush",
+    "barrier",
+    "write_checkpoint",
+    "write_super",
+    "checkpoint",
+    "delete",
+)
+
+#: receiver names that address durable media (stores, plus the cache
+#: image/device and the layered write-path objects)
+DEFAULT_DURABLE_RECEIVERS: Tuple[str, ...] = DEFAULT_STORE_RECEIVERS + (
+    "image",
+    "device",
+    "bs",
+    "wc",
+)
+
+#: directories the async-cancellation rule (LSVD013) watches
+DEFAULT_ASYNC_DIRS: Tuple[str, ...] = (
+    "core/",
+    "shard/",
+    "objstore/",
+    "runtime/",
+)
+
+#: ``self.<attr>`` substrings naming settlement-coupled state an async
+#: function must not leave dangling across an await point
+DEFAULT_ASYNC_STATE_MARKERS: Tuple[str, ...] = (
+    "map",
+    "pending",
+    "batch",
+    "record",
+    "seq",
+    "head",
+    "frontier",
+    "ledger",
+    "settled",
+    "dirty",
+    "inflight",
+    "in_flight",
+    "copied",
+)
+
+#: calls that settle/register the pending mutation, closing the window
+DEFAULT_ASYNC_SETTLE_CALLS: Tuple[str, ...] = (
+    "settle",
+    "settle_put",
+    "settle_all",
+    "release",
+    "release_through",
+    "barrier",
+    "flush",
+    "commit",
+    "checkpoint",
+    "succeed",
+)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -192,6 +361,26 @@ class LintConfig:
     struct_dataclass_map: Mapping[str, Mapping[str, str]] = field(
         default_factory=lambda: dict(DEFAULT_STRUCT_DATACLASS_MAP)
     )
+    # flow rules (LSVD010-LSVD013)
+    settlement_dirs: Tuple[str, ...] = DEFAULT_SETTLEMENT_DIRS
+    settlement_allow: Tuple[str, ...] = ()
+    flow_put_methods: Tuple[str, ...] = DEFAULT_FLOW_PUT_METHODS
+    flow_put_receivers: Tuple[str, ...] = DEFAULT_FLOW_PUT_RECEIVERS
+    durability_modules: Tuple[str, ...] = DEFAULT_DURABILITY_MODULES
+    durability_allow: Tuple[str, ...] = ()
+    durability_ack_calls: Tuple[str, ...] = DEFAULT_DURABILITY_ACK_CALLS
+    durability_evidence_calls: Tuple[str, ...] = DEFAULT_DURABILITY_EVIDENCE_CALLS
+    durability_yield_evidence: Tuple[str, ...] = DEFAULT_DURABILITY_YIELD_EVIDENCE
+    recovery_order_allow: Tuple[str, ...] = ()
+    recovery_function_markers: Tuple[str, ...] = DEFAULT_RECOVERY_FUNCTION_MARKERS
+    recovery_state_markers: Tuple[str, ...] = DEFAULT_RECOVERY_STATE_MARKERS
+    state_mutators: Tuple[str, ...] = DEFAULT_STATE_MUTATORS
+    durable_write_calls: Tuple[str, ...] = DEFAULT_DURABLE_WRITE_CALLS
+    durable_receivers: Tuple[str, ...] = DEFAULT_DURABLE_RECEIVERS
+    async_dirs: Tuple[str, ...] = DEFAULT_ASYNC_DIRS
+    async_allow: Tuple[str, ...] = ()
+    async_state_markers: Tuple[str, ...] = DEFAULT_ASYNC_STATE_MARKERS
+    async_settle_calls: Tuple[str, ...] = DEFAULT_ASYNC_SETTLE_CALLS
 
     # -- code filtering --------------------------------------------------
     def code_enabled(self, code: str) -> bool:
@@ -225,6 +414,28 @@ class LintConfig:
         key = self.module_key(path)
         return any(key.startswith(d) for d in dirs)
 
+    def scoped_allow(
+        self, path: str, entries: Sequence[str]
+    ) -> Tuple[FrozenSet[str], bool]:
+        """Per-function exemptions for one module.
+
+        Entries take the form ``core/volume.py::_finish_gc_round`` (one
+        function) or a bare module suffix (the whole file).  Returns
+        ``(exempt function names, whole-module exemption)``.
+        """
+        key = self.module_key(path)
+        names: Set[str] = set()
+        whole = False
+        for entry in entries:
+            module, sep, func = entry.partition("::")
+            if key != module and not key.endswith("/" + module):
+                continue
+            if sep and func:
+                names.add(func)
+            else:
+                whole = True
+        return frozenset(names), whole
+
     # -- pyproject integration ------------------------------------------
     @classmethod
     def from_pyproject(cls, pyproject: pathlib.Path) -> "LintConfig":
@@ -256,6 +467,30 @@ class LintConfig:
             obs_allow=_extend(base.obs_allow, "obs-allow"),
             stat_markers=_extend(base.stat_markers, "stat-markers"),
             hotpath_blessed=_extend(base.hotpath_blessed, "hotpath-allow"),
+            settlement_allow=_extend(base.settlement_allow, "settlement-allow"),
+            flow_put_receivers=_extend(
+                base.flow_put_receivers, "flow-put-receivers"
+            ),
+            durability_allow=_extend(base.durability_allow, "durability-allow"),
+            durability_ack_calls=_extend(
+                base.durability_ack_calls, "durability-ack-calls"
+            ),
+            durability_evidence_calls=_extend(
+                base.durability_evidence_calls, "durability-evidence-calls"
+            ),
+            recovery_order_allow=_extend(
+                base.recovery_order_allow, "recovery-order-allow"
+            ),
+            recovery_state_markers=_extend(
+                base.recovery_state_markers, "recovery-state-markers"
+            ),
+            async_allow=_extend(base.async_allow, "async-allow"),
+            async_state_markers=_extend(
+                base.async_state_markers, "async-state-markers"
+            ),
+            async_settle_calls=_extend(
+                base.async_settle_calls, "async-settle-calls"
+            ),
         )
 
 

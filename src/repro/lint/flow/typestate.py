@@ -1,0 +1,266 @@
+"""Typestate lattices and the AST vocabulary shared by the flow rules.
+
+A *typestate* fact is a frozenset of :class:`Pending` records — "this
+key (a local variable holding a PUT handle, or a mutated attribute) was
+put into a must-be-resolved state at that node and has not been
+resolved yet".  :class:`TypestateAnalysis` is the forward gen/kill
+skeleton: subclasses say what *acquires* (gen), what *resolves* (kill),
+and which branch edges *refine* (a ``handle is None`` test proves there
+is nothing to settle on the true side).
+
+The module also collects the small AST predicates every flow rule
+needs — trailing receiver names, awaited-call unwrapping, load-name
+collection, and guard/consumption splitting for branch tests — so the
+rules stay about *invariants*, not AST plumbing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.flow.cfg import CFG, Edge, Node, walk_in_scope
+from repro.lint.flow.dataflow import FlowAnalysis
+
+PendingSet = FrozenSet["Pending"]
+
+
+@dataclass(frozen=True)
+class Pending:
+    """One unresolved obligation: ``key`` acquired at ``origin``."""
+
+    key: str
+    origin: int  # node index of the acquiring statement
+    line: int
+
+
+class TypestateAnalysis(FlowAnalysis[PendingSet]):
+    """Forward may-analysis: which obligations may still be open here."""
+
+    direction = "forward"
+
+    def boundary(self, cfg: CFG, node: Node) -> PendingSet:
+        return frozenset()
+
+    def initial(self) -> PendingSet:
+        return frozenset()
+
+    def join(self, a: PendingSet, b: PendingSet) -> PendingSet:
+        return a | b
+
+    def transfer(self, node: Node, fact: PendingSet) -> PendingSet:
+        killed = self.kills(node, fact)
+        fact = frozenset(p for p in fact if p.key not in killed)
+        return fact | frozenset(self.gens(node))
+
+    def transfer_edge(self, edge: Edge, fact: PendingSet) -> PendingSet:
+        refuted = self.refuted_keys(edge)
+        if not refuted:
+            return fact
+        return frozenset(p for p in fact if p.key not in refuted)
+
+    # -- subclass hooks --------------------------------------------------
+    def gens(self, node: Node) -> Iterable[Pending]:
+        """Obligations this node opens."""
+        return ()
+
+    def kills(self, node: Node, fact: PendingSet) -> Set[str]:
+        """Keys this node resolves."""
+        return set()
+
+    def refuted_keys(self, edge: Edge) -> Set[str]:
+        """Keys proven vacuous on this edge (default: branch refinement)."""
+        if edge.cond is None:
+            return set()
+        return branch_refuted_names(edge.cond, edge.kind)
+
+
+# ---------------------------------------------------------------------------
+# AST vocabulary
+# ---------------------------------------------------------------------------
+
+
+def unwrap_effect(expr: Optional[ast.expr]) -> Optional[ast.expr]:
+    """Strip ``await`` / ``yield`` wrappers off an expression."""
+    while True:
+        if isinstance(expr, ast.Await):
+            expr = expr.value
+        elif isinstance(expr, (ast.Yield, ast.YieldFrom)):
+            expr = expr.value
+        else:
+            return expr
+
+
+def call_name(call: ast.Call) -> str:
+    """The called name: ``foo`` for ``foo(..)``, ``put`` for ``x.put(..)``."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def receiver_tail(call: ast.Call) -> str:
+    """Trailing identifier of the receiver: ``self.dst_shard.put`` -> ``dst_shard``."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return ""
+    value = func.value
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    if isinstance(value, ast.Name):
+        return value.id
+    return ""
+
+
+def receiver_matches(tail: str, receivers: Sequence[str]) -> bool:
+    """True when ``tail`` is a configured receiver name or a suffix of
+    one (``dst_shard`` matches the ``shard`` entry)."""
+    return any(
+        tail == entry or tail.endswith("_" + entry) for entry in receivers
+    )
+
+
+def calls_in(parts: Sequence[ast.AST]) -> List[ast.Call]:
+    return [
+        sub
+        for part in parts
+        for sub in walk_in_scope(part)
+        if isinstance(sub, ast.Call)
+    ]
+
+
+def calls_named(parts: Sequence[ast.AST], names: Sequence[str]) -> List[ast.Call]:
+    return [c for c in calls_in(parts) if call_name(c) in names]
+
+
+def loads_in(parts: Sequence[ast.AST]) -> Set[str]:
+    """Every plain name read anywhere in ``parts``."""
+    return {
+        sub.id
+        for part in parts
+        for sub in walk_in_scope(part)
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load)
+    }
+
+
+def _is_none(expr: ast.expr) -> bool:
+    return isinstance(expr, ast.Constant) and expr.value is None
+
+
+def split_guard(test: ast.expr) -> Tuple[Set[str], List[ast.expr]]:
+    """Split a branch test into guard-only names and consuming subtrees.
+
+    Guard positions — a bare name, ``x is None`` / ``x is not None``,
+    and ``and``/``or``/``not`` combinations of those — merely *inspect*
+    a handle; anything else (a call argument, an attribute access) is a
+    real use.  Returns ``(guard_names, other_subtrees)``.
+    """
+    guard: Set[str] = set()
+    other: List[ast.expr] = []
+
+    def visit(expr: ast.expr) -> None:
+        if isinstance(expr, ast.BoolOp):
+            for value in expr.values:
+                visit(value)
+        elif isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.Not):
+            visit(expr.operand)
+        elif isinstance(expr, ast.Name):
+            guard.add(expr.id)
+        elif (
+            isinstance(expr, ast.Compare)
+            and len(expr.ops) == 1
+            and isinstance(expr.ops[0], (ast.Is, ast.IsNot, ast.Eq, ast.NotEq))
+        ):
+            left, right = expr.left, expr.comparators[0]
+            if _is_none(right) and isinstance(left, ast.Name):
+                guard.add(left.id)
+            elif _is_none(left) and isinstance(right, ast.Name):
+                guard.add(right.id)
+            else:
+                other.append(expr)
+        else:
+            other.append(expr)
+
+    visit(test)
+    return guard, other
+
+
+def branch_refuted_names(cond: ast.expr, edge_kind: str) -> Set[str]:
+    """Names proven ``None``/falsy when control takes this edge.
+
+    ``if h is None: <true edge>`` and ``if h: ... else: <false edge>``
+    both prove ``h`` holds nothing worth settling on that side.  Only
+    top-level conjuncts/disjuncts are considered, and a guard that also
+    *uses* the name non-trivially refutes nothing.
+    """
+    refuted: Set[str] = set()
+
+    def visit(expr: ast.expr, branch: str) -> None:
+        if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.Not):
+            visit(expr.operand, "false" if branch == "true" else "true")
+        elif isinstance(expr, ast.Name):
+            if branch == "false":
+                refuted.add(expr.id)
+        elif (
+            isinstance(expr, ast.Compare)
+            and len(expr.ops) == 1
+            and isinstance(expr.ops[0], (ast.Is, ast.IsNot, ast.Eq, ast.NotEq))
+        ):
+            flip = isinstance(expr.ops[0], (ast.IsNot, ast.NotEq))
+            left, right = expr.left, expr.comparators[0]
+            name: Optional[str] = None
+            if _is_none(right) and isinstance(left, ast.Name):
+                name = left.id
+            elif _is_none(left) and isinstance(right, ast.Name):
+                name = right.id
+            if name is not None:
+                hit = branch == ("false" if flip else "true")
+                if hit:
+                    refuted.add(name)
+        elif isinstance(expr, ast.BoolOp):
+            # `if a is None and b is None:` true edge proves both; the
+            # false edge of an `or` likewise refutes every disjunct
+            wanted = "true" if isinstance(expr.op, ast.And) else "false"
+            if branch == wanted:
+                for value in expr.values:
+                    visit(value, branch)
+
+    if edge_kind in ("true", "false"):
+        visit(cond, edge_kind)
+    return refuted
+
+
+def consuming_loads(node: Node) -> Set[str]:
+    """Names this node reads in a way that counts as *using* a handle.
+
+    For branch heads (``if``/``while``/``assert``) the guard-only names
+    are excluded: ``if handle is None: return`` inspects the handle but
+    does not consume it — the settle obligation survives the test.
+    """
+    stmt = node.stmt
+    if isinstance(stmt, (ast.If, ast.While, ast.Assert)) and node.parts:
+        test = node.parts[0]
+        assert isinstance(test, ast.expr)
+        guard, other = split_guard(test)
+        loads = loads_in(list(node.parts[1:])) | loads_in(list(other))
+        return loads
+    return loads_in(node.parts)
+
+
+def attr_on_self(expr: ast.expr) -> Optional[str]:
+    """``self.<attr>`` -> ``attr`` (one level only)."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None
+
+
+def matches_marker(name: str, markers: Sequence[str]) -> bool:
+    lowered = name.lower()
+    return any(marker in lowered for marker in markers)

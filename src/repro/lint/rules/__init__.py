@@ -1,11 +1,15 @@
 """Rule registry: one module per rule family."""
 
+from repro.lint.rules.async_safety import AsyncCancellationRule
 from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.durability import DurabilityOrderingRule
 from repro.lint.rules.hotpath import HotPathRule
 from repro.lint.rules.immutability import ImmutabilityRule
 from repro.lint.rules.obs import ObservabilityRule
 from repro.lint.rules.recovery import RecoveryHandlerRule
+from repro.lint.rules.recovery_order import RecoveryMutationOrderRule
 from repro.lint.rules.sequence import SequenceHygieneRule
+from repro.lint.rules.settlement import SettlementLeakRule
 from repro.lint.rules.sharding import ShardOwnershipRule
 from repro.lint.rules.structs import StructConsistencyRule
 from repro.lint.rules.units import UnitConfusionRule
@@ -21,16 +25,24 @@ ALL_RULES = [
     ObservabilityRule,
     ShardOwnershipRule,
     HotPathRule,
+    SettlementLeakRule,
+    DurabilityOrderingRule,
+    RecoveryMutationOrderRule,
+    AsyncCancellationRule,
 ]
 
 __all__ = [
     "ALL_RULES",
+    "AsyncCancellationRule",
     "DeterminismRule",
+    "DurabilityOrderingRule",
     "HotPathRule",
     "ImmutabilityRule",
     "ObservabilityRule",
     "RecoveryHandlerRule",
+    "RecoveryMutationOrderRule",
     "SequenceHygieneRule",
+    "SettlementLeakRule",
     "ShardOwnershipRule",
     "StructConsistencyRule",
     "UnitConfusionRule",

@@ -1,0 +1,167 @@
+"""LSVD013 — no unsettled state mutation may straddle an await point.
+
+The ROADMAP's pipelined async data plane turns today's synchronous
+write path into coroutines, and coroutines can be *cancelled at any
+await*.  If a function mutates settlement-coupled state (the extent
+map, a pending-handles ledger, dirty-byte accounting) and only later —
+on the far side of an ``await``/``yield`` — settles or registers that
+mutation, cancellation in between leaves the mutation dangling with
+nobody left to settle it: the async twin of the LSVD010 leak, but
+reachable even when the code after the await is perfectly correct.
+The rule runs the forward typestate analysis over ``async def`` bodies
+only (the synchronous generator-based simulator is cooperative and
+cannot be cancelled mid-yield) and flags every suspension point where
+a mutation is still pending.  Critical-section helpers that must
+straddle an await by design are blessed via ``async-allow``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Set
+
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.flow.cfg import Node, build_cfg, iter_functions
+from repro.lint.flow.dataflow import solve
+from repro.lint.flow.typestate import (
+    Pending,
+    PendingSet,
+    TypestateAnalysis,
+    attr_on_self,
+    calls_named,
+    matches_marker,
+)
+from repro.lint.framework import ModuleContext, Rule
+
+
+def _mutated_attr(node: Node, config: LintConfig) -> str:
+    """The settlement-coupled ``self.<attr>`` this node mutates, or ''."""
+
+    def state_attr(expr: ast.expr) -> str:
+        attr = attr_on_self(expr)
+        if attr is not None and matches_marker(attr, config.async_state_markers):
+            return attr
+        return ""
+
+    stmt = node.stmt
+    if isinstance(stmt, (ast.Assign, ast.AugAssign)):
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        for target in targets:
+            attr = state_attr(target)
+            if attr:
+                return attr
+            if isinstance(target, ast.Subscript):
+                # registering into a pending/ledger container *is* the
+                # settlement bookkeeping, not a dangling mutation
+                base = state_attr(target.value)
+                if base and "pending" not in base and "ledger" not in base:
+                    return base
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        call = stmt.value
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in config.state_mutators
+        ):
+            attr = state_attr(call.func.value)
+            if attr:
+                return attr
+    return ""
+
+
+def _is_registration(node: Node, config: LintConfig) -> bool:
+    """Settlement or ledger registration closes the critical window."""
+    if calls_named(node.parts, config.async_settle_calls):
+        return True
+    stmt = node.stmt
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, ast.Subscript):
+                attr = attr_on_self(target.value)
+                if attr is not None and (
+                    "pending" in attr or "ledger" in attr
+                ):
+                    return True
+    return False
+
+
+class _WindowAnalysis(TypestateAnalysis):
+    """Forward facts: mutations not yet settled/registered."""
+
+    def __init__(self, config: LintConfig) -> None:
+        self.config = config
+
+    def gens(self, node: Node) -> Iterable[Pending]:
+        if _is_registration(node, self.config):
+            return ()
+        attr = _mutated_attr(node, self.config)
+        if not attr:
+            return ()
+        return (Pending(key=attr, origin=node.index, line=node.line),)
+
+    def kills(self, node: Node, fact: PendingSet) -> Set[str]:
+        if _is_registration(node, self.config):
+            return {p.key for p in fact}
+        return set()
+
+
+class AsyncCancellationRule(Rule):
+    """Invariant:
+        In an ``async def``, settlement-coupled state mutation and its
+        settlement/registration must sit on the same side of every
+        ``await``/``yield`` point: cancellation at a suspension point
+        must never orphan a mutation nobody will settle.  Helpers that
+        must straddle an await are blessed via ``async-allow``.
+
+    Example violation::
+
+        async def destage(self, batch):
+            self._dirty_map[batch.seq] = batch     # mutation opens...
+            await self.backend.put(batch.name, batch.data)
+            self.ledger.settle_put(batch.seq)      # ...window closes late
+
+    Paper:
+        §3.7 — the prototype's completion handling: crash/cancellation
+        between the cache-log write and backend settlement must leave
+        state the recovery scan can reconcile, never a half-recorded
+        in-memory claim.
+    """
+
+    code = "LSVD013"
+    name = "async-cancellation-safety"
+    summary = (
+        "an async function mutates settlement-coupled state and crosses "
+        "an await/yield point before settling or registering it"
+    )
+
+    def check(self, ctx: ModuleContext, config: LintConfig) -> Iterator[Diagnostic]:
+        if not config.module_in_dirs(ctx.path, config.async_dirs):
+            return
+        allowed, whole = config.scoped_allow(ctx.path, config.async_allow)
+        if whole:
+            return
+        for _qualname, func in iter_functions(ctx.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            if func.name in allowed:
+                continue
+            cfg = build_cfg(func)
+            suspenders = [n for n in cfg.stmt_nodes() if n.suspends]
+            if not suspenders:
+                continue
+            solution = solve(cfg, _WindowAnalysis(config))
+            for node in suspenders:
+                pending = solution.before.get(node.index, frozenset())
+                if not pending:
+                    continue
+                oldest = min(pending, key=lambda p: (p.line, p.key))
+                yield self.diag(
+                    ctx,
+                    node.stmt or func,
+                    f"await/yield point while 'self.{oldest.key}' (mutated "
+                    f"at line {oldest.line}) is not yet settled or "
+                    "registered — cancellation here orphans the mutation",
+                    "settle/register before suspending, or move the "
+                    "mutation after the await; bless deliberate critical "
+                    "sections via async-allow",
+                )

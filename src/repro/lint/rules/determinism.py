@@ -41,6 +41,21 @@ SYSTEM_RANDOM = "random.SystemRandom"
 
 
 class DeterminismRule(Rule):
+    """Invariant:
+        Simulation and core logic read time only from the simulated
+        clock and randomness only from seeded generators, so every
+        experiment replays bit-identically.
+
+    Example violation::
+
+        start = time.time()        # wall clock inside core/
+
+    Paper:
+        §4 — the evaluation compares latency/throughput curves across
+        runs; nondeterministic inputs would make Figures 13-15
+        unreproducible.
+    """
+
     code = "LSVD003"
     name = "determinism"
     summary = (

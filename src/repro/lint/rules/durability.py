@@ -1,0 +1,188 @@
+"""LSVD011 — barrier-before-ack: completion calls need durability evidence.
+
+The paper's central ordering rule (§3.2): a write is acknowledged — and
+anything the ack implies is released — only after the covering data is
+durable.  In this codebase the "acks" are the calls that release cache
+log space, retire superseded checkpoints, advance the release frontier,
+or delete GC victims; the *evidence* that durability happened is a
+settle/flush/barrier/recover call, a branch taken on ``.settled`` state
+or a ``result is None`` settled-synchronously test, or (in the timed
+model) resuming from a yielded/awaited backend PUT.  The rule runs a
+backward may-analysis from each ack site: if an evidence-free path from
+function entry can reach the ack, some caller can release state whose
+durability nobody established.  Functions whose *name* contains
+``settle`` are the settlement callbacks themselves — they are the
+evidence — and are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Set
+
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.flow.cfg import CFG, Edge, Node, iter_function_cfgs, walk_in_scope
+from repro.lint.flow.dataflow import BACKWARD, FlowAnalysis, solve
+from repro.lint.flow.typestate import call_name, calls_named
+from repro.lint.framework import ModuleContext, Rule
+
+AckSet = FrozenSet[int]
+
+
+def _is_evidence_node(node: Node, config: LintConfig) -> bool:
+    if calls_named(node.parts, config.durability_evidence_calls):
+        return True
+    stmt = node.stmt
+    # `self.<x>.settled = True` marks settlement directly
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if isinstance(target, ast.Attribute) and "settled" in target.attr:
+                return True
+    # resuming from a yielded/awaited PUT/write/flush: in the timed
+    # model the coroutine continues only once the backend op completed
+    for part in node.parts:
+        for sub in walk_in_scope(part):
+            if isinstance(sub, (ast.Await, ast.Yield, ast.YieldFrom)):
+                value = sub.value
+                if value is None:
+                    continue
+                for inner in walk_in_scope(value):
+                    if (
+                        isinstance(inner, ast.Call)
+                        and call_name(inner)
+                        in config.durability_yield_evidence
+                    ):
+                        return True
+    return False
+
+
+def _edge_is_evidence(edge: Edge) -> bool:
+    """Branch edges that prove settlement: the true side of a test on
+    ``.settled`` state or on ``<result> is None`` (a settled-synchronous
+    store returned no handle)."""
+    cond = edge.cond
+    if cond is None:
+        return False
+    if edge.kind == "true":
+        for sub in walk_in_scope(cond):
+            if isinstance(sub, ast.Attribute) and "settled" in sub.attr:
+                return True
+            if (
+                isinstance(sub, ast.Compare)
+                and len(sub.ops) == 1
+                and isinstance(sub.ops[0], ast.Is)
+                and isinstance(sub.comparators[0], ast.Constant)
+                and sub.comparators[0].value is None
+            ):
+                return True
+    if edge.kind == "false":
+        for sub in walk_in_scope(cond):
+            if (
+                isinstance(sub, ast.Compare)
+                and len(sub.ops) == 1
+                and isinstance(sub.ops[0], ast.IsNot)
+                and isinstance(sub.comparators[0], ast.Constant)
+                and sub.comparators[0].value is None
+            ):
+                return True
+    return False
+
+
+class _AckReachability(FlowAnalysis[AckSet]):
+    """Backward: ack sites reachable from here with no evidence between."""
+
+    direction = BACKWARD
+
+    def __init__(self, config: LintConfig, ack_nodes: Set[int]) -> None:
+        self.config = config
+        self.ack_nodes = ack_nodes
+
+    def boundary(self, cfg: CFG, node: Node) -> AckSet:
+        return frozenset()
+
+    def initial(self) -> AckSet:
+        return frozenset()
+
+    def join(self, a: AckSet, b: AckSet) -> AckSet:
+        return a | b
+
+    def transfer(self, node: Node, fact: AckSet) -> AckSet:
+        if _is_evidence_node(node, self.config):
+            # every path through this node is dominated by evidence
+            return frozenset()
+        if node.index in self.ack_nodes:
+            return fact | frozenset((node.index,))
+        return fact
+
+    def transfer_edge(self, edge: Edge, fact: AckSet) -> AckSet:
+        if _edge_is_evidence(edge):
+            return frozenset()
+        return fact
+
+
+class DurabilityOrderingRule(Rule):
+    """Invariant:
+        Every completion/acknowledgement call — releasing cache-log
+        space, retiring old checkpoints, advancing the release frontier,
+        deleting GC victims — must be dominated on every path from
+        function entry by durability evidence: a settle/flush/barrier/
+        recover call, a branch on settled state, or resumption from an
+        awaited backend write.
+
+    Example violation::
+
+        def free_victims(self, victims):
+            # no settle/flush/checkpoint evidence on this path
+            self.gc.delete_victims(victims)   # ack without barrier
+
+    Paper:
+        §3.2 — a write is acknowledged only once its cache-log record
+        is durable; §3.5 — GC deletes victims only after a newer
+        checkpoint settles (barrier-before-ack).
+    """
+
+    code = "LSVD011"
+    name = "durability-ordering"
+    summary = (
+        "a completion/ack call is reachable from function entry along a "
+        "path with no dominating settle/flush/barrier evidence"
+    )
+
+    def check(self, ctx: ModuleContext, config: LintConfig) -> Iterator[Diagnostic]:
+        if not config.module_allowed(ctx.path, config.durability_modules):
+            return
+        allowed, whole = config.scoped_allow(ctx.path, config.durability_allow)
+        if whole:
+            return
+        for _qualname, func, cfg in iter_function_cfgs(ctx.tree):
+            if func.name in allowed or "settle" in func.name:
+                continue
+            ack_nodes = {
+                node.index
+                for node in cfg.stmt_nodes()
+                if calls_named(node.parts, config.durability_ack_calls)
+            }
+            if not ack_nodes:
+                continue
+            solution = solve(cfg, _AckReachability(config, ack_nodes))
+            unguarded = solution.before.get(cfg.entry.index, frozenset())
+            for index in sorted(unguarded):
+                node = cfg.nodes[index]
+                calls = calls_named(node.parts, config.durability_ack_calls)
+                what = call_name(calls[0]) if calls else "ack"
+                yield self.diag(
+                    ctx,
+                    node.stmt or func,
+                    f"{what}() is reachable with no dominating durability "
+                    "evidence (settle/flush/barrier/recover or a branch "
+                    "on settled state) on some path from function entry",
+                    "establish durability before acknowledging: settle or "
+                    "flush first, or gate the ack on settled state; "
+                    "callback-driven acks can be allowlisted via "
+                    "durability-allow",
+                )
+
+
+# re-exported for the fixture tests' readability
+__all__ = ["DurabilityOrderingRule"]

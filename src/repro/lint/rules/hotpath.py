@@ -26,27 +26,18 @@ suffix to exempt a whole file.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional, Set, Tuple
+from typing import FrozenSet, Iterator, Optional, Tuple
 
 from repro.lint.config import LintConfig
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.framework import ModuleContext, Rule
 
 
-def _blessed_functions(ctx: ModuleContext, config: LintConfig) -> Tuple[Set[str], bool]:
+def _blessed_functions(
+    ctx: ModuleContext, config: LintConfig
+) -> Tuple[FrozenSet[str], bool]:
     """(blessed function names for this module, whole-module exemption)."""
-    key = config.module_key(ctx.path)
-    names: Set[str] = set()
-    whole = False
-    for entry in config.hotpath_blessed:
-        module, sep, func = entry.partition("::")
-        if key != module and not key.endswith("/" + module):
-            continue
-        if sep and func:
-            names.add(func)
-        else:
-            whole = True
-    return names, whole
+    return config.scoped_allow(ctx.path, config.hotpath_blessed)
 
 
 def _bytes_of_subscript(node: ast.Call) -> bool:
@@ -71,6 +62,20 @@ def _is_list_insert(node: ast.Call) -> bool:
 
 
 class HotPathRule(Rule):
+    """Invariant:
+        Data-plane modules avoid O(n) list shuffles and per-extent
+        ``bytes()`` copies outside blessed bounded helpers — per-I/O
+        work must stay logarithmic and zero-copy.
+
+    Example violation::
+
+        self.extents.insert(i, ext)      # O(n) shuffle per write
+
+    Paper:
+        §3.7/§4.2 — the production rewrite moved the map to a B+-tree
+        because per-op O(n) work dominated client CPU at scale.
+    """
+
     code = "LSVD009"
     name = "hot-path-hygiene"
     summary = (
@@ -91,7 +96,7 @@ class HotPathRule(Rule):
         ctx: ModuleContext,
         node: ast.AST,
         enclosing: Optional[str],
-        blessed: Set[str],
+        blessed: FrozenSet[str],
     ) -> Iterator[Diagnostic]:
         """Visit every node once, tracking the innermost enclosing function
         (nested defs shadow their parent, so blessing is per-function)."""

@@ -38,6 +38,21 @@ def _receiver_name(node: ast.expr) -> str:
 
 
 class ImmutabilityRule(Rule):
+    """Invariant:
+        Backend objects are immutable and written exactly once, in
+        sequence order, by the block-store layer; no other module may
+        call ``ObjectStore.put``/``.delete``/``.copy`` directly.
+
+    Example violation::
+
+        def sneaky(store, data):
+            store.put("vol.00000042", data)   # bypasses BlockStore
+
+    Paper:
+        §3.1/§3.3 — recovery's longest-consecutive-run rule is sound
+        only because nothing mutates or renumbers settled objects.
+    """
+
     code = "LSVD001"
     name = "immutability-discipline"
     summary = (

@@ -76,6 +76,20 @@ def _stat_name(name: str, markers) -> bool:
 
 
 class ObservabilityRule(Rule):
+    """Invariant:
+        Statistics in the data plane flow through the ``repro.obs``
+        registry — no ad-hoc ``self.hits += 1`` counters, no ``print``
+        reporting from core/runtime code.
+
+    Example violation::
+
+        self.cache_hits += 1        # invisible to snapshots/analysis
+
+    Paper:
+        §4 — every figure is a metrics timeline; counters outside the
+        registry can't be snapshotted, diffed, or plotted.
+    """
+
     code = "LSVD007"
     name = "observability"
     summary = (

@@ -34,6 +34,23 @@ def _broad_catch(handler: ast.ExceptHandler) -> bool:
 
 
 class RecoveryHandlerRule(Rule):
+    """Invariant:
+        Exception handlers in recovery/crash code must re-raise or
+        record the error; a swallowed failure turns a detectable torn
+        state into silent corruption.
+
+    Example violation::
+
+        try:
+            header = decode_record(blob)
+        except Exception:
+            pass                    # corrupt record silently skipped
+
+    Paper:
+        §3.3 — recovery distinguishes "end of log" from "corruption";
+        a handler that eats the difference breaks prefix consistency.
+    """
+
     code = "LSVD004"
     name = "recovery-error-handling"
     summary = (

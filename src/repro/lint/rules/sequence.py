@@ -43,6 +43,21 @@ def _seq_identifier(node: ast.expr) -> Optional[str]:
 
 
 class SequenceHygieneRule(Rule):
+    """Invariant:
+        Sequence numbers are allocated in exactly one place (the log
+        layer); arithmetic on ``seq``-named identifiers anywhere else
+        risks forking the monotonic stream recovery depends on.
+
+    Example violation::
+
+        next_obj = volume.last_seq + 1   # second allocator, outside core/log
+
+    Paper:
+        §3.1 — the object stream is a single dense sequence; §3.3 —
+        recovery stops at the first gap, so a duplicated or skipped
+        number silently truncates every later write.
+    """
+
     code = "LSVD002"
     name = "sequence-hygiene"
     summary = (

@@ -91,6 +91,20 @@ def _formats_shard_name(node: ast.AST) -> bool:
 
 
 class ShardOwnershipRule(Rule):
+    """Invariant:
+        The shard router owns the name->shard mapping and its persisted
+        layout; placement computed anywhere else can diverge from the
+        manifest and route reads to the wrong backend.
+
+    Example violation::
+
+        idx = hash(name) % len(self.backends)   # ad-hoc placement
+
+    Paper:
+        §3.6 — striping across backends must be stable across mounts;
+        recovery's global LIST assumes one authoritative layout.
+    """
+
     code = "LSVD008"
     name = "shard-ownership"
     summary = (

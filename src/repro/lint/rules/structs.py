@@ -79,6 +79,22 @@ def _dataclass_field_count(cls: ast.ClassDef) -> int:
 
 
 class StructConsistencyRule(Rule):
+    """Invariant:
+        ``struct.pack``/``unpack`` arity matches the format string, and
+        each header dataclass stays in lock-step with its struct
+        constant — the wire format *is* the crash-recovery contract.
+
+    Example violation::
+
+        _HDR = "<IIQ"                      # three fields...
+        struct.pack(_HDR, magic, seq)      # ...two packed
+
+    Paper:
+        §3.2/§3.3 — cache-log records and backend objects are parsed
+        back after a crash; a drifted header silently mis-frames every
+        later record.
+    """
+
     code = "LSVD006"
     name = "struct-header-consistency"
     summary = (

@@ -37,6 +37,22 @@ def _operand_name(node: ast.expr) -> str:
 
 
 class UnitConfusionRule(Rule):
+    """Invariant:
+        LBA-denominated and byte-denominated values never mix without
+        an explicit conversion; functions taking both must annotate
+        their parameters.
+
+    Example violation::
+
+        def read(lba, nbytes):
+            end = lba + nbytes      # adds sectors to bytes
+
+    Paper:
+        §3.1 — the virtual disk is addressed in sectors but the log
+        and object layer in bytes; a silent 512x error corrupts the
+        extent map.
+    """
+
     code = "LSVD005"
     name = "unit-confusion"
     summary = (

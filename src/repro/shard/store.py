@@ -154,10 +154,12 @@ class ShardedObjectStore(ObjectStore):
             return
         # cross-shard: stream through the client.  Settle immediately if
         # the destination shard is unsettled — a copy is not a client PUT
-        # whose handle anyone tracks.
+        # whose handle anyone tracks.  A non-None handle *is* the proof
+        # the shard has a settle(): guarding on hasattr too would leave
+        # the write in flight forever on such stores.
         handle = dst_shard.put(dst, src_shard.get(src))
-        if handle is not None and hasattr(dst_shard, "settle"):
-            dst_shard.settle(handle)
+        if handle is not None:
+            dst_shard.settle(handle)  # type: ignore[attr-defined]
 
     # -- merged views -----------------------------------------------------
     @property

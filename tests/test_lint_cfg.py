@@ -1,0 +1,283 @@
+"""Direct unit tests for the flow engine: CFG shapes and the solver.
+
+The tricky shapes the flow rules depend on: try/finally with return
+(per-continuation finally duplication), break inside an except clause,
+nested async defs (separate CFGs, await-point detection), loop else
+clauses, and handler dispatch that does / does not let exceptions
+escape.
+"""
+
+import ast
+import textwrap
+
+from repro.lint.flow.cfg import (
+    build_cfg,
+    iter_function_cfgs,
+    iter_functions,
+)
+from repro.lint.flow.dataflow import BACKWARD, FORWARD, FlowAnalysis, solve
+
+
+def cfg_of(source, name=None):
+    tree = ast.parse(textwrap.dedent(source))
+    funcs = dict(iter_functions(tree))
+    func = funcs[name] if name is not None else next(iter(funcs.values()))
+    return build_cfg(func)
+
+
+def node_at(cfg, line):
+    nodes = [n for n in cfg.stmt_nodes() if n.line == line]
+    assert nodes, f"no node at line {line}"
+    return nodes[0]
+
+
+class TestTryFinally:
+    SRC = """
+        def f(x):
+            try:
+                return x
+            finally:
+                cleanup()
+    """
+
+    def test_return_path_runs_finally(self):
+        cfg = cfg_of(self.SRC)
+        ret = node_at(cfg, 4)
+        (edge,) = [e for e in ret.succ if e.kind == "return"]
+        assert cfg.nodes[edge.dst].line == 6  # cleanup(), not exit
+        assert cfg.reachable(ret, cfg.exit)
+
+    def test_finally_copies_are_per_continuation(self):
+        src = """
+            def f(x):
+                try:
+                    if x:
+                        return 1
+                finally:
+                    cleanup()
+                return 0
+        """
+        cfg = cfg_of(src)
+        # one finally copy continues to `return 0`, a distinct one to
+        # exit (for the return-1 path); the never-taken exception copy
+        # is not materialised at all
+        copies = cfg.nodes_at_line(7)
+        assert len(copies) == 2
+        fallthrough, returning = None, None
+        for copy in copies:
+            dsts = {cfg.nodes[e.dst].line or cfg.nodes[e.dst].kind for e in copy.succ}
+            if 8 in dsts:
+                fallthrough = copy
+            if "exit" in dsts:
+                returning = copy
+        assert fallthrough is not None and returning is not None
+        assert fallthrough is not returning
+
+    def test_facts_stay_separated_per_copy(self):
+        # the return-path finally copy must not be reachable from the
+        # fallthrough path — that is the whole point of duplication
+        src = """
+            def f(x):
+                try:
+                    if x:
+                        return 1
+                finally:
+                    cleanup()
+                return 0
+        """
+        cfg = cfg_of(src)
+        ret1 = node_at(cfg, 5)
+        tail = node_at(cfg, 8)
+        (ret_edge,) = [e for e in ret1.succ if e.kind == "return"]
+        return_side_finally = cfg.nodes[ret_edge.dst]
+        assert not cfg.reachable(return_side_finally, tail)
+
+
+class TestLoopsAndHandlers:
+    def test_break_inside_except_leaves_the_loop(self):
+        src = """
+            def f(items):
+                for it in items:
+                    try:
+                        use(it)
+                    except ValueError:
+                        break
+                tail()
+        """
+        cfg = cfg_of(src)
+        brk = node_at(cfg, 7)
+        (edge,) = [e for e in brk.succ if e.kind == "break"]
+        assert cfg.nodes[edge.dst].line == 8  # tail(), past the loop
+        # and the handler is reachable from the raising body statement
+        assert cfg.reachable(node_at(cfg, 5), brk)
+
+    def test_while_else_runs_on_normal_exhaustion(self):
+        src = """
+            def f(n):
+                while n:
+                    n = step(n)
+                else:
+                    finish()
+                after()
+        """
+        cfg = cfg_of(src)
+        head = node_at(cfg, 3)
+        kinds = {e.kind: cfg.nodes[e.dst].line for e in head.succ}
+        assert kinds["true"] == 4
+        assert kinds["false"] == 6  # else clause, then after()
+        assert cfg.reachable(node_at(cfg, 6), node_at(cfg, 7))
+
+    def test_narrow_handler_lets_exceptions_escape(self):
+        src = """
+            def f():
+                try:
+                    work()
+                except ValueError:
+                    pass
+        """
+        cfg = cfg_of(src)
+        assert cfg.reachable(node_at(cfg, 4), cfg.raise_exit)
+
+    def test_broad_handler_catches_everything(self):
+        src = """
+            def f():
+                try:
+                    work()
+                except Exception:
+                    pass
+        """
+        cfg = cfg_of(src)
+        assert not cfg.reachable(node_at(cfg, 4), cfg.raise_exit)
+
+
+class TestAsyncShapes:
+    SRC = """
+        def outer():
+            async def inner(self):
+                await self.go()
+            return inner
+    """
+
+    def test_nested_defs_get_separate_cfgs(self):
+        tree = ast.parse(textwrap.dedent(self.SRC))
+        names = [q for q, _f, _c in iter_function_cfgs(tree)]
+        assert names == ["outer", "outer.inner"]
+
+    def test_nested_body_is_opaque_to_the_parent(self):
+        cfg = cfg_of(self.SRC, "outer")
+        assert cfg.nodes_at_line(4) == []  # the await lives in inner only
+        def_node = node_at(cfg, 3)
+        assert not def_node.suspends
+
+    def test_await_points_are_marked(self):
+        cfg = cfg_of(self.SRC, "outer.inner")
+        assert node_at(cfg, 4).suspends
+
+    def test_async_for_and_with_suspend(self):
+        src = """
+            async def g(self):
+                async with self.lock:
+                    async for x in self.items():
+                        yield x
+        """
+        cfg = cfg_of(src)
+        assert node_at(cfg, 3).suspends
+        assert node_at(cfg, 4).suspends
+        assert node_at(cfg, 5).suspends
+
+
+class _Reaching(FlowAnalysis):
+    """Toy forward analysis: lines whose `x = ...` may reach here."""
+
+    direction = FORWARD
+
+    def boundary(self, cfg, node):
+        return frozenset()
+
+    def initial(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, node, fact):
+        stmt = node.stmt
+        if (
+            isinstance(stmt, ast.Assign)
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == "x"
+        ):
+            return frozenset((node.line,))
+        return fact
+
+
+class _SinkReach(FlowAnalysis):
+    """Toy backward analysis: sink() nodes reachable without flush()."""
+
+    direction = BACKWARD
+
+    def _calls(self, node, name):
+        return any(
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id == name
+            for part in node.parts
+            for sub in ast.walk(part)
+        )
+
+    def boundary(self, cfg, node):
+        return frozenset()
+
+    def initial(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, node, fact):
+        if self._calls(node, "flush"):
+            return frozenset()
+        if self._calls(node, "sink"):
+            return fact | frozenset((node.index,))
+        return fact
+
+
+class TestSolver:
+    def test_forward_facts_merge_at_joins(self):
+        src = """
+            def f(c):
+                x = 1
+                if c:
+                    x = 2
+                use(x)
+        """
+        cfg = cfg_of(src)
+        solution = solve(cfg, _Reaching())
+        assert solution.before[node_at(cfg, 6).index] == frozenset((3, 5))
+        assert solution.before[node_at(cfg, 5).index] == frozenset((3,))
+
+    def test_backward_finds_the_unguarded_path(self):
+        src = """
+            def f(c):
+                if c:
+                    flush()
+                sink()
+        """
+        cfg = cfg_of(src)
+        solution = solve(cfg, _SinkReach())
+        sink_index = node_at(cfg, 5).index
+        # the else path reaches sink() without a flush
+        assert solution.before[cfg.entry.index] == frozenset((sink_index,))
+
+    def test_backward_clean_when_every_path_is_guarded(self):
+        src = """
+            def f(c):
+                if c:
+                    flush()
+                else:
+                    flush()
+                sink()
+        """
+        cfg = cfg_of(src)
+        solution = solve(cfg, _SinkReach())
+        assert solution.before[cfg.entry.index] == frozenset()

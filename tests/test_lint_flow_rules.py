@@ -1,0 +1,493 @@
+"""Fixture tests for the flow-sensitive rules (LSVD010-LSVD013).
+
+Mirrors ``tests/test_lint_rules.py``: each rule gets a violating
+fixture, clean variants (one per way of discharging the obligation),
+a suppressed variant, and an allowlisted variant.  Also covers the
+``--rule`` / ``--explain`` CLI surface the flow rules introduced.
+"""
+
+import textwrap
+from dataclasses import replace
+
+from repro.lint import ALL_RULES, LintConfig, LintRunner
+from repro.lint.cli import explain_rules, main as lint_main, rule_sections
+from repro.lint.rules.async_safety import AsyncCancellationRule
+from repro.lint.rules.durability import DurabilityOrderingRule
+from repro.lint.rules.recovery_order import RecoveryMutationOrderRule
+from repro.lint.rules.settlement import SettlementLeakRule
+
+
+def lint_src(relkey, source, config=None):
+    """Run every rule over ``source`` as if it lived at repro/<relkey>."""
+    runner = LintRunner([cls() for cls in ALL_RULES], config or LintConfig())
+    return runner.check_source(f"repro/{relkey}", textwrap.dedent(source))
+
+
+def only(diags, code):
+    return [d for d in diags if d.code == code]
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+# ---------------------------------------------------------------------------
+# LSVD010 settlement-leak
+# ---------------------------------------------------------------------------
+
+
+class TestSettlementLeak:
+    # core/block_store.py sits in the settlement dirs and is exempt from
+    # the LSVD001 layering rule, so fixtures only exercise LSVD010
+    KEY = "core/block_store.py"
+
+    BAD = """
+        def stash(self, store, name, data):
+            handle = store.put(name, data)
+            self.log(name)
+    """
+
+    def test_leaked_handle_is_flagged(self):
+        diags = only(lint_src(self.KEY, self.BAD), "LSVD010")
+        assert len(diags) == 1
+        assert diags[0].line == 3
+        assert "handle" in diags[0].message
+
+    def test_discarded_put_result_is_flagged(self):
+        src = """
+            def stash(self, store, name, data):
+                store.put(name, data)
+        """
+        diags = only(lint_src(self.KEY, src), "LSVD010")
+        assert len(diags) == 1
+
+    def test_settled_handle_is_clean(self):
+        src = """
+            def stash(self, store, name, data):
+                handle = store.put(name, data)
+                if handle is not None:
+                    store.settle(handle)
+        """
+        assert only(lint_src(self.KEY, src), "LSVD010") == []
+
+    def test_registered_handle_is_clean(self):
+        src = """
+            def stash(self, store, name, data):
+                handle = store.put(name, data)
+                self._pending[handle] = name
+        """
+        assert only(lint_src(self.KEY, src), "LSVD010") == []
+
+    def test_returned_handle_is_clean(self):
+        src = """
+            def stash(self, store, name, data):
+                return store.put(name, data)
+        """
+        assert only(lint_src(self.KEY, src), "LSVD010") == []
+
+    def test_raising_path_is_forgiven(self):
+        src = """
+            def stash(self, store, name, data):
+                handle = store.put(name, data)
+                if handle is None:
+                    raise RuntimeError("store settles synchronously")
+                store.settle(handle)
+        """
+        assert only(lint_src(self.KEY, src), "LSVD010") == []
+
+    def test_leak_via_swallowed_exception_path(self):
+        # the except->return path reaches normal exit with the handle
+        # still live; only the flow engine can see this
+        src = """
+            def stash(self, store, name, data):
+                handle = store.put(name, data)
+                try:
+                    self.index(name)
+                except KeyError:
+                    return
+                store.settle(handle)
+        """
+        diags = only(lint_src(self.KEY, src), "LSVD010")
+        assert len(diags) == 1
+        assert diags[0].line == 3
+
+    def test_overwrite_loses_the_first_handle(self):
+        src = """
+            def stash(self, store, data):
+                h = store.put("a", data)
+                h = store.put("b", data)
+                store.settle(h)
+        """
+        diags = only(lint_src(self.KEY, src), "LSVD010")
+        assert len(diags) == 1
+        assert diags[0].line == 3
+
+    def test_awaited_put_expression_is_the_wait(self):
+        # `await store.put(...)` / `yield store.put(...)` as a bare
+        # expression IS the settlement wait, not a discard
+        src = """
+            async def stash(self, store, name, data):
+                await store.put(name, data)
+        """
+        assert only(lint_src(self.KEY, src), "LSVD010") == []
+
+    def test_suppression_comment_silences(self):
+        src = """
+            def stash(self, store, name, data):
+                handle = store.put(name, data)  # lint: disable=LSVD010 -- caller settles
+                return None
+        """
+        assert only(lint_src(self.KEY, src), "LSVD010") == []
+
+    def test_allowlisted_function_is_exempt(self):
+        config = replace(
+            LintConfig(), settlement_allow=("core/block_store.py::stash",)
+        )
+        assert only(lint_src(self.KEY, self.BAD, config), "LSVD010") == []
+
+    def test_allowlisted_module_is_exempt(self):
+        config = replace(LintConfig(), settlement_allow=("core/block_store.py",))
+        assert only(lint_src(self.KEY, self.BAD, config), "LSVD010") == []
+
+    def test_outside_settlement_dirs_is_exempt(self):
+        assert only(lint_src("analysis/report.py", self.BAD), "LSVD010") == []
+
+
+# ---------------------------------------------------------------------------
+# LSVD011 durability-ordering
+# ---------------------------------------------------------------------------
+
+
+class TestDurabilityOrdering:
+    # core/write_cache.py is one of the durability modules
+    KEY = "core/write_cache.py"
+
+    BAD = """
+        def finish(self):
+            self.wc.release_through(self.last_seq)
+    """
+
+    def test_unguarded_ack_is_flagged(self):
+        diags = only(lint_src(self.KEY, self.BAD), "LSVD011")
+        assert len(diags) == 1
+        assert "release_through" in diags[0].message
+
+    def test_flush_before_ack_is_clean(self):
+        src = """
+            def finish(self):
+                self.store.flush()
+                self.wc.release_through(self.last_seq)
+        """
+        assert only(lint_src(self.KEY, src), "LSVD011") == []
+
+    def test_settled_branch_is_evidence(self):
+        src = """
+            def finish(self):
+                if self.batch.settled:
+                    self.wc.release_through(self.last_seq)
+        """
+        assert only(lint_src(self.KEY, src), "LSVD011") == []
+
+    def test_partial_evidence_still_flags(self):
+        # the fast=False path reaches the ack with no barrier
+        src = """
+            def finish(self, fast):
+                if fast:
+                    self.bs.flush()
+                self.wc.release_through(self.last_seq)
+        """
+        diags = only(lint_src(self.KEY, src), "LSVD011")
+        assert len(diags) == 1
+
+    def test_yielded_put_is_evidence_in_the_timed_model(self):
+        src = """
+            def worker(self):
+                yield self.backend.put("obj", 4096)
+                self._release_space(4096)
+        """
+        assert only(lint_src("runtime/lsvd.py", src), "LSVD011") == []
+
+    def test_settlement_callbacks_are_exempt(self):
+        src = """
+            def settle_put(self, handle):
+                self.wc.release_through(handle.seq)
+        """
+        assert only(lint_src(self.KEY, src), "LSVD011") == []
+
+    def test_suppression_comment_silences(self):
+        src = """
+            def finish(self):
+                self.wc.release_through(self.last_seq)  # lint: disable=LSVD011 -- test hook
+        """
+        assert only(lint_src(self.KEY, src), "LSVD011") == []
+
+    def test_allowlisted_function_is_exempt(self):
+        config = replace(
+            LintConfig(), durability_allow=("core/write_cache.py::finish",)
+        )
+        assert only(lint_src(self.KEY, self.BAD, config), "LSVD011") == []
+
+    def test_outside_durability_modules_is_exempt(self):
+        assert only(lint_src("analysis/report.py", self.BAD), "LSVD011") == []
+
+
+# ---------------------------------------------------------------------------
+# LSVD012 recovery-mutation-ordering
+# ---------------------------------------------------------------------------
+
+
+class TestRecoveryMutationOrder:
+    KEY = "core/recovery.py"
+
+    BAD = """
+        def recover(self):
+            try:
+                self._ckpt_history.append(7)
+                self.store.put("ckpt", b"x")
+            except KeyError:
+                pass
+    """
+
+    def test_mutation_before_durable_write_is_flagged(self):
+        diags = only(lint_src(self.KEY, self.BAD), "LSVD012")
+        assert len(diags) == 1
+        assert diags[0].line == 4
+        assert "_ckpt_history" in diags[0].message
+
+    def test_durable_write_first_is_clean(self):
+        src = """
+            def recover(self):
+                try:
+                    self.store.put("ckpt", b"x")
+                    self._ckpt_history.append(7)
+                except KeyError:
+                    pass
+        """
+        assert only(lint_src(self.KEY, src), "LSVD012") == []
+
+    def test_reraising_handler_is_clean(self):
+        src = """
+            def recover(self):
+                try:
+                    self._ckpt_history.append(7)
+                    self.store.put("ckpt", b"x")
+                except KeyError:
+                    raise
+        """
+        assert only(lint_src(self.KEY, src), "LSVD012") == []
+
+    def test_restoring_handler_is_clean(self):
+        src = """
+            def recover(self):
+                saved = list(self._ckpt_history)
+                try:
+                    self._ckpt_history.append(7)
+                    self.store.put("ckpt", b"x")
+                except KeyError:
+                    self._ckpt_history = saved
+        """
+        assert only(lint_src(self.KEY, src), "LSVD012") == []
+
+    def test_unhandled_try_is_clean(self):
+        # no handler: the exception propagates, the caller sees the
+        # failure, nothing is silently half-applied
+        src = """
+            def recover(self):
+                try:
+                    self._ckpt_history.append(7)
+                    self.store.put("ckpt", b"x")
+                finally:
+                    self.close()
+        """
+        assert only(lint_src(self.KEY, src), "LSVD012") == []
+
+    def test_non_recovery_function_is_exempt(self):
+        src = """
+            def process(self):
+                try:
+                    self._ckpt_history.append(7)
+                    self.store.put("ckpt", b"x")
+                except KeyError:
+                    pass
+        """
+        assert only(lint_src(self.KEY, src), "LSVD012") == []
+
+    def test_suppression_comment_silences(self):
+        src = """
+            def recover(self):
+                try:
+                    self._ckpt_history.append(7)  # lint: disable=LSVD012 -- idempotent
+                    self.store.put("ckpt", b"x")
+                except KeyError:
+                    pass
+        """
+        assert only(lint_src(self.KEY, src), "LSVD012") == []
+
+    def test_allowlisted_function_is_exempt(self):
+        config = replace(
+            LintConfig(), recovery_order_allow=("core/recovery.py::recover",)
+        )
+        assert only(lint_src(self.KEY, self.BAD, config), "LSVD012") == []
+
+
+# ---------------------------------------------------------------------------
+# LSVD013 async-cancellation-safety
+# ---------------------------------------------------------------------------
+
+
+class TestAsyncCancellation:
+    KEY = "core/write_path.py"
+
+    BAD = """
+        async def destage(self, batch):
+            self._dirty_map[batch.seq] = batch
+            await self.backend.put(batch.name, batch.data)
+            self.ledger.settle_put(batch.seq)
+    """
+
+    def test_unregistered_mutation_across_await_is_flagged(self):
+        diags = only(lint_src(self.KEY, self.BAD), "LSVD013")
+        assert len(diags) == 1
+        assert diags[0].line == 4  # reported at the await point
+        assert "_dirty_map" in diags[0].message
+
+    def test_registration_before_await_is_clean(self):
+        src = """
+            async def destage(self, batch):
+                self._dirty_map[batch.seq] = batch
+                self.ledger.settle_put(batch.seq)
+                await self.backend.put(batch.name, batch.data)
+        """
+        assert only(lint_src(self.KEY, src), "LSVD013") == []
+
+    def test_pending_table_writes_are_registrations(self):
+        src = """
+            async def destage(self, batch):
+                self._pending[batch.seq] = batch
+                await self.backend.put(batch.name, batch.data)
+        """
+        assert only(lint_src(self.KEY, src), "LSVD013") == []
+
+    def test_mutation_after_await_is_clean(self):
+        src = """
+            async def destage(self, batch):
+                await self.backend.put(batch.name, batch.data)
+                self._dirty_map[batch.seq] = batch
+        """
+        assert only(lint_src(self.KEY, src), "LSVD013") == []
+
+    def test_sync_generators_are_exempt(self):
+        # the simulator's timed coroutines are sync generators; yield
+        # there is a simulated delay, not a cancellation point
+        src = """
+            def worker(self):
+                self._dirty_map[1] = 2
+                yield self.backend.put("k", 4096)
+        """
+        assert only(lint_src(self.KEY, src), "LSVD013") == []
+
+    def test_nested_async_def_is_checked(self):
+        src = """
+            def make_destager(self):
+                async def destage(batch):
+                    self._dirty_map[batch.seq] = batch
+                    await self.backend.put(batch.name, batch.data)
+                return destage
+        """
+        diags = only(lint_src(self.KEY, src), "LSVD013")
+        assert len(diags) == 1
+
+    def test_suppression_comment_silences(self):
+        src = """
+            async def destage(self, batch):
+                self._dirty_map[batch.seq] = batch
+                await self.backend.put(batch.name, batch.data)  # lint: disable=LSVD013 -- shielded
+                self.ledger.settle_put(batch.seq)
+        """
+        assert only(lint_src(self.KEY, src), "LSVD013") == []
+
+    def test_allowlisted_function_is_exempt(self):
+        config = replace(
+            LintConfig(), async_allow=("core/write_path.py::destage",)
+        )
+        assert only(lint_src(self.KEY, self.BAD, config), "LSVD013") == []
+
+    def test_outside_async_dirs_is_exempt(self):
+        assert only(lint_src("analysis/report.py", self.BAD), "LSVD013") == []
+
+
+# ---------------------------------------------------------------------------
+# --rule / --explain CLI surface
+# ---------------------------------------------------------------------------
+
+
+class TestExplainCli:
+    def test_every_rule_docstring_has_all_sections(self):
+        for cls in ALL_RULES:
+            sections = rule_sections(cls)
+            for header in ("Invariant", "Example violation", "Paper"):
+                assert header in sections, f"{cls.code} lacks {header}:"
+                assert sections[header].strip(), f"{cls.code} has empty {header}:"
+
+    def test_explain_one_rule(self, capsys):
+        assert lint_main(["--rule", "LSVD010", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "LSVD010" in out
+        assert "Invariant:" in out
+        assert "Paper:" in out
+        assert "LSVD011" not in out
+
+    def test_explain_all_rules(self, capsys):
+        assert lint_main(["--explain"]) == 0
+        out = capsys.readouterr().out
+        for cls in ALL_RULES:
+            assert cls.code in out
+
+    def test_unknown_rule_code_is_a_usage_error(self, capsys):
+        assert lint_main(["--rule", "LSVD099", "--explain"]) == 2
+        assert "unknown code" in capsys.readouterr().err
+
+    def test_rule_flag_restricts_the_run(self):
+        # a module that violates LSVD001 is clean under --rule LSVD011
+        runner_codes = {
+            cls.code: cls for cls in ALL_RULES
+        }
+        assert "LSVD011" in runner_codes
+        config = replace(LintConfig(), select=("LSVD011",))
+        diags = lint_src(
+            "analysis/report.py",
+            """
+            def sneaky(store, data):
+                store.put("vol.00000042", data)
+            """,
+            config,
+        )
+        assert codes(diags) == []
+
+    def test_explain_text_mentions_paper_sections(self):
+        text = explain_rules(["LSVD011"])
+        assert "§3.2" in text
+
+
+# ---------------------------------------------------------------------------
+# the four flow rules expose their metadata consistently
+# ---------------------------------------------------------------------------
+
+
+class TestFlowRuleRegistry:
+    def test_flow_rules_are_registered(self):
+        registered = {cls.code for cls in ALL_RULES}
+        assert {"LSVD010", "LSVD011", "LSVD012", "LSVD013"} <= registered
+
+    def test_codes_and_names(self):
+        assert SettlementLeakRule.code == "LSVD010"
+        assert DurabilityOrderingRule.code == "LSVD011"
+        assert RecoveryMutationOrderRule.code == "LSVD012"
+        assert AsyncCancellationRule.code == "LSVD013"
+        names = {
+            SettlementLeakRule.name,
+            DurabilityOrderingRule.name,
+            RecoveryMutationOrderRule.name,
+            AsyncCancellationRule.name,
+        }
+        assert len(names) == 4
