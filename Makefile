@@ -4,19 +4,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: all lint ruff mypy invariants test obs-smoke shard-smoke perf-smoke lint-bench
+.PHONY: all lint ruff mypy invariants test obs-smoke shard-smoke perf-smoke pipeline-smoke lint-bench
 
 all: lint test
 
 lint: ruff mypy invariants
 
 ruff:
-	ruff check src tests benchmarks/obs_smoke.py benchmarks/shard_smoke.py benchmarks/perf_smoke.py benchmarks/lint_bench.py
+	ruff check src tests benchmarks/obs_smoke.py benchmarks/shard_smoke.py benchmarks/perf_smoke.py benchmarks/pipeline_smoke.py benchmarks/lint_bench.py
 
 mypy:
 	mypy
 
-# the LSVD invariant checker (LSVD001-LSVD013); see DESIGN.md
+# the LSVD invariant checker (LSVD001-LSVD014); see DESIGN.md
 invariants:
 	$(PYTHON) -m repro.lint src/repro benchmarks examples
 
@@ -30,10 +30,17 @@ obs-smoke:
 	$(PYTHON) benchmarks/obs_smoke.py --out-dir bench-out
 
 # shard-scaling sweep (1/2/4/8 shards); fails unless aggregate backend
-# PUT throughput rises monotonically from 1 to 4 shards
+# PUT throughput rises monotonically from 1 all the way to 8 shards
 shard-smoke:
 	mkdir -p bench-out
 	$(PYTHON) benchmarks/shard_smoke.py --out-dir bench-out
+
+# group commit vs the serial-barrier baseline across queue depths; fails
+# unless group commit spends fewer device FLUSHes per committed barrier
+# at no throughput cost, or the sweep blows its wall-clock budget
+pipeline-smoke:
+	mkdir -p bench-out
+	$(PYTHON) benchmarks/pipeline_smoke.py --out-dir bench-out
 
 # data-plane fast path: extent map (chunked vs seed flat baseline), volume
 # random I/O, GC repack; fails unless the chunked map is >=10x the flat

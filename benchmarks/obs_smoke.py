@@ -85,7 +85,7 @@ def runtime_smoke() -> Registry:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out-dir", default=".")
+    parser.add_argument("--out-dir", default="bench-out")
     parser.add_argument("--ops", type=int, default=800)
     args = parser.parse_args(argv)
 

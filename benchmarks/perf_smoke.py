@@ -207,7 +207,7 @@ def bench_gc(quick: bool):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out-dir", default=".")
+    parser.add_argument("--out-dir", default="bench-out")
     parser.add_argument(
         "--quick", action="store_true",
         help="smaller op counts / 200k instead of 1M extents (local sanity)",

@@ -1,0 +1,183 @@
+"""Pipeline smoke run: group commit vs the serial-barrier baseline.
+
+``make pipeline-smoke`` (CI uploads the artifact) drives an fsync-heavy
+fio job through the timed LSVD runtime twice per queue depth — once with
+``LSVDParams.group_commit`` (the event-driven commit worker: one device
+FLUSH settles a coalesced batch of barriers) and once with the serial
+baseline (every barrier gates all writers and pays its own FLUSH) — at
+equal durability: both paths issue the same barrier stream, and every
+caller settles only after a covering FLUSH (LSVD014, enforced by the
+invariant checker and tests/test_group_commit.py).
+
+The acceptance shape: at queue depth >= 4 group commit must spend fewer
+device FLUSHes *per committed barrier* than the serial baseline (which
+pays exactly one each) without giving up throughput.  Raw FLUSH counts
+are not comparable at fixed duration — the unblocked pipeline completes
+more work and so issues more barriers — which is why the gate is
+normalised per barrier request.  The sweep, the barrier group-size
+distribution, and the destage queue-depth stats land in
+``BENCH_pipeline.json``.  Like
+lint-bench, the run also carries a generous wall-clock budget so a
+superlinear regression in the event-driven data plane fails the gate.
+
+Everything is deterministic: same tree, same numbers.
+
+Usage::
+
+    python benchmarks/pipeline_smoke.py [--out-dir DIR] [--duration S]
+                                        [--budget SECONDS]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.cluster import StorageCluster
+from repro.core import LSVDConfig
+from repro.devices.ssd import SSD, SSDSpec
+from repro.obs import Registry, write_bench_json
+from repro.runtime import ClientMachine, LSVDRuntime, SimulatedObjectStore
+from repro.runtime.blockdev import run_fio
+from repro.runtime.params import LSVDParams
+from repro.sim import Simulator
+from repro.workloads import FioJob
+
+MiB = 1 << 20
+GiB = 1 << 30
+
+QUEUE_DEPTHS = (1, 4, 16, 32)
+
+#: every write burst ends in an fsync — the barrier-heavy shape (varmail
+#: and OLTP redo logs) where commit-path behaviour decides throughput
+FSYNC_EVERY = 4
+
+#: generous wall-clock ceiling for the whole sweep (8 timed runs); only
+#: trips on a superlinear regression in the pipeline's event handling
+DEFAULT_BUDGET_S = 120.0
+
+
+def ssd_cluster(sim: Simulator) -> StorageCluster:
+    return StorageCluster(
+        sim, 4, 8, lambda s, n: SSD(s, SSDSpec.sata_consumer(), name=n)
+    )
+
+
+def run_one(iodepth: int, group_commit: bool, duration: float):
+    """One measurement; returns (device FLUSHes, MB/s, runtime, machine)."""
+    sim = Simulator()
+    machine = ClientMachine(sim)
+    backend = SimulatedObjectStore(sim, ssd_cluster(sim), machine.network)
+    device = LSVDRuntime(
+        sim,
+        machine,
+        backend,
+        volume_size=1 * GiB,
+        cache_size=4 * GiB,
+        config=LSVDConfig(),
+        params=LSVDParams(group_commit=group_commit),
+        gc_enabled=False,
+        name="vd",
+    )
+    job = FioJob(
+        rw="randwrite",
+        bs=4096,
+        iodepth=iodepth,
+        size=1 * GiB,
+        fsync_every=FSYNC_EVERY,
+    )
+    result = run_fio(sim, device, job, duration=duration)
+    return machine.ssd.stats.flushes, result.mbps, device, machine
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out-dir", default="bench-out")
+    parser.add_argument("--duration", type=float, default=0.4)
+    parser.add_argument("--budget", type=float, default=DEFAULT_BUDGET_S)
+    args = parser.parse_args(argv)
+
+    t0 = time.perf_counter()
+    summary = Registry()
+    figures = {}
+    gate_ok = True
+    print(f"{'qd':>4}  {'mode':>6}  {'FLUSHes':>8}  {'flush/bar':>9}  "
+          f"{'MB/s':>8}  {'grp mean':>8}  {'grp max':>7}  {'stalls':>6}")
+    for qd in QUEUE_DEPTHS:
+        per_mode = {}
+        for group_commit in (False, True):
+            mode = "group" if group_commit else "serial"
+            flushes, mbps, device, machine = run_one(
+                qd, group_commit, args.duration
+            )
+            sizes = device.obs.histogram("barrier.group_size")
+            grp_mean = sizes.sum / sizes.count if sizes.count else 0.0
+            grp_max = sizes.percentile(100) if sizes.count else 0.0
+            stalls = int(device.obs.value("destage.space_stalls"))
+            requests = max(1, int(device.barrier_requests))
+            per_barrier = device.barrier_flushes / requests
+            print(f"{qd:>4}  {mode:>6}  {flushes:>8}  {per_barrier:>9.3f}  "
+                  f"{mbps:>8.1f}  {grp_mean:>8.2f}  {grp_max:>7.0f}  "
+                  f"{stalls:>6}")
+            prefix = f"pipeline.{qd}.{mode}"
+            summary.gauge(f"{prefix}.device_flushes").set(flushes)
+            summary.gauge(f"{prefix}.mbps").set(mbps)
+            summary.gauge(f"{prefix}.barrier_requests").set(
+                device.barrier_requests
+            )
+            summary.gauge(f"{prefix}.barrier_flushes").set(
+                device.barrier_flushes
+            )
+            summary.gauge(f"{prefix}.flushes_per_barrier").set(per_barrier)
+            summary.gauge(f"{prefix}.group_size_mean").set(grp_mean)
+            summary.gauge(f"{prefix}.group_size_max").set(grp_max)
+            summary.gauge(f"{prefix}.destage_space_stalls").set(stalls)
+            figures[f"flushes_qd{qd}_{mode}"] = int(flushes)
+            figures[f"flushes_per_barrier_qd{qd}_{mode}"] = round(
+                per_barrier, 4
+            )
+            figures[f"mbps_qd{qd}_{mode}"] = mbps
+            figures[f"group_size_mean_qd{qd}_{mode}"] = grp_mean
+            per_mode[mode] = (per_barrier, mbps)
+
+        # the acceptance shape: with concurrency to coalesce, group
+        # commit spends fewer FLUSHes per committed barrier (the serial
+        # baseline pays exactly 1.0) at no throughput cost
+        if qd >= 4:
+            s_rate, s_mbps = per_mode["serial"]
+            g_rate, g_mbps = per_mode["group"]
+            fewer = g_rate < s_rate
+            no_slower = g_mbps >= 0.95 * s_mbps
+            figures[f"group_fewer_flushes_per_barrier_qd{qd}"] = bool(fewer)
+            figures[f"group_no_slower_qd{qd}"] = bool(no_slower)
+            gate_ok = gate_ok and fewer and no_slower
+
+    total_s = time.perf_counter() - t0
+    figures["group_commit_wins"] = bool(gate_ok)
+    figures["budget_s"] = args.budget
+    figures["total_s"] = round(total_s, 3)
+    Path(args.out_dir).mkdir(parents=True, exist_ok=True)
+    path = write_bench_json(
+        "pipeline", summary, figures=figures, out_dir=args.out_dir
+    )
+    print(f"\ngroup commit fewer FLUSHes + no slower at qd>=4: {gate_ok}")
+    print(f"wall clock {total_s:.1f}s (budget {args.budget:.0f}s)")
+    print(f"wrote {path}")
+
+    if not gate_ok:
+        print("pipeline-smoke: FAIL: group commit did not win", file=sys.stderr)
+        return 1
+    if total_s > args.budget:
+        print(
+            f"pipeline-smoke: FAIL: {total_s:.1f}s exceeds the "
+            f"{args.budget:.0f}s budget",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,10 +5,13 @@ runtime over a :class:`~repro.runtime.sharded.ShardedSimulatedBackend` of
 1, 2, 4 and 8 shards — each shard an independent slow cluster, all behind
 the one client NIC — with a write cache small enough that the client is
 back-pressured to the destage drain rate.  Aggregate backend PUT
-throughput must rise monotonically from 1 to 4 shards (the acceptance
-shape); 8 shards is reported so the point where the *client* becomes the
-bottleneck (§4.5's saturation story, now from the other side) is visible
-in the artifact.
+throughput must rise monotonically all the way from 1 to 8 shards (the
+acceptance shape, ``monotonic_1_to_8``): with per-shard destage queues
+and the group-commit worker keeping the submission path off the barrier
+critical path, eight slow shards still under-fill the client NIC, so the
+old 8-shard ceiling (§4.5's saturation story, from the other side) no
+longer bites.  The intermediate ``monotonic_1_to_4`` figure is kept in
+the artifact for continuity with earlier runs.
 
 Everything is deterministic: same tree, same numbers.
 
@@ -56,7 +59,9 @@ def run_one(n_shards: int, duration: float):
         machine,
         backend,
         volume_size=1 * GiB,
-        cache_size=64 * MiB,  # small: back-pressure to the destage rate
+        # small enough to back-pressure to the destage rate, large enough
+        # that admission never starves the 8-shard fan between drains
+        cache_size=256 * MiB,
         config=LSVDConfig(batch_size=4 * MiB),
         params=LSVDParams(destage_workers=max(8, 2 * n_shards)),
         gc_enabled=False,
@@ -72,7 +77,7 @@ def run_one(n_shards: int, duration: float):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out-dir", default=".")
+    parser.add_argument("--out-dir", default="bench-out")
     parser.add_argument("--duration", type=float, default=2.0)
     args = parser.parse_args(argv)
 
@@ -92,17 +97,22 @@ def main(argv=None) -> int:
         figures[f"put_mbps_{n_shards}_shards"] = put_mbps
         figures[f"put_p99_s_{n_shards}_shards"] = put_p99
 
-    # the acceptance shape: monotonic aggregate throughput 1 -> 4 shards
-    monotonic = (
+    # the acceptance shape: monotonic aggregate throughput 1 -> 8 shards
+    monotonic_1_to_4 = (
         figures["put_mbps_2_shards"] > figures["put_mbps_1_shards"]
         and figures["put_mbps_4_shards"] > figures["put_mbps_2_shards"]
     )
-    figures["monotonic_1_to_4"] = bool(monotonic)
+    monotonic = (
+        monotonic_1_to_4
+        and figures["put_mbps_8_shards"] > figures["put_mbps_4_shards"]
+    )
+    figures["monotonic_1_to_4"] = bool(monotonic_1_to_4)
+    figures["monotonic_1_to_8"] = bool(monotonic)
     Path(args.out_dir).mkdir(parents=True, exist_ok=True)
     path = write_bench_json(
         "shard_smoke", summary, figures=figures, out_dir=args.out_dir
     )
-    print(f"\nmonotonic 1->4: {monotonic}")
+    print(f"\nmonotonic 1->8: {monotonic}")
     print(f"wrote {path}")
     return 0 if monotonic else 1
 

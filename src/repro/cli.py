@@ -123,7 +123,8 @@ def _exercise(vol: LSVDVolume, ops: int) -> None:
 
 
 def _stats_headline(obs) -> str:
-    """The four numbers the paper's evaluation leads with."""
+    """The numbers the paper's evaluation leads with, plus the commit
+    pipeline's health (queue depth, barrier coalescing)."""
     from repro.obs import Histogram
 
     client = obs.value("store.client_bytes")
@@ -137,6 +138,19 @@ def _stats_headline(obs) -> str:
     lookups = hits + misses
     put = obs.get("backend.put_latency_s")
     p99 = put.percentile(99) if isinstance(put, Histogram) else 0.0
+    sizes = obs.get("barrier.group_size")
+    if isinstance(sizes, Histogram) and sizes.count:
+        group = (
+            f"mean {sizes.sum / sizes.count:.2f}"
+            f" / max {sizes.percentile(100):.0f}"
+        )
+    else:
+        # pure-model stack: the write cache's flush-elision counters are
+        # the coalescing signal (no timed commit worker to sample)
+        group = (
+            f"{int(obs.value('wc.barriers_coalesced'))} coalesced"
+            f" / {int(obs.value('wc.device_flushes'))} device flushes"
+        )
     return "\n".join(
         [
             f"write amplification:  {backend / client:.3f}" if client else
@@ -145,6 +159,8 @@ def _stats_headline(obs) -> str:
             "read cache hit rate:  n/a",
             f"gc bytes relocated:   {obs.value('gc.bytes_relocated') / MiB:.2f} MiB",
             f"backend put p99:      {p99 * 1e3:.3f} ms",
+            f"destage queue depth:  {int(obs.value('destage.queue_depth'))}",
+            f"barrier group size:   {group}",
         ]
     )
 

@@ -9,6 +9,14 @@ the paper: cross-batch coalescing would break the ordering guarantee).
 
 The *merge ratio* (fraction of written bytes eliminated by coalescing) is
 tracked per batch and aggregated; Table 5 reports it per trace.
+
+Each sealed batch also records *why* it sealed (``reason``): ``"size"``
+when the accumulation threshold was reached, or a forced reason
+(``"drain"``, ``"backpressure"``) when a barrier or cache pressure cut
+the batch short.  Forced seals emit small, padding-heavy objects — the
+pure-model counterpart of the per-barrier FLUSHes that the timed
+pipeline's group commit coalesces away — so the split is surfaced as
+``store.size_seals`` / ``store.forced_seals``.
 """
 
 from __future__ import annotations
@@ -33,10 +41,16 @@ class SealedBatch:
     bytes_in: int  # client bytes that entered the batch
     bytes_out: int  # bytes surviving coalescing
     kind: int = KIND_DATA
+    reason: str = "size"  # what sealed it: "size" or a forced cut
 
     @property
     def merged_bytes(self) -> int:
         return self.bytes_in - self.bytes_out
+
+    @property
+    def forced(self) -> bool:
+        """True when something other than the size threshold sealed it."""
+        return self.reason != "size"
 
 
 class WriteBatch:
@@ -77,12 +91,14 @@ class WriteBatch:
     def should_seal(self) -> bool:
         return self.buffered_bytes >= self.batch_size
 
-    def seal(self, seq: int, uuid: bytes) -> SealedBatch:
+    def seal(self, seq: int, uuid: bytes, reason: str = "size") -> SealedBatch:
         """Freeze into an object payload; the batch becomes reusable-empty.
 
         The surviving extents are gathered out of the accumulation buffer
         into one pre-sized assembly (see :mod:`repro.core.sgio`) — the
         only copy the seal makes besides the final payload encode.
+        ``reason`` records what cut the batch (size threshold vs a forced
+        drain/backpressure seal) for the accounting split in StoreStats.
         """
         extents: List[ObjectExtent] = []
         ranges: List[Tuple[int, int]] = []
@@ -106,6 +122,7 @@ class WriteBatch:
             last_record_seq=self.last_record_seq,
             bytes_in=self.bytes_in,
             bytes_out=len(data),
+            reason=reason,
         )
         self._map.clear()
         self._buffer = bytearray()

@@ -68,6 +68,8 @@ class StoreStats:
     ckpt_bytes = metric_field("store.ckpt_bytes")
     objects_put = metric_field("store.objects_put")
     objects_deleted = metric_field("store.objects_deleted")
+    size_seals = metric_field("store.size_seals")  # threshold-driven
+    forced_seals = metric_field("store.forced_seals")  # barrier/backpressure cuts
 
     def __init__(self, obs: Optional[Registry] = None):
         self.obs = obs if obs is not None else Registry()
@@ -165,11 +167,11 @@ class BlockStore:
             return self.seal()
         return None
 
-    def seal(self) -> Optional[SealedBatch]:
+    def seal(self, reason: str = "size") -> Optional[SealedBatch]:
         """Seal the current batch (even partial); None when empty."""
         if self.batch.is_empty:
             return None
-        sealed = self.batch.seal(self._take_seq(), self.uuid)
+        sealed = self.batch.seal(self._take_seq(), self.uuid, reason=reason)
         return sealed
 
     def commit(self, sealed: SealedBatch):
@@ -191,6 +193,10 @@ class BlockStore:
             offset += ext.length
         self.stats.objects_put += 1
         if sealed.kind == KIND_DATA:
+            if sealed.forced:
+                self.stats.forced_seals += 1
+            else:
+                self.stats.size_seals += 1
             self.stats.client_bytes += sealed.bytes_in
             self.stats.merged_bytes += sealed.merged_bytes
             self.stats.data_bytes += sealed.data_len

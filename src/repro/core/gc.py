@@ -19,22 +19,44 @@ Two refinements the paper evaluates are implemented here:
   the pieces into one extent and shrinking the map (§4.6 cut w01's map
   size by >2x for ~zero extra write amplification).
 
-The collector is *two-phase* so the timed runtime can charge I/O latencies
-between phases: :meth:`plan` gathers victims and live data (reads),
-:meth:`execute` writes relocation objects and updates the map, and the
-volume performs the deferred victim deletion once the covering checkpoint
-has settled.
+The collector is *phased* so the timed runtime can charge I/O latencies
+between phases and so rounds can be pipelined: :meth:`select` picks the
+victims and schedules their reads (cheap, no data movement), so the next
+round's selection can run while the current round's relocation writes are
+still in flight; :meth:`materialize` revalidates a selection against the
+live map and performs the reads; :meth:`execute` writes relocation
+objects and updates the map; and the volume performs the deferred victim
+deletion once the covering checkpoint has settled.  :meth:`plan` composes
+select + materialize for the unpipelined callers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.batch import seal_gc_batch
 from repro.core.block_store import BlockStore
 from repro.core.config import LSVDConfig
 from repro.obs import Registry, bind_metrics, metric_field
+
+
+@dataclass
+class GCSelection:
+    """Phase-one output: victims chosen and the reads scheduled for them.
+
+    Holds no data, so it is cheap to produce ahead of time; the read
+    schedule reflects the map *at selection time* and is re-derived when
+    the selection is materialised (see :meth:`GarbageCollector.materialize`).
+    """
+
+    victims: List[int]
+    # (vLBA, length, src_seq) in ascending vLBA order, as of selection
+    ranges: List[Tuple[int, int, int]]
+
+    @property
+    def scheduled_bytes(self) -> int:
+        return sum(length for _l, length, _s in self.ranges)
 
 
 @dataclass
@@ -63,6 +85,7 @@ class GCStats:
     bytes_read_cache = metric_field("gc.bytes_read_cache")
     holes_plugged = metric_field("gc.holes_plugged")
     deletes_deferred = metric_field("gc.deletes_deferred")
+    preplanned_rounds = metric_field("gc.preplanned_rounds")
 
     def __init__(self, obs: Optional[Registry] = None):
         self.obs = obs if obs is not None else Registry()
@@ -100,28 +123,53 @@ class GarbageCollector:
         return live / total >= self.config.gc_high_watermark
 
     # ------------------------------------------------------------------
-    def plan(self) -> Optional[GCPlan]:
-        """Select victims (greedy) and gather their live data."""
+    def select(self, exclude: Sequence[int] = ()) -> Optional[GCSelection]:
+        """Phase one: pick victims (greedy) and schedule their reads.
+
+        The expensive part of planning — the candidate utilisation
+        scan/sort and the per-victim live-extent walk — with no data
+        movement, so the *next* round can be selected while the current
+        round's relocation writes are still in flight (pipelined GC).
+        ``exclude`` masks objects already being cleaned by that round.
+        """
+        skip = frozenset(exclude)
         candidates = self.store.omap.cleaning_candidates(
             max_seq=self.store.next_seq
         )
+        pool = [c for c in candidates if c.seq not in skip]
         # objects at or above the stop watermark are never worth cleaning:
         # copying their (mostly live) data cannot raise overall utilisation
         victims = [
             c.seq
-            for c in candidates[: self.config.gc_window]
+            for c in pool[: self.config.gc_window]
             if c.utilization < self.config.gc_high_watermark
         ]
         if not victims:
             return None
-        plan = GCPlan(victims=victims, pieces=[])
-        raw: List[Tuple[int, int, int]] = []  # (lba, length, src_seq)
+        ranges: List[Tuple[int, int, int]] = []  # (lba, length, src_seq)
         for seq in victims:
-            info = self.store.omap.objects[seq]
-            if not info.extents:
-                # header extents were not retained across a restart; the
-                # paper's optimisation — fetch just the header (§3.5)
-                info.extents = self.store.header_of(seq).extents
+            self._ensure_extents(seq)
+            for lba, length, _off in self.store.omap.live_extents_of(seq):
+                ranges.append((lba, length, seq))
+        ranges.sort()
+        return GCSelection(victims=victims, ranges=ranges)
+
+    def materialize(self, selection: GCSelection) -> Optional[GCPlan]:
+        """Phase two: turn a (possibly stale) selection into a read plan.
+
+        A pre-planned selection may be a whole relocation round old, so
+        everything is revalidated against the current map: victims that
+        vanished are dropped and live extents are *re-derived* — blindly
+        relocating selection-time ranges could resurrect data that was
+        overwritten in between.
+        """
+        victims = [s for s in selection.victims if s in self.store.omap.objects]
+        if not victims:
+            return None
+        plan = GCPlan(victims=victims, pieces=[])
+        raw: List[Tuple[int, int, int]] = []
+        for seq in victims:
+            self._ensure_extents(seq)
             for lba, length, _off in self.store.omap.live_extents_of(seq):
                 raw.append((lba, length, seq))
         raw.sort()
@@ -130,6 +178,20 @@ class GarbageCollector:
             data = self._read_live(lba, length, src_seq, plan)
             plan.pieces.append((lba, length, src_seq, data))
         return plan
+
+    def plan(self) -> Optional[GCPlan]:
+        """Select victims and gather their live data (both phases)."""
+        selection = self.select()
+        if selection is None:
+            return None
+        return self.materialize(selection)
+
+    def _ensure_extents(self, seq: int) -> None:
+        info = self.store.omap.objects[seq]
+        if not info.extents:
+            # header extents were not retained across a restart; the
+            # paper's optimisation — fetch just the header (§3.5)
+            info.extents = self.store.header_of(seq).extents
 
     def _plug_holes(
         self, pieces: List[Tuple[int, int, int]], plan: GCPlan

@@ -41,7 +41,7 @@ from repro.core.batch import SealedBatch
 from repro.core.block_store import BlockStore
 from repro.core.config import SECTOR, LSVDConfig
 from repro.core.errors import CacheFullError, LSVDError
-from repro.core.gc import GarbageCollector
+from repro.core.gc import GarbageCollector, GCSelection
 from repro.core.read_cache import ReadCache
 from repro.core.write_cache import WriteCache
 from repro.devices.image import DiskImage
@@ -65,6 +65,9 @@ class _GCRound:
     pending_puts: int = 0
     stage: str = "relocating"  # relocating -> await_ckpt -> done
     ckpt_seq: Optional[int] = None
+    #: whether the *next* round's victim selection was already attempted
+    #: while this round's relocation writes were in flight (pipelined GC)
+    preplanned: bool = False
 
 
 class LSVDVolume:
@@ -101,6 +104,7 @@ class LSVDVolume:
         self._pending: Dict[object, Tuple[str, object]] = {}
         self._batches: List[_BatchEntry] = []
         self._gc_round: Optional[_GCRound] = None
+        self._next_selection: Optional[GCSelection] = None
         self._ckpt_requested = False
 
     # ------------------------------------------------------------------
@@ -368,7 +372,7 @@ class LSVDVolume:
         Only meaningful with an immediately-settling store; the timed
         runtime drives the same steps through simulated time.
         """
-        sealed = self.bs.seal()
+        sealed = self.bs.seal(reason="drain")
         if sealed is not None:
             self._commit_data(sealed)
         self.poll()
@@ -492,6 +496,16 @@ class LSVDVolume:
                 self._start_gc_round()
             return
         rnd = self._gc_round
+        if rnd.stage == "relocating" and rnd.pending_puts > 0:
+            # pipelined GC: while this round's relocation PUTs are in
+            # flight, select the next round's victims (the expensive
+            # scan/sort) so the follow-up round starts without a planning
+            # stall; the selection is revalidated when consumed
+            if not rnd.preplanned and not self.gc.reached_target():
+                rnd.preplanned = True
+                self._next_selection = self.gc.select(exclude=rnd.victims)
+                if self._next_selection is not None:
+                    self.gc.stats.preplanned_rounds += 1
         if rnd.stage == "relocating" and rnd.pending_puts == 0:
             rnd.stage = "await_ckpt"
             if not self._pending:
@@ -501,7 +515,10 @@ class LSVDVolume:
                 self._ckpt_requested = True
 
     def _start_gc_round(self) -> None:
-        plan = self.gc.plan()
+        selection, self._next_selection = self._next_selection, None
+        plan = self.gc.materialize(selection) if selection is not None else None
+        if plan is None:
+            plan = self.gc.plan()
         if plan is None:
             return
         rnd = _GCRound(victims=plan.victims)
@@ -520,7 +537,7 @@ class LSVDVolume:
 
     def _make_room(self, needed: int) -> None:
         """Cache log full: force destage so records can be released."""
-        sealed = self.bs.seal()
+        sealed = self.bs.seal(reason="backpressure")
         if sealed is not None:
             self._commit_data(sealed)
         if self.wc.free_bytes < needed + 2 * 4096 and self._pending:

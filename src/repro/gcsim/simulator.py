@@ -109,6 +109,21 @@ class GCSimulator:
         for offset, length in writes:
             self.write(offset, length)
 
+    def flush_batch(self) -> bool:
+        """Seal and store the accumulating partial batch, if any.
+
+        The public face of the batcher for out-of-band seals: the timed
+        runtime's idle flusher (batch-timeout expiry) and its commit
+        barriers (a flushed log should not strand a half-built object)
+        both route through here, as does :meth:`finish`.  Returns True
+        when a batch was written, False when there was nothing pending.
+        """
+        if not self._batch:
+            return False
+        batch, self._batch = self._batch, []
+        self._flush_batch(batch)
+        return True
+
     # ------------------------------------------------------------------
     def _flush_batch(self, pages: List[int]) -> None:
         if self.merge:
@@ -211,9 +226,7 @@ class GCSimulator:
     # ------------------------------------------------------------------
     def finish(self) -> GCSimReport:
         """Flush the partial batch and report final statistics."""
-        if self._batch:
-            self._flush_batch(self._batch)
-            self._batch = []
+        self.flush_batch()
         return GCSimReport(
             client_bytes=self.client_pages * PAGE,
             merged_bytes=self.merged_pages * PAGE,

@@ -337,6 +337,37 @@ DEFAULT_ASYNC_SETTLE_CALLS: Tuple[str, ...] = (
     "succeed",
 )
 
+# -- barrier coalescing (LSVD014) -------------------------------------------
+
+#: modules whose commit-barrier paths are checked for coalescing safety
+DEFAULT_BARRIER_MODULES: Tuple[str, ...] = (
+    "core/write_cache.py",
+    "core/volume.py",
+    "runtime/lsvd.py",
+    "runtime/bcache.py",
+)
+
+#: function-name substrings marking a commit-barrier / group-commit path
+DEFAULT_BARRIER_FUNCTION_MARKERS: Tuple[str, ...] = (
+    "barrier",
+    "group_commit",
+    "commit_worker",
+)
+
+#: receiver names of the completion events a barrier settles; matched as
+#: the exact name or a ``_``-separated suffix (``first_done`` -> ``done``)
+DEFAULT_BARRIER_SETTLE_RECEIVERS: Tuple[str, ...] = (
+    "done",
+    "waiter",
+    "barrier",
+    "event",
+)
+
+#: calls whose completion is the covering-FLUSH evidence; in a coroutine
+#: the call must be yielded/awaited (a bare ``ssd.flush()`` there returns
+#: an unwaited Event — fire-and-forget, not evidence)
+DEFAULT_BARRIER_EVIDENCE_CALLS: Tuple[str, ...] = ("flush",)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -381,6 +412,12 @@ class LintConfig:
     async_allow: Tuple[str, ...] = ()
     async_state_markers: Tuple[str, ...] = DEFAULT_ASYNC_STATE_MARKERS
     async_settle_calls: Tuple[str, ...] = DEFAULT_ASYNC_SETTLE_CALLS
+    # barrier coalescing (LSVD014)
+    barrier_modules: Tuple[str, ...] = DEFAULT_BARRIER_MODULES
+    barrier_allow: Tuple[str, ...] = ()
+    barrier_function_markers: Tuple[str, ...] = DEFAULT_BARRIER_FUNCTION_MARKERS
+    barrier_settle_receivers: Tuple[str, ...] = DEFAULT_BARRIER_SETTLE_RECEIVERS
+    barrier_evidence_calls: Tuple[str, ...] = DEFAULT_BARRIER_EVIDENCE_CALLS
 
     # -- code filtering --------------------------------------------------
     def code_enabled(self, code: str) -> bool:
@@ -490,6 +527,11 @@ class LintConfig:
             ),
             async_settle_calls=_extend(
                 base.async_settle_calls, "async-settle-calls"
+            ),
+            barrier_modules=_extend(base.barrier_modules, "barrier-modules"),
+            barrier_allow=_extend(base.barrier_allow, "barrier-allow"),
+            barrier_settle_receivers=_extend(
+                base.barrier_settle_receivers, "barrier-settle-receivers"
             ),
         )
 

@@ -1,6 +1,7 @@
 """Rule registry: one module per rule family."""
 
 from repro.lint.rules.async_safety import AsyncCancellationRule
+from repro.lint.rules.barrier_commit import BarrierCoalescingRule
 from repro.lint.rules.determinism import DeterminismRule
 from repro.lint.rules.durability import DurabilityOrderingRule
 from repro.lint.rules.hotpath import HotPathRule
@@ -29,11 +30,13 @@ ALL_RULES = [
     DurabilityOrderingRule,
     RecoveryMutationOrderRule,
     AsyncCancellationRule,
+    BarrierCoalescingRule,
 ]
 
 __all__ = [
     "ALL_RULES",
     "AsyncCancellationRule",
+    "BarrierCoalescingRule",
     "DeterminismRule",
     "DurabilityOrderingRule",
     "HotPathRule",

@@ -1,0 +1,212 @@
+"""LSVD014 — barrier-coalescing-safety: settle barriers only after the FLUSH.
+
+Group commit batches concurrent commit barriers so one device FLUSH
+settles many callers — but the optimisation is only sound if *every*
+caller's completion still happens-after a FLUSH that covers its writes.
+This rule checks the commit paths statically: inside a barrier/group-
+commit function, a completion event may be settled (``<event>.succeed()``)
+only on paths dominated by covering-FLUSH evidence.  In a coroutine the
+flush must be *yielded/awaited* — a bare ``ssd.flush()`` there returns an
+Event nobody waits on (fire-and-forget), which is precisely the bug class
+coalescing tends to introduce.  The analysis is a backward may-analysis
+from each settle site, structured like LSVD011: if an evidence-free path
+from function entry can reach the settlement, some barrier can be
+acknowledged before its covering flush completed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Sequence, Set
+
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.flow.cfg import CFG, Edge, Node, iter_function_cfgs, walk_in_scope
+from repro.lint.flow.dataflow import BACKWARD, FlowAnalysis, solve
+from repro.lint.framework import ModuleContext, Rule
+
+SettleSet = FrozenSet[int]
+
+
+def _receiver_matches(name: str, receivers: Sequence[str]) -> bool:
+    """Exact receiver name or a ``_``-separated suffix of it."""
+    stripped = name.lstrip("_")
+    for recv in receivers:
+        if stripped == recv or stripped.endswith("_" + recv):
+            return True
+    return False
+
+
+def _settles_barrier(node: Node, config: LintConfig) -> bool:
+    """Does this node settle a barrier completion event?
+
+    Only ``<name>.succeed()`` where the receiver is a plain name matching
+    the configured completion-event names: gate-release patterns like
+    ``self._gate_waiters.popleft().succeed()`` wake *writers*, not
+    barrier callers, and are deliberately not settlement sites.
+    """
+    for part in node.parts:
+        for sub in walk_in_scope(part):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "succeed"
+                and isinstance(sub.func.value, ast.Name)
+                and _receiver_matches(
+                    sub.func.value.id, config.barrier_settle_receivers
+                )
+            ):
+                return True
+    return False
+
+
+def _function_is_coroutine(func: ast.AST) -> bool:
+    if isinstance(func, ast.AsyncFunctionDef):
+        return True
+    for stmt in getattr(func, "body", []):
+        for sub in walk_in_scope(stmt):
+            if isinstance(sub, (ast.Yield, ast.YieldFrom)):
+                return True
+    return False
+
+
+def _is_flush_evidence(node: Node, config: LintConfig, coroutine: bool) -> bool:
+    """Covering-FLUSH evidence: a (yielded, when in a coroutine) flush call."""
+    if not coroutine:
+        for part in node.parts:
+            for sub in walk_in_scope(part):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in config.barrier_evidence_calls
+                ):
+                    return True
+        return False
+    for part in node.parts:
+        for sub in walk_in_scope(part):
+            if isinstance(sub, (ast.Await, ast.Yield, ast.YieldFrom)):
+                value = sub.value
+                if value is None:
+                    continue
+                for inner in walk_in_scope(value):
+                    if (
+                        isinstance(inner, ast.Call)
+                        and isinstance(inner.func, ast.Attribute)
+                        and inner.func.attr in config.barrier_evidence_calls
+                    ):
+                        return True
+    return False
+
+
+class _SettleReachability(FlowAnalysis[SettleSet]):
+    """Backward: settle sites reachable from here with no FLUSH between."""
+
+    direction = BACKWARD
+
+    def __init__(
+        self, config: LintConfig, settle_nodes: Set[int], coroutine: bool
+    ) -> None:
+        self.config = config
+        self.settle_nodes = settle_nodes
+        self.coroutine = coroutine
+
+    def boundary(self, cfg: CFG, node: Node) -> SettleSet:
+        return frozenset()
+
+    def initial(self) -> SettleSet:
+        return frozenset()
+
+    def join(self, a: SettleSet, b: SettleSet) -> SettleSet:
+        return a | b
+
+    def transfer(self, node: Node, fact: SettleSet) -> SettleSet:
+        if _is_flush_evidence(node, self.config, self.coroutine):
+            # every path through this node is dominated by a flush
+            return frozenset()
+        if node.index in self.settle_nodes:
+            return fact | frozenset((node.index,))
+        return fact
+
+    def transfer_edge(self, edge: Edge, fact: SettleSet) -> SettleSet:
+        return fact
+
+
+class BarrierCoalescingRule(Rule):
+    """Invariant:
+        On every commit-barrier path — serial or group-commit — a
+        caller's completion event may be settled (``.succeed()``) only
+        after the covering device FLUSH: in a coroutine the flush call
+        must be yielded/awaited before the settlement on every path from
+        function entry; in a plain function it must be called.
+
+    Example violation::
+
+        def _group_commit_worker(self):
+            while True:
+                first = yield self._barrier_q.get()
+                group = [first] + self._barrier_q.drain()
+                self.machine.ssd.flush()   # not yielded: never waited on
+                for waiter in group:
+                    waiter.succeed()       # settled before the FLUSH
+
+    Paper:
+        §3.2 — the commit barrier's contract is a durable cache-device
+        flush covering everything acknowledged before it; batching
+        barriers (group commit) must preserve exactly that contract for
+        every caller in the batch.
+    """
+
+    code = "LSVD014"
+    name = "barrier-coalescing-safety"
+    summary = (
+        "a barrier completion event is settled on a path with no "
+        "dominating covering-FLUSH evidence"
+    )
+
+    def check(self, ctx: ModuleContext, config: LintConfig) -> Iterator[Diagnostic]:
+        if not config.module_allowed(ctx.path, config.barrier_modules):
+            return
+        allowed, whole = config.scoped_allow(ctx.path, config.barrier_allow)
+        if whole:
+            return
+        for _qualname, func, cfg in iter_function_cfgs(ctx.tree):
+            if func.name in allowed:
+                continue
+            if not any(
+                marker in func.name
+                for marker in config.barrier_function_markers
+            ):
+                continue
+            settle_nodes = {
+                node.index
+                for node in cfg.stmt_nodes()
+                if _settles_barrier(node, config)
+            }
+            if not settle_nodes:
+                continue
+            coroutine = _function_is_coroutine(func)
+            solution = solve(
+                cfg, _SettleReachability(config, settle_nodes, coroutine)
+            )
+            unguarded = solution.before.get(cfg.entry.index, frozenset())
+            for index in sorted(unguarded):
+                node = cfg.nodes[index]
+                yield self.diag(
+                    ctx,
+                    node.stmt or func,
+                    "barrier completion is settled with no dominating "
+                    "covering-FLUSH evidence on some path from function "
+                    "entry"
+                    + (
+                        " (in a coroutine the flush must be yielded/awaited)"
+                        if coroutine
+                        else ""
+                    ),
+                    "issue (and in a coroutine: yield) the device flush "
+                    "before settling the batch; callback-settled paths can "
+                    "be allowlisted via barrier-allow "
+                    "(module.py::function)",
+                )
+
+
+__all__ = ["BarrierCoalescingRule"]

@@ -32,7 +32,9 @@ EVENT_TYPES: FrozenSet[str] = frozenset(
         "crash",            # a crash was injected / simulated
         "recovery_replay",  # one cache record replayed to the backend
         "recovery_complete",  # mount-time recovery finished
+        "recovery_scan",    # timed mount sweep (LIST + header GET fans)
         "snapshot",         # stream head designated as a snapshot
+        "barrier_group",    # group commit settled N barriers on one FLUSH
     }
 )
 

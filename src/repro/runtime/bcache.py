@@ -142,15 +142,20 @@ class BcacheRBDRuntime:
                 self._drain_waiters.append(waiter)
                 yield waiter
             if self._writes_since_barrier:
+                # journal entry + btree path, each ordered by a flush
+                # before the next write; the final flush below covers the
+                # last one (same device event sequence: W F W F ... W F)
                 for i in range(self.params.meta_writes_per_barrier):
+                    if i:
+                        yield self.machine.ssd.flush()
                     yield self.machine.ssd.write(
                         self._scatter(17 + i), self.params.meta_write_bytes
                     )
-                    yield self.machine.ssd.flush()
                     self.metadata_writes += 1
                 self._writes_since_barrier = 0
-            else:
-                yield self.machine.ssd.flush()
+            # every barrier path ends with a device FLUSH before the
+            # caller is acknowledged (barrier-coalescing safety)
+            yield self.machine.ssd.flush()
             self.barriers += 1
             self._last_client_op = self.sim.now
             done.succeed()

@@ -7,6 +7,22 @@ passes data through the SSD between kernel and user space, §3.7/§4.7),
 PUTs 8-32 MiB objects through the erasure-coded backend, and frees cache
 space when each PUT settles.
 
+The data plane is an event-driven multi-queue pipeline:
+
+* **group commit** — concurrent commit barriers are queued to a single
+  commit worker that coalesces everything waiting into one batch, issues
+  one device FLUSH, and only then settles every barrier in the group
+  (the LSVD014 invariant).  Writers are never gated behind a barrier.
+  ``params.group_commit=False`` restores the serial baseline (each
+  barrier gates all writers and pays its own FLUSH) for comparison.
+* **per-shard destage queues** — destage work is routed to the queue of
+  the shard its object key lands on, each queue drained by its own
+  workers, so one shard's slow PUT cannot head-of-line-block another's
+  (``destage.<i>.queue_depth`` gauges expose the skew).
+* **overlapped recovery** — :meth:`recovery_scan` fans the per-shard
+  LISTs and the header GETs out concurrently (latency ~= the slowest
+  shard, not the sum).
+
 Batching, garbage-collection triggering, and relocation volumes come from
 an embedded page-map simulator (:class:`~repro.gcsim.GCSimulator`), so
 backend object counts, GC reads/writes, and occupancy timelines (Figure
@@ -20,7 +36,7 @@ cache (an SSD write — the §4.7 pass-through overhead).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Deque, List, Optional, Tuple
 
 from repro.core.config import LSVDConfig
 from repro.core.log import align_up
@@ -32,6 +48,9 @@ from repro.runtime.params import LSVDParams
 from repro.sim.engine import Event, Simulator
 from repro.sim.resources import Store
 from repro.workloads.base import FLUSH, READ, WRITE, IOOp
+
+#: bucket edges for the barrier group-size histogram (barriers per FLUSH)
+_GROUP_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
 
 
 class _HookedGCSim(GCSimulator):
@@ -68,6 +87,12 @@ class LSVDRuntime:
     objects_put = metric_field("lsvd.objects_put")
     gc_objects_put = metric_field("lsvd.gc_objects_put")
     backend_bytes_put = metric_field("lsvd.backend_bytes_put")
+    recovery_scans = metric_field("lsvd.recovery_scans")
+    # pipeline instrumentation
+    barrier_requests = metric_field("barrier.requests")
+    barrier_flushes = metric_field("barrier.flushes")
+    destage_queue_depth = gauge_field("destage.queue_depth")
+    destage_space_stalls = metric_field("destage.space_stalls")
 
     def __init__(
         self,
@@ -113,13 +138,34 @@ class LSVDRuntime:
             gc_low=gc_low,
             gc_high=gc_high,
         )
-        self._destage_q: Store = Store(sim)
-        self._pending_frees: Deque[Tuple[int, Event]] = deque()
-        for _ in range(self.params.destage_workers):
-            sim.process(self._destage_worker(), name=f"{name}-destage")
+        # one destage queue per backend shard (a plain backend is the
+        # single-queue special case); routing delegates to the backend's
+        # shard router so placement stays owned by repro.shard (LSVD008)
+        n_queues = int(getattr(backend, "n_shards", 1))
+        self._destage_qs: List[Store] = [Store(sim) for _ in range(n_queues)]
+        self._queue_gauges = [
+            self.obs.gauge(f"destage.{i}.queue_depth") for i in range(n_queues)
+        ]
+        workers = max(self.params.destage_workers, n_queues)
+        for index in range(workers):
+            queue = index - (index // n_queues) * n_queues  # round-robin spread
+            sim.process(
+                self._destage_worker(self._destage_qs[queue], queue),
+                name=f"{name}-destage{queue}",
+            )
         sim.process(self._idle_flusher(), name=f"{name}-flusher")
         self._last_write_at = 0.0
 
+        # group commit: barriers queue to one commit worker; the inflight
+        # set is what a FLUSH must quiesce (writes admitted before it)
+        self._inflight: set = set()
+        self._barrier_q: Store = Store(sim)
+        self._group_size_h = self.obs.histogram(
+            "barrier.group_size", buckets=_GROUP_SIZE_BUCKETS
+        )
+        sim.process(self._group_commit_worker(), name=f"{name}-commit")
+
+        # serial-barrier baseline state (params.group_commit=False)
         self._inflight_writes = 0
         self._drain_waiters: Deque[Event] = deque()
         self._barrier_active = False
@@ -138,18 +184,24 @@ class LSVDRuntime:
         elif op.kind == READ:
             self.sim.process(self._read(op, done), name=f"{self.name}-r")
         elif op.kind == FLUSH:
-            self.sim.process(self._barrier(done), name=f"{self.name}-f")
+            self.barrier_requests += 1
+            if self.params.group_commit:
+                self._barrier_q.put(done)
+            else:
+                self.sim.process(self._serial_barrier(done), name=f"{self.name}-f")
         else:
             raise ValueError(f"unknown op kind {op.kind!r}")
         return done
 
     # ------------------------------------------------------------------
     def _write(self, op: IOOp, done: Event):
-        # a commit barrier is an ordering point: new writes wait for it
+        # serial baseline only: a barrier is an ordering point that gates
+        # new writes (group commit never sets _barrier_active)
         while self._barrier_active:
             gate = self.sim.event()
             self._gate_waiters.append(gate)
             yield gate
+        self._inflight.add(done)
         self._inflight_writes += 1
         try:
             yield from self.machine.cpu_work(self.params.write_cpu)
@@ -169,6 +221,7 @@ class LSVDRuntime:
             self._batch_log_bytes += footprint
             self.pagemap.write(op.offset, op.length)
         finally:
+            self._inflight.discard(done)
             self._inflight_writes -= 1
             if self._inflight_writes == 0:
                 while self._drain_waiters:
@@ -192,8 +245,44 @@ class LSVDRuntime:
         self.client_bytes_read += op.length
         done.succeed()
 
-    def _barrier(self, done: Event):
-        """Commit barrier: quiesce outstanding writes, one device flush."""
+    # ------------------------------------------------------------------
+    # commit barriers
+    # ------------------------------------------------------------------
+    def _group_commit_worker(self):
+        """Coalesce queued barriers: one device FLUSH settles the group.
+
+        Safety (LSVD014): every barrier in the group is settled strictly
+        after the covering FLUSH event completes.  Late joiners that
+        arrive while the group is quiescing are folded in — their
+        covered writes finished the SSD log write before the FLUSH
+        issues, so the same FLUSH covers them.
+        """
+        while True:
+            first = yield self._barrier_q.get()
+            group = [first]
+            group.extend(self._barrier_q.drain())
+            # one CPU charge per group — the commit-path amortisation
+            yield from self.machine.cpu_work(self.params.barrier_cpu)
+            # quiesce: writes admitted before this FLUSH issues must
+            # reach the cache SSD first (drain-then-flush, matching the
+            # serial path's durability; new writes are never gated)
+            pending = [ev for ev in self._inflight if not ev.triggered]
+            if pending:
+                yield self.sim.all_of(pending)
+            group.extend(self._barrier_q.drain())
+            # a flushed log must not strand a half-built object: seal the
+            # partial batch through the page map's public API so destage
+            # starts catching the backend up (satellite of §3.2)
+            self.pagemap.flush_batch()
+            yield self.machine.ssd.flush()
+            self.barrier_flushes += 1
+            self._group_size_h.observe(len(group))
+            self.obs.trace.emit("barrier_group", size=len(group))
+            for waiter in group:
+                waiter.succeed()
+
+    def _serial_barrier(self, done: Event):
+        """Pre-pipeline baseline: quiesce all writers, one flush each."""
         self._barrier_active = True
         try:
             yield from self.machine.cpu_work(self.params.barrier_cpu)
@@ -202,6 +291,9 @@ class LSVDRuntime:
                 self._drain_waiters.append(waiter)
                 yield waiter
             yield self.machine.ssd.flush()
+            self.barrier_flushes += 1
+            self._group_size_h.observe(1)
+            self.obs.trace.emit("barrier_group", size=1)
             done.succeed()
         finally:
             self._barrier_active = False
@@ -214,24 +306,46 @@ class LSVDRuntime:
     def _on_object(self, nbytes: int, gc: bool) -> None:
         """Hook: the page map sealed an object of ``nbytes``."""
         self._seq += 1  # lint: disable=LSVD002 -- timed model's own object counter
+        key = f"{self.name}.{self._seq:08d}"
         if gc:
-            self._destage_q.put(("gcput", self._seq, nbytes, 0))
+            self._enqueue_destage(key, ("gcput", key, self._seq, nbytes, 0))
         else:
             log_bytes, self._batch_log_bytes = self._batch_log_bytes, 0
-            self._destage_q.put(("put", self._seq, nbytes, log_bytes))
+            self._enqueue_destage(key, ("put", key, self._seq, nbytes, log_bytes))
 
     def _on_gc_read(self, nbytes: int) -> None:
         if nbytes > 0:
-            self._destage_q.put(("gcread", self._seq, nbytes, 0))
+            key = f"{self.name}.{self._seq:08d}"
+            self._enqueue_destage(key, ("gcread", key, self._seq, nbytes, 0))
 
     def _on_gc_delete(self, count: int) -> None:
+        key = f"{self.name}.{self._seq:08d}"
         for _ in range(count):
-            self._destage_q.put(("delete", self._seq, 0, 0))
+            self._enqueue_destage(key, ("delete", key, self._seq, 0, 0))
 
-    def _destage_worker(self):
+    def _shard_index(self, key: str) -> int:
+        """Destage queue for ``key`` — the shard its PUT will land on.
+
+        Placement itself stays owned by the backend's ShardRouter
+        (LSVD008); a plain single-endpoint backend maps everything to
+        queue 0.
+        """
+        shard_of = getattr(self.backend, "shard_of", None)
+        if shard_of is None:
+            return 0
+        return shard_of(key)
+
+    def _enqueue_destage(self, key: str, item: Tuple) -> None:
+        index = self._shard_index(key)
+        self._destage_qs[index].put(item)
+        self.destage_queue_depth += 1
+        self._queue_gauges[index].set(len(self._destage_qs[index]))
+
+    def _destage_worker(self, queue: Store, index: int):
         while True:
-            kind, seq, nbytes, log_bytes = yield self._destage_q.get()
-            key = f"{self.name}.{seq:08d}"
+            kind, key, seq, nbytes, log_bytes = yield queue.get()
+            self.destage_queue_depth -= 1
+            self._queue_gauges[index].set(len(queue))
             if kind == "put":
                 # the userspace daemon reads outgoing data from the cache
                 # SSD (§3.7), then PUTs the object
@@ -267,15 +381,62 @@ class LSVDRuntime:
         while True:
             yield self.sim.timeout(self.config.batch_timeout, background=True)
             quiet = self.sim.now - self._last_write_at
-            if quiet >= self.config.batch_timeout and self.pagemap._batch:
-                batch = self.pagemap._batch
-                self.pagemap._batch = []
-                self.pagemap._flush_batch(batch)
+            if quiet >= self.config.batch_timeout:
+                self.pagemap.flush_batch()
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def recovery_scan(
+        self, max_headers: int = 16, overlap: bool = True
+    ) -> Event:
+        """Timed mount sweep (§3.3): LIST the volume's objects, then read
+        the newest ``max_headers`` object headers to rebuild the map tail.
+
+        With ``overlap`` both fans — the per-shard LISTs and the header
+        GETs — are issued concurrently, so the sweep costs ~one round
+        trip of the slowest shard instead of the sum of all of them.
+        The event's value reports ``{"objects", "headers", "duration"}``.
+        """
+        done = self.sim.event()
+        self.sim.process(
+            self._recovery_scan(done, max_headers, overlap),
+            name=f"{self.name}-mount",
+        )
+        return done
+
+    def _recovery_scan(self, done: Event, max_headers: int, overlap: bool):
+        started = self.sim.now
+        self.recovery_scans += 1
+        names = yield self.backend.list_keys(f"{self.name}.", overlap=overlap)
+        recent = names[-max_headers:] if max_headers > 0 else []
+        header = self.params.log_header_bytes
+        if overlap:
+            if recent:
+                yield self.sim.all_of(
+                    [self.backend.get_range(n, 0, header) for n in recent]
+                )
+        else:
+            for key in recent:
+                yield self.backend.get_range(key, 0, header)
+        duration = self.sim.now - started
+        self.obs.trace.emit(
+            "recovery_scan",
+            objects=len(names),
+            headers=len(recent),
+            overlap=overlap,
+            duration=duration,
+        )
+        done.succeed(
+            {"objects": len(names), "headers": len(recent), "duration": duration}
+        )
 
     # ------------------------------------------------------------------
     # cache-space accounting
     # ------------------------------------------------------------------
     def _wait_for_space(self, needed: int):
+        if self.dirty_bytes + needed > self.write_cache_capacity:
+            self.destage_space_stalls += 1
         while self.dirty_bytes + needed > self.write_cache_capacity:
             waiter = self.sim.event()
             self._space_waiters.append(waiter)

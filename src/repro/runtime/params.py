@@ -30,6 +30,13 @@ class LSVDParams:
     #: fraction of GC reads served from the local cache (§3.5); 0 is the
     #: conservative default (all GC reads hit the backend)
     gc_cache_hit: float = 0.0
+    #: group commit: concurrent commit barriers are coalesced by a single
+    #: worker so one device FLUSH settles the whole batch and writers are
+    #: never gated behind an in-flight barrier.  False restores the
+    #: pre-pipeline serial path (every barrier gates all writers, one
+    #: FLUSH each) — kept in-repo as the comparison baseline the
+    #: pipeline-smoke gate measures against.
+    group_commit: bool = True
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,7 @@ class ShardedSimulatedBackend:
     puts = metric_field("backend.puts")
     gets = metric_field("backend.gets")
     deletes = metric_field("backend.deletes")
+    lists = metric_field("backend.lists")
     bytes_put = metric_field("backend.bytes_put")
     bytes_got = metric_field("backend.bytes_got")
 
@@ -81,6 +82,37 @@ class ShardedSimulatedBackend:
         index = self.router.shard_of_name(key)
         count_shard_op(self.obs, index, self.n_shards, "deletes")
         return self.backends[index].delete(key)
+
+    def list_keys(self, prefix: str = "", overlap: bool = True) -> Event:
+        """Scatter-gather LIST across every shard; value = sorted names.
+
+        With ``overlap`` (the recovery fan) the per-shard LISTs are all
+        in flight at once and the merge fires when the slowest shard
+        answers — total latency ~= max over shards.  Without it the
+        sweep degenerates to the sequential per-shard walk the
+        pre-pipeline mount performed (latency ~= sum over shards), kept
+        selectable so the overlap win stays measurable.
+        """
+        done = self.sim.event()
+        for index in range(self.n_shards):
+            count_shard_op(self.obs, index, self.n_shards, "lists")
+
+        def gather():
+            names: List[str] = []
+            if overlap:
+                events = [b.list_keys(prefix) for b in self.backends]
+                yield self.sim.all_of(events)
+                for ev in events:
+                    names.extend(ev.value)
+            else:
+                for backend in self.backends:
+                    ev = backend.list_keys(prefix)
+                    shard_names = yield ev
+                    names.extend(shard_names)
+            done.succeed(sorted(names))
+
+        self.sim.process(gather(), name=f"list-fan:{prefix or '*'}")
+        return done
 
 
 def make_sharded_backend(

@@ -338,7 +338,10 @@ class Simulator:
             return
         while True:
             if self._queue:
-                self._queue.pop(0)._process()
+                event = self._queue.pop(0)
+                if not event.background:
+                    self._foreground -= 1
+                event._process()
                 continue
             if not self._heap or self._heap[0][0] > until:
                 break

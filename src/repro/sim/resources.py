@@ -103,6 +103,18 @@ class Store:
             self._getters.append(ev)
         return ev
 
+    def drain(self) -> list:
+        """Take every queued item without blocking.
+
+        The group-commit pattern: a consumer that woke up for one item
+        absorbs everything else already queued, so one expensive action
+        (a device FLUSH) settles the whole batch.  Returns the items in
+        FIFO order; empty list when nothing is queued.
+        """
+        items = list(self._items)
+        self._items.clear()
+        return items
+
     def __len__(self) -> int:
         return len(self._items)
 

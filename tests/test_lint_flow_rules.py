@@ -491,3 +491,123 @@ class TestFlowRuleRegistry:
             AsyncCancellationRule.name,
         }
         assert len(names) == 4
+
+
+# ---------------------------------------------------------------------------
+# LSVD014 barrier-coalescing-safety
+# ---------------------------------------------------------------------------
+
+
+class TestBarrierCoalescing:
+    KEY = "runtime/lsvd.py"
+
+    BAD_FIRE_AND_FORGET = """
+        def _group_commit_worker(self):
+            while True:
+                first = yield self._barrier_q.get()
+                group = [first]
+                group.extend(self._barrier_q.drain())
+                self.machine.ssd.flush()
+                for waiter in group:
+                    waiter.succeed()
+    """
+
+    def test_unyielded_flush_is_flagged(self):
+        # in a coroutine a bare ssd.flush() returns an Event nobody waits
+        # on: the barriers settle before the device flushed anything
+        diags = only(lint_src(self.KEY, self.BAD_FIRE_AND_FORGET), "LSVD014")
+        assert len(diags) == 1
+        assert "yielded/awaited" in diags[0].message
+
+    def test_settle_without_any_flush_is_flagged(self):
+        src = """
+            def barrier(self, done):
+                self.barriers += 1  # lint: disable=LSVD007 -- fixture
+                done.succeed()
+        """
+        diags = only(lint_src(self.KEY, src), "LSVD014")
+        assert len(diags) == 1
+
+    def test_flush_on_only_one_branch_is_flagged(self):
+        src = """
+            def _serial_barrier(self, done):
+                yield from self.machine.cpu_work(self.params.barrier_cpu)
+                if self._dirty:
+                    yield self.machine.ssd.flush()
+                done.succeed()
+        """
+        diags = only(lint_src(self.KEY, src), "LSVD014")
+        assert len(diags) == 1
+
+    def test_yielded_flush_before_group_settle_is_clean(self):
+        src = """
+            def _group_commit_worker(self):
+                while True:
+                    first = yield self._barrier_q.get()
+                    group = [first]
+                    group.extend(self._barrier_q.drain())
+                    yield self.machine.ssd.flush()
+                    for waiter in group:
+                        waiter.succeed()
+        """
+        assert only(lint_src(self.KEY, src), "LSVD014") == []
+
+    def test_plain_function_flush_call_is_clean(self):
+        src = """
+            def barrier(self, done):
+                self.image.flush()
+                done.succeed()
+        """
+        assert only(lint_src(self.KEY, src), "LSVD014") == []
+
+    def test_non_barrier_functions_are_not_checked(self):
+        # writes are acked after the SSD log write, not after a flush
+        src = """
+            def _write(self, op, done):
+                yield self.machine.ssd.write(0, op.length)
+                done.succeed()
+        """
+        assert only(lint_src(self.KEY, src), "LSVD014") == []
+
+    def test_gate_release_is_not_a_settlement_site(self):
+        # waking gated *writers* is not acknowledging a barrier caller
+        src = """
+            def _serial_barrier(self, done):
+                yield self.machine.ssd.flush()
+                done.succeed()
+                while self._gate_waiters:
+                    self._gate_waiters.popleft().succeed()
+        """
+        assert only(lint_src(self.KEY, src), "LSVD014") == []
+
+    def test_suppressed_with_disable_comment(self):
+        src = """
+            def barrier(self, done):
+                done.succeed()  # lint: disable=LSVD014 -- fixture
+        """
+        assert only(lint_src(self.KEY, src), "LSVD014") == []
+
+    def test_scoped_allowlist_exempts_one_function(self):
+        config = replace(
+            LintConfig(),
+            barrier_allow=("runtime/lsvd.py::_group_commit_worker",),
+        )
+        diags = only(
+            lint_src(self.KEY, self.BAD_FIRE_AND_FORGET, config), "LSVD014"
+        )
+        assert diags == []
+
+    def test_outside_barrier_modules_is_not_checked(self):
+        diags = only(
+            lint_src("analysis/report.py", self.BAD_FIRE_AND_FORGET),
+            "LSVD014",
+        )
+        assert diags == []
+
+    def test_registered_with_metadata(self):
+        from repro.lint.rules.barrier_commit import BarrierCoalescingRule
+
+        assert BarrierCoalescingRule.code == "LSVD014"
+        assert BarrierCoalescingRule.name == "barrier-coalescing-safety"
+        assert BarrierCoalescingRule in ALL_RULES
+        assert "§3.2" in explain_rules(["LSVD014"])
