@@ -4,27 +4,27 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: all lint ruff mypy invariants test obs-smoke shard-smoke perf-smoke pipeline-smoke lint-bench
+.PHONY: all lint ruff mypy invariants test obs-smoke shard-smoke perf-smoke pipeline-smoke lint-bench span-smoke bench-diff
 
 all: lint test
 
 lint: ruff mypy invariants
 
 ruff:
-	ruff check src tests benchmarks/obs_smoke.py benchmarks/shard_smoke.py benchmarks/perf_smoke.py benchmarks/pipeline_smoke.py benchmarks/lint_bench.py
+	ruff check src tests benchmarks/obs_smoke.py benchmarks/shard_smoke.py benchmarks/perf_smoke.py benchmarks/pipeline_smoke.py benchmarks/lint_bench.py benchmarks/span_smoke.py benchmarks/bench_diff.py
 
 mypy:
 	mypy
 
-# the LSVD invariant checker (LSVD001-LSVD014); see DESIGN.md
+# the LSVD invariant checker (LSVD001-LSVD015); see DESIGN.md
 invariants:
 	$(PYTHON) -m repro.lint src/repro benchmarks examples
 
 test:
 	$(PYTHON) -m pytest -x -q
 
-# quick observability exercise of both stacks; emits BENCH_obs_*.json
-# (CI uploads them as artifacts so the perf trajectory is reviewable)
+# quick observability exercise of both stacks; emits BENCH_obs.json with
+# core/runtime sections (CI uploads it so the perf trajectory is reviewable)
 obs-smoke:
 	mkdir -p bench-out
 	$(PYTHON) benchmarks/obs_smoke.py --out-dir bench-out
@@ -54,3 +54,17 @@ perf-smoke:
 lint-bench:
 	mkdir -p bench-out
 	$(PYTHON) benchmarks/lint_bench.py --out-dir bench-out
+
+# span-tracing gates: critical-path attribution must be exactly additive
+# on the virtual clock and the span-enabled hot loop within 10% of the
+# recorder-disabled loop; emits BENCH_span.json (+ a flight-recorder
+# debug bundle on failure)
+span-smoke:
+	mkdir -p bench-out
+	$(PYTHON) benchmarks/span_smoke.py --out-dir bench-out
+
+# compare fresh bench-out/BENCH_*.json against the committed baselines
+# (benchmarks/baselines/); deterministic virtual-clock figures are gated,
+# wall-clock figures are informational
+bench-diff:
+	$(PYTHON) benchmarks/bench_diff.py

@@ -1,12 +1,13 @@
-"""Observability smoke run: exercise both stacks, dump BENCH_*.json.
+"""Observability smoke run: exercise both stacks, dump BENCH_obs.json.
 
-``make obs-smoke`` (CI uploads the artifacts) runs two quick workloads —
+``make obs-smoke`` (CI uploads the artifact) runs two quick workloads —
 the pure-logic volume behind a :class:`~repro.obs.TimedStore`, and the
-timed LSVD runtime under a short fio job — and writes their registries to
-``BENCH_obs_core.json`` / ``BENCH_obs_runtime.json`` via
-:func:`~repro.obs.write_bench_json`, plus the rendered metric tables to
-stdout.  Everything is deterministic, so diffs between two runs of the
-same tree are real regressions.
+timed LSVD runtime under a short fio job — and writes both registries to
+a single ``BENCH_obs.json`` with ``core`` / ``runtime`` sections via
+:func:`~repro.obs.write_bench_sections_json`, plus the rendered metric
+tables to stdout.  Everything is deterministic, so diffs between two runs
+of the same tree are real regressions (``make bench-diff`` enforces
+exactly that against benchmarks/baselines/).
 
 Usage::
 
@@ -21,7 +22,7 @@ from repro.analysis.report import registry_table
 from repro.core import LSVDConfig, LSVDVolume
 from repro.devices.image import DiskImage
 from repro.objstore import InMemoryObjectStore
-from repro.obs import Registry, TimedStore, write_bench_json
+from repro.obs import Registry, TimedStore, write_bench_sections_json
 
 MiB = 1 << 20
 GiB = 1 << 30
@@ -97,7 +98,7 @@ def main(argv=None) -> int:
         + core.value("store.ckpt_bytes")
     )
     put = core.histogram("backend.put_latency_s")
-    figures = {
+    core_figures: dict = {
         "write_amplification": backend_bytes / client if client else 0.0,
         "gc_bytes_relocated": core.value("gc.bytes_relocated"),
         "read_cache_hits": core.value("rc.hits"),
@@ -105,20 +106,23 @@ def main(argv=None) -> int:
         "backend_put_p99_s": put.percentile(99),
         "trace_events": len(core.trace),
     }
-    path = write_bench_json("obs_core", core, figures=figures, out_dir=args.out_dir)
     print(registry_table(core, caption="obs smoke: pure-logic stack").render())
-    print(f"\nwrote {path}")
 
     runtime = runtime_smoke()
-    figures = {
+    runtime_figures: dict = {
         "iops": runtime.value("fio.iops"),
         "mbps": runtime.value("fio.mbps"),
         "write_p99_s": runtime.histogram("fio.write_latency_s").percentile(99),
         "objects_put": runtime.value("lsvd.objects_put"),
     }
-    path = write_bench_json("obs_runtime", runtime, figures=figures, out_dir=args.out_dir)
     print()
     print(registry_table(runtime, caption="obs smoke: timed runtime").render())
+
+    path = write_bench_sections_json(
+        "obs",
+        {"core": (core, core_figures), "runtime": (runtime, runtime_figures)},
+        out_dir=args.out_dir,
+    )
     print(f"\nwrote {path}")
     return 0
 

@@ -1,0 +1,312 @@
+"""Span-tracing smoke: attribution correctness + tracing overhead gates.
+
+``make span-smoke`` (CI uploads the artifact) drives the causal span
+trees (:mod:`repro.obs.spans`) through both stacks and gates on:
+
+* **additivity** — on the virtual clock, every completed tree's
+  critical-path breakdown must sum to its measured completion latency
+  (the boundary sweep charges each elementary interval exactly once, so
+  the error bound is float rounding, not model slack).  Checked for the
+  pure-logic volume behind a :class:`~repro.obs.TimedStore` and for the
+  timed runtime's write/read/barrier/destage trees, and again for the
+  p50/p99 decompositions (mean-of-sums == sum-of-means).
+* **round-trip** — the slowest trees survive ``to_dict``/``from_dict``
+  with byte-identical JSON (the flight-recorder bundle's contract).
+* **overhead** — a span-enabled hot write/read loop (no TimedStore, so
+  span bookkeeping is a visible fraction) must stay within
+  ``OVERHEAD_CEILING`` of the same loop with the recorder disabled;
+  measured as paired per-chunk timings on two identical volumes
+  (median-of-``TRIALS``) so CPU clock drift cancels out of the ratio.
+
+On any gate failure the recorder's debug bundle is dumped next to the
+``BENCH_span.json`` artifact so the offending trees ship with the CI log.
+
+Usage::
+
+    python benchmarks/span_smoke.py [--out-dir DIR] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.core import LSVDConfig, LSVDVolume
+from repro.devices.image import DiskImage
+from repro.objstore import InMemoryObjectStore
+from repro.obs import Registry, TimedStore, write_bench_json
+from repro.obs.spans import Span
+
+KiB = 1 << 10
+MiB = 1 << 20
+GiB = 1 << 30
+
+#: span-enabled hot loop must stay within this fraction of disabled
+OVERHEAD_CEILING = 0.10
+#: median-of-N paired overhead trials
+TRIALS = 5
+#: chunks per trial; each chunk is timed back-to-back on both arms
+SLICES = 32
+#: additivity tolerance: float rounding across one tree's boundary sweep
+ADD_TOL = 1e-9
+
+
+def _tree_error(record) -> float:
+    """|sum(stage seconds) - completion latency| for one tree."""
+    return abs(sum(record.breakdown.values()) - record.total)
+
+
+def _check_additive(analyzer) -> tuple[int, int, float]:
+    """(trees, violations, worst error) over every completed tree."""
+    worst = 0.0
+    bad = 0
+    records = analyzer.records()
+    for record in records:
+        err = _tree_error(record)
+        worst = max(worst, err)
+        if err > ADD_TOL + ADD_TOL * record.total:
+            bad += 1
+    return len(records), bad, worst
+
+
+def _check_decompose(analyzer) -> bool:
+    """p50/p99 decompositions must be additive for every root name."""
+    for name in analyzer.root_names():
+        for pct in (50, 99):
+            d = analyzer.decompose(pct, name)
+            if d["count"] == 0:
+                continue
+            err = abs(sum(d["stages"].values()) - d["latency_s"])
+            if err > ADD_TOL + ADD_TOL * d["latency_s"]:
+                return False
+    return True
+
+
+def _check_roundtrip(recorder) -> bool:
+    """Slowest trees must survive to_dict/from_dict byte-identically."""
+    for root in recorder.slowest(8):
+        first = json.dumps(root.to_dict(), sort_keys=True)
+        again = json.dumps(Span.from_dict(root.to_dict()).to_dict(), sort_keys=True)
+        if first != again:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# correctness: pure-logic volume on the TimedStore virtual clock
+# ---------------------------------------------------------------------------
+
+def core_trees(ops: int):
+    """Returns (recorder, trees, violations, worst_err) for the core stack."""
+    obs = Registry()
+    timed = TimedStore(InMemoryObjectStore(), obs)
+    obs.trace.clock = timed.now
+    obs.spans.clock = timed.now
+    config = LSVDConfig(batch_size=256 * KiB, checkpoint_interval=16)
+    vol = LSVDVolume.create(
+        timed, "spans", 32 * MiB, DiskImage(8 * MiB), config, obs=obs
+    )
+    window = 256
+    state = 1
+    offsets = []
+    for i in range(ops):
+        state = (state * 48271) % 2147483647
+        offset = (state % window) * 4096
+        offsets.append(offset)
+        vol.write(offset, bytes([i % 256]) * 4096)
+        if i % 16 == 15:
+            vol.flush()
+    vol.drain()
+    for offset in offsets[: ops // 2]:
+        vol.read(offset, 4096)
+    vol.close()
+    trees, bad, worst = _check_additive(obs.spans.analyzer)
+    return obs.spans, trees, bad, worst
+
+
+# ---------------------------------------------------------------------------
+# correctness: timed runtime on the simulated clock
+# ---------------------------------------------------------------------------
+
+def runtime_trees():
+    """Returns (recorder, trees, violations, worst_err) for the runtime."""
+    from repro.cluster import StorageCluster
+    from repro.devices.ssd import SSD, SSDSpec
+    from repro.runtime import (
+        ClientMachine,
+        LSVDRuntime,
+        SimulatedObjectStore,
+        run_fio,
+    )
+    from repro.sim import Simulator
+    from repro.workloads import FioJob
+
+    sim = Simulator()
+    machine = ClientMachine(sim)
+    cluster = StorageCluster(
+        sim, 4, 8, lambda s, n: SSD(s, SSDSpec.sata_consumer(), name=n)
+    )
+    backend = SimulatedObjectStore(sim, cluster, machine.network)
+    device = LSVDRuntime(sim, machine, backend, 1 * GiB, 4 * GiB, LSVDConfig())
+    job = FioJob(rw="randwrite", bs=4096, iodepth=16, size=256 * MiB, seed=1)
+    job = job  # fsync-free: destage/barrier trees come from the batcher
+    run_fio(sim, device, job, duration=0.3, warmup=0.05)
+    trees, bad, worst = _check_additive(device.obs.spans.analyzer)
+    return device.obs.spans, trees, bad, worst
+
+
+# ---------------------------------------------------------------------------
+# overhead: span-enabled vs disabled hot loop (wall clock)
+# ---------------------------------------------------------------------------
+
+def bench_overhead(quick: bool):
+    """(enabled_s, disabled_s, overhead fraction) from paired slices.
+
+    CPU clocks drift on second timescales (turbo, thermal), so timing
+    one whole arm after the other confounds drift with tracing cost.
+    Instead each trial drives two identical volumes — spans enabled and
+    disabled — through the same offset sequence in ``SLICES`` chunks,
+    timing each chunk back-to-back on both volumes (order alternating
+    per chunk), so drift lands on both arms of every pair.  The trial
+    with the median enabled/disabled ratio of ``TRIALS`` is reported.
+    """
+    size = 64 * MiB
+    total = 2 * MiB if quick else 8 * MiB
+    n_ios = total // (4 * KiB)
+    rng = random.Random(7)
+    offsets = [rng.randrange(0, size // (4 * KiB)) * 4 * KiB for _ in range(n_ios)]
+    payload = bytes(range(256)) * 16
+    step = max(1, n_ios // SLICES)
+    chunks = [offsets[i : i + step] for i in range(0, n_ios, step)]
+
+    def make_vol(spans_enabled: bool):
+        config = LSVDConfig(batch_size=1 * MiB, checkpoint_interval=1000)
+        vol = LSVDVolume.create(
+            InMemoryObjectStore(), "ovh", size, DiskImage(16 * MiB), config
+        )
+        vol.gc_enabled = False
+        if not spans_enabled:
+            vol.obs.spans.disable()
+        return vol
+
+    def timed_phase(vol, chunk, write: bool) -> float:
+        t0 = time.perf_counter()
+        if write:
+            for off in chunk:
+                vol.write(off, payload)
+        else:
+            for off in chunk:
+                vol.read(off, 4 * KiB)
+        return time.perf_counter() - t0
+
+    def trial():
+        vol_e, vol_d = make_vol(True), make_vol(False)
+        gc.collect()
+        t_e = t_d = 0.0
+        for phase_write in (True, False):
+            for i, chunk in enumerate(chunks):
+                if i % 2 == 0:
+                    t_e += timed_phase(vol_e, chunk, phase_write)
+                    t_d += timed_phase(vol_d, chunk, phase_write)
+                else:
+                    t_d += timed_phase(vol_d, chunk, phase_write)
+                    t_e += timed_phase(vol_e, chunk, phase_write)
+            if phase_write:
+                vol_e.flush()
+                vol_d.flush()
+        return t_e, t_d
+
+    trial()  # warmup, discarded
+    results = [trial() for _ in range(TRIALS)]
+    results.sort(key=lambda td: td[0] / td[1])
+    enabled, disabled = results[len(results) // 2]
+    overhead = enabled / disabled - 1.0 if disabled > 0 else 0.0
+    return enabled, disabled, overhead
+
+
+# ---------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out-dir", default="bench-out")
+    parser.add_argument("--ops", type=int, default=600)
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller hot loop (local sanity)"
+    )
+    args = parser.parse_args(argv)
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    summary = Registry()
+    figures = {}
+
+    # overhead first: the correctness suites retain tens of thousands of
+    # trees, and a heap full of old-generation objects taxes the span-
+    # enabled arm's extra collections, overstating the tracing overhead
+    enabled_s, disabled_s, overhead = bench_overhead(args.quick)
+    gate_overhead = overhead <= OVERHEAD_CEILING
+    print(f"overhead: enabled {enabled_s:.3f}s vs disabled {disabled_s:.3f}s "
+          f"-> {overhead * 100:+.1f}% (ceiling {OVERHEAD_CEILING * 100:.0f}%)")
+
+    core_rec, core_n, core_bad, core_err = core_trees(args.ops)
+    print(f"core:    {core_n} trees, {core_bad} non-additive "
+          f"(worst err {core_err:.2e}s), open roots {core_rec.open_roots}")
+    rt_rec, rt_n, rt_bad, rt_err = runtime_trees()
+    print(f"runtime: {rt_n} trees, {rt_bad} non-additive "
+          f"(worst err {rt_err:.2e}s), open roots {rt_rec.open_roots}")
+
+    gate_core = core_n > 0 and core_bad == 0 and core_rec.open_roots == 0
+    gate_runtime = rt_n > 0 and rt_bad == 0
+    gate_decompose = _check_decompose(core_rec.analyzer) and _check_decompose(
+        rt_rec.analyzer
+    )
+    gate_roundtrip = _check_roundtrip(core_rec) and _check_roundtrip(rt_rec)
+
+    figures.update(
+        {
+            "core_trees": core_n,
+            "core_nonadditive": core_bad,
+            "core_worst_err_s": core_err,
+            "runtime_trees": rt_n,
+            "runtime_nonadditive": rt_bad,
+            "runtime_worst_err_s": rt_err,
+            "span_enabled_s": enabled_s,
+            "span_disabled_s": disabled_s,
+            "span_overhead_frac": overhead,
+            "gate_additive_core": bool(gate_core),
+            "gate_additive_runtime": bool(gate_runtime),
+            "gate_decompose_additive": bool(gate_decompose),
+            "gate_roundtrip": bool(gate_roundtrip),
+            "gate_overhead_10pct": bool(gate_overhead),
+        }
+    )
+    summary.gauge("span.core_trees").set(core_n)
+    summary.gauge("span.runtime_trees").set(rt_n)
+    summary.gauge("span.overhead_frac").set(overhead)
+    core_rec.publish(summary)
+
+    path = write_bench_json("span", summary, figures=figures, out_dir=out_dir)
+    print(f"wrote {path}")
+
+    ok = (
+        gate_core
+        and gate_runtime
+        and gate_decompose
+        and gate_roundtrip
+        and gate_overhead
+    )
+    if not ok:
+        bundle = out_dir / "flightrec_span_smoke.json"
+        (rt_rec if not (gate_runtime and gate_decompose) else core_rec).dump_debug_bundle(
+            bundle, reason="span_smoke gate failure"
+        )
+        print(f"GATE FAILURE — flight bundle dumped to {bundle}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,8 +13,11 @@ Gives the library the operational surface of a real block-storage tool::
     python -m repro.cli ROOT fsck    VOLUME
     python -m repro.cli ROOT scrub   VOLUME
     python -m repro.cli ROOT lint    [PATHS...]
-    python -m repro.cli ROOT stats   VOLUME [--exercise N] [--format F]
+    python -m repro.cli ROOT stats   [VOLUME] [--exercise N] [--format F]
+                                     [--from-dump FILE]
     python -m repro.cli ROOT trace   VOLUME [--exercise N] [--limit N]
+    python -m repro.cli ROOT spans   VOLUME [--exercise N] [--slowest K]
+    python -m repro.cli ROOT flightrec dump VOLUME [--exercise N] [--out F]
 
 ``ROOT`` is a directory acting as the S3 bucket; the cache SSD is an
 ephemeral in-memory image (each invocation mounts with ``cache_lost``,
@@ -26,6 +29,7 @@ and every command transparently scatter-gathers across the shards.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -88,6 +92,7 @@ def _open_observed(store: ObjectStore, name: str):
         store.obs = obs
     timed = TimedStore(store, obs)
     obs.trace.clock = timed.now
+    obs.spans.clock = timed.now
     vol = LSVDVolume.open(
         timed, name, DiskImage(DEFAULT_CACHE), _config(), cache_lost=True, obs=obs
     )
@@ -122,34 +127,45 @@ def _exercise(vol: LSVDVolume, ops: int) -> None:
         vol.read(offset, block)  # second read is a read-cache hit
 
 
-def _stats_headline(obs) -> str:
+def _stats_headline(snapshot: dict) -> str:
     """The numbers the paper's evaluation leads with, plus the commit
-    pipeline's health (queue depth, barrier coalescing)."""
-    from repro.obs import Histogram
+    pipeline's health (queue depth, barrier coalescing).
 
-    client = obs.value("store.client_bytes")
+    Works on a **snapshot dict** (``Registry.snapshot()`` or the
+    ``metrics`` section of a ``stats --format json`` dump reloaded from
+    disk), never on live metric objects — so the same headline renders
+    post-mortem via ``stats --from-dump`` when the process that ran the
+    workload is long gone.
+    """
+
+    def scalar(name: str, default: float = 0.0) -> float:
+        value = snapshot.get(name, default)
+        return float(value) if isinstance(value, (int, float)) else default
+
+    def hist(name: str) -> Optional[dict]:
+        value = snapshot.get(name)
+        return value if isinstance(value, dict) else None
+
+    client = scalar("store.client_bytes")
     backend = (
-        obs.value("store.data_bytes")
-        + obs.value("store.gc_bytes")
-        + obs.value("store.ckpt_bytes")
+        scalar("store.data_bytes")
+        + scalar("store.gc_bytes")
+        + scalar("store.ckpt_bytes")
     )
-    hits = obs.value("rc.hits")
-    misses = obs.value("rc.misses")
-    lookups = hits + misses
-    put = obs.get("backend.put_latency_s")
-    p99 = put.percentile(99) if isinstance(put, Histogram) else 0.0
-    sizes = obs.get("barrier.group_size")
-    if isinstance(sizes, Histogram) and sizes.count:
-        group = (
-            f"mean {sizes.sum / sizes.count:.2f}"
-            f" / max {sizes.percentile(100):.0f}"
-        )
+    hits = scalar("rc.hits")
+    lookups = hits + scalar("rc.misses")
+    put = hist("backend.put_latency_s")
+    p99 = float(put["p99"]) if put else 0.0  # type: ignore[arg-type]
+    sizes = hist("barrier.group_size")
+    if sizes and sizes.get("count"):
+        mean = float(sizes["sum"]) / float(sizes["count"])  # type: ignore[arg-type]
+        group = f"mean {mean:.2f} / max {float(sizes['max']):.0f}"  # type: ignore[arg-type]
     else:
         # pure-model stack: the write cache's flush-elision counters are
         # the coalescing signal (no timed commit worker to sample)
         group = (
-            f"{int(obs.value('wc.barriers_coalesced'))} coalesced"
-            f" / {int(obs.value('wc.device_flushes'))} device flushes"
+            f"{int(scalar('wc.barriers_coalesced'))} coalesced"
+            f" / {int(scalar('wc.device_flushes'))} device flushes"
         )
     return "\n".join(
         [
@@ -157,12 +173,32 @@ def _stats_headline(obs) -> str:
             "write amplification:  n/a",
             f"read cache hit rate:  {hits / lookups:.3f}" if lookups else
             "read cache hit rate:  n/a",
-            f"gc bytes relocated:   {obs.value('gc.bytes_relocated') / MiB:.2f} MiB",
+            f"gc bytes relocated:   {scalar('gc.bytes_relocated') / MiB:.2f} MiB",
             f"backend put p99:      {p99 * 1e3:.3f} ms",
-            f"destage queue depth:  {int(obs.value('destage.queue_depth'))}",
+            f"destage queue depth:  {int(scalar('destage.queue_depth'))}",
             f"barrier group size:   {group}",
         ]
     )
+
+
+def _span_attribution(spans) -> str:
+    """Stage-attribution section of ``stats``: each request's completion
+    latency decomposed into additive per-stage components."""
+    from repro.obs.spans import format_decomposition, format_stage_table
+
+    analyzer = spans.analyzer
+    if not len(analyzer):
+        return ""
+    parts = [
+        "stage attribution (additive critical path, virtual seconds):",
+        format_stage_table(analyzer),
+    ]
+    for name in analyzer.root_names():
+        decomp = format_decomposition(analyzer, name)
+        if decomp:
+            parts.append(f"{name}:")
+            parts.append("  " + decomp.replace("\n", "\n  "))
+    return "\n".join(parts)
 
 
 def _emit(text: str, out: Optional[str]) -> None:
@@ -331,13 +367,30 @@ def cmd_stats(store, args) -> int:
     from repro.analysis.report import registry_table
     from repro.obs import metrics_json, prometheus_text, registry_csv
 
+    if args.from_dump:
+        # post-mortem: render the headline from a metrics dump on disk
+        # (`stats --format json --out FILE` from an earlier run)
+        with open(args.from_dump, encoding="utf-8") as fh:
+            document = json.load(fh)
+        snapshot = document.get("metrics", document)
+        if not isinstance(snapshot, dict):
+            print(f"error: no metrics section in {args.from_dump}",
+                  file=sys.stderr)
+            return 2
+        _emit(_stats_headline(snapshot) + "\n", args.out)
+        return 0
+    if not args.volume:
+        print("error: stats needs VOLUME (or --from-dump FILE)", file=sys.stderr)
+        return 2
     vol, obs = _open_observed(store, args.volume)
     if args.exercise:
         _exercise(vol, args.exercise)
     vol.close()
     # the store's own operation counters (merged across shards when the
-    # root is sharded) land in the same snapshot as the stack metrics
+    # root is sharded) land in the same snapshot as the stack metrics,
+    # as do the span-tree aggregates (span.trees, span.stage.*)
     store.stats.publish(obs)
+    obs.spans.publish(obs)
     if args.format == "prometheus":
         text = prometheus_text(obs)
     elif args.format == "json":
@@ -346,8 +399,54 @@ def cmd_stats(store, args) -> int:
         text = registry_csv(obs)
     else:
         table = registry_table(obs, caption=f"metrics for {args.volume!r}")
-        text = table.render() + "\n\n" + _stats_headline(obs) + "\n"
+        text = table.render() + "\n\n" + _stats_headline(obs.snapshot()) + "\n"
+        attribution = _span_attribution(obs.spans)
+        if attribution:
+            text += "\n" + attribution + "\n"
     _emit(text, args.out)
+    return 0
+
+
+def cmd_spans(store, args) -> int:
+    """Slowest-K span trees plus the per-stage attribution table."""
+    from repro.obs.spans import format_stage_table, format_tree
+
+    vol, obs = _open_observed(store, args.volume)
+    if args.exercise:
+        _exercise(vol, args.exercise)
+    vol.close()
+    spans = obs.spans
+    if spans.completed == 0:
+        _emit("no completed span trees (mount-only; try --exercise N)\n",
+              args.out)
+        return 0
+    lines = [
+        f"{spans.completed} trees completed, {spans.open_roots} open, "
+        f"{spans.slo_breaches} SLO breaches",
+        "",
+        f"slowest {min(args.slowest, spans.completed)} trees "
+        "(~ marks queue wait):",
+    ]
+    for root in spans.slowest(args.slowest):
+        lines.append("")
+        lines.append(format_tree(root))
+    lines += ["", format_stage_table(spans.analyzer, args.name)]
+    _emit("\n".join(lines) + "\n", args.out)
+    return 0
+
+
+def cmd_flightrec(store, args) -> int:
+    """Flight-recorder debug bundle (ring of last-N complete trees)."""
+    vol, obs = _open_observed(store, args.volume)
+    if args.exercise:
+        _exercise(vol, args.exercise)
+    vol.close()
+    if args.out:
+        obs.spans.dump_debug_bundle(args.out, reason="repro flightrec dump")
+        print(f"wrote {args.out} ({len(obs.spans.flight)} trees)")
+    else:
+        bundle = obs.spans.debug_bundle(reason="repro flightrec dump")
+        sys.stdout.write(json.dumps(bundle, sort_keys=True, indent=2) + "\n")
     return 0
 
 
@@ -440,13 +539,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("stats", help="mount, optionally exercise, dump metrics")
-    p.add_argument("volume")
+    p.add_argument("volume", nargs="?", default=None)
     p.add_argument("--exercise", type=int, default=0, metavar="N",
                    help="run a deterministic N-op workload before reporting")
     p.add_argument("--format", choices=("table", "prometheus", "json", "csv"),
                    default="table")
+    p.add_argument("--from-dump", default=None, metavar="FILE",
+                   help="render the headline from a saved metrics JSON dump "
+                        "instead of mounting")
     p.add_argument("--out", default=None, help="write to a file instead of stdout")
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("spans", help="slowest span trees + stage attribution")
+    p.add_argument("volume")
+    p.add_argument("--exercise", type=int, default=0, metavar="N",
+                   help="run a deterministic N-op workload before reporting")
+    p.add_argument("--slowest", type=int, default=5, metavar="K",
+                   help="how many slowest trees to print")
+    p.add_argument("--name", default=None,
+                   help="restrict the stage table to one root name")
+    p.add_argument("--out", default=None, help="write to a file instead of stdout")
+    p.set_defaults(fn=cmd_spans)
+
+    p = sub.add_parser("flightrec", help="flight-recorder debug bundle")
+    p.add_argument("action", choices=("dump",),
+                   help="'dump': write the last-N-trees JSON bundle")
+    p.add_argument("volume")
+    p.add_argument("--exercise", type=int, default=0, metavar="N",
+                   help="run a deterministic N-op workload before dumping")
+    p.add_argument("--out", default=None, help="write to a file instead of stdout")
+    p.set_defaults(fn=cmd_flightrec)
 
     p = sub.add_parser("trace", help="dump the structured event trace as JSONL")
     p.add_argument("volume")

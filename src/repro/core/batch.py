@@ -27,6 +27,7 @@ from typing import List, Tuple
 from repro.core.extent_map import ExtentMap
 from repro.core.log import KIND_DATA, KIND_GC, ObjectExtent, ObjectHeader, encode_object
 from repro.core.sgio import Buffer, concat, copy_out, gather
+from repro.obs import NULL_SPAN
 
 
 @dataclass
@@ -91,15 +92,19 @@ class WriteBatch:
     def should_seal(self) -> bool:
         return self.buffered_bytes >= self.batch_size
 
-    def seal(self, seq: int, uuid: bytes, reason: str = "size") -> SealedBatch:
+    def seal(
+        self, seq: int, uuid: bytes, reason: str = "size", span=NULL_SPAN
+    ) -> SealedBatch:
         """Freeze into an object payload; the batch becomes reusable-empty.
 
         The surviving extents are gathered out of the accumulation buffer
         into one pre-sized assembly (see :mod:`repro.core.sgio`) — the
         only copy the seal makes besides the final payload encode.
         ``reason`` records what cut the batch (size threshold vs a forced
-        drain/backpressure seal) for the accounting split in StoreStats.
+        drain/backpressure seal) for the accounting split in StoreStats,
+        and is carried on the ``batch_seal`` span too.
         """
+        stage = span.begin("batch_seal", reason=reason, seq=seq)
         extents: List[ObjectExtent] = []
         ranges: List[Tuple[int, int]] = []
         for ext in self._map:
@@ -128,6 +133,7 @@ class WriteBatch:
         self._buffer = bytearray()
         self.bytes_in = 0
         self.last_record_seq = 0
+        stage.end(bytes=sealed.data_len)
         return sealed
 
     def read(self, lba: int, length: int) -> List[Tuple[int, int, bytes]]:

@@ -50,7 +50,7 @@ from repro.core.log import (
 )
 from repro.core.naming import stream_prefix, stream_seqs, super_name
 from repro.core.object_map import ObjectMap
-from repro.obs import DEFAULT_SIZE_BUCKETS, Registry, bind_metrics, metric_field
+from repro.obs import DEFAULT_SIZE_BUCKETS, NULL_SPAN, Registry, bind_metrics, metric_field
 from repro.objstore.s3 import NoSuchKeyError, ObjectStore
 
 
@@ -158,23 +158,27 @@ class BlockStore:
     # ------------------------------------------------------------------
     # write path
     # ------------------------------------------------------------------
-    def add_write(self, lba: int, data: bytes, record_seq: int = 0) -> Optional[SealedBatch]:
+    def add_write(
+        self, lba: int, data: bytes, record_seq: int = 0, span=NULL_SPAN
+    ) -> Optional[SealedBatch]:
         """Buffer one write; returns a sealed batch when size is reached."""
         if lba < 0 or lba + len(data) > self.size:
             raise ValueError("write beyond volume bounds")
         self.batch.add(lba, data, record_seq)
         if self.batch.should_seal():
-            return self.seal()
+            return self.seal(span=span)
         return None
 
-    def seal(self, reason: str = "size") -> Optional[SealedBatch]:
+    def seal(self, reason: str = "size", span=NULL_SPAN) -> Optional[SealedBatch]:
         """Seal the current batch (even partial); None when empty."""
         if self.batch.is_empty:
             return None
-        sealed = self.batch.seal(self._take_seq(), self.uuid, reason=reason)
+        sealed = self.batch.seal(
+            self._take_seq(), self.uuid, reason=reason, span=span
+        )
         return sealed
 
-    def commit(self, sealed: SealedBatch):
+    def commit(self, sealed: SealedBatch, span=NULL_SPAN):
         """PUT the sealed object and update the map/accounting.
 
         Returns whatever ``store.put`` returned (a handle for unsettled
@@ -182,7 +186,17 @@ class BlockStore:
         cache may release the covered records.
         """
         name = object_name(self.name, sealed.seq)
-        result = self.store.put(name, sealed.payload)
+        stage = span.begin(
+            "backend_put",
+            seq=sealed.seq,
+            object_kind="gc" if sealed.kind == KIND_GC else "data",
+            bytes=len(sealed.payload),
+        )
+        if getattr(self.store, "accepts_span", False):
+            result = self.store.put(name, sealed.payload, span=stage)
+        else:
+            result = self.store.put(name, sealed.payload)
+        stage.end()
         self.omap.add_object(sealed.seq, sealed.kind, sealed.data_len, sealed.extents)
         offset = 0
         for ext in sealed.extents:
@@ -373,7 +387,7 @@ class BlockStore:
     # ------------------------------------------------------------------
     # checkpoints & superblock
     # ------------------------------------------------------------------
-    def write_checkpoint(self):
+    def write_checkpoint(self, span=NULL_SPAN):
         """Write a KIND_CHECKPOINT object into the stream.
 
         Returns ``(seq, put_result)``.  Callers must only invoke this when
@@ -415,9 +429,11 @@ class BlockStore:
             seq=seq,
             last_record_seq=self.last_record_seq_destaged,
         )
+        stage = span.begin("checkpoint_put", seq=seq, bytes=len(payload))
         put_result = self.store.put(
             object_name(self.name, seq), encode_object(header, payload)
         )
+        stage.end()
         self.stats.ckpt_bytes += len(payload)
         self.stats.objects_put += 1
         self._object_bytes.observe(len(payload))

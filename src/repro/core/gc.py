@@ -38,7 +38,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from repro.core.batch import seal_gc_batch
 from repro.core.block_store import BlockStore
 from repro.core.config import LSVDConfig
-from repro.obs import Registry, bind_metrics, metric_field
+from repro.obs import NULL_SPAN, Registry, bind_metrics, metric_field
 
 
 @dataclass
@@ -123,7 +123,9 @@ class GarbageCollector:
         return live / total >= self.config.gc_high_watermark
 
     # ------------------------------------------------------------------
-    def select(self, exclude: Sequence[int] = ()) -> Optional[GCSelection]:
+    def select(
+        self, exclude: Sequence[int] = (), span=NULL_SPAN
+    ) -> Optional[GCSelection]:
         """Phase one: pick victims (greedy) and schedule their reads.
 
         The expensive part of planning — the candidate utilisation
@@ -132,6 +134,7 @@ class GarbageCollector:
         round's relocation writes are still in flight (pipelined GC).
         ``exclude`` masks objects already being cleaned by that round.
         """
+        stage = span.begin("gc_select")
         skip = frozenset(exclude)
         candidates = self.store.omap.cleaning_candidates(
             max_seq=self.store.next_seq
@@ -145,6 +148,7 @@ class GarbageCollector:
             if c.utilization < self.config.gc_high_watermark
         ]
         if not victims:
+            stage.end(victims=0)
             return None
         ranges: List[Tuple[int, int, int]] = []  # (lba, length, src_seq)
         for seq in victims:
@@ -152,9 +156,10 @@ class GarbageCollector:
             for lba, length, _off in self.store.omap.live_extents_of(seq):
                 ranges.append((lba, length, seq))
         ranges.sort()
+        stage.end(victims=len(victims))
         return GCSelection(victims=victims, ranges=ranges)
 
-    def materialize(self, selection: GCSelection) -> Optional[GCPlan]:
+    def materialize(self, selection: GCSelection, span=NULL_SPAN) -> Optional[GCPlan]:
         """Phase two: turn a (possibly stale) selection into a read plan.
 
         A pre-planned selection may be a whole relocation round old, so
@@ -166,6 +171,7 @@ class GarbageCollector:
         victims = [s for s in selection.victims if s in self.store.omap.objects]
         if not victims:
             return None
+        stage = span.begin("gc_materialize")
         plan = GCPlan(victims=victims, pieces=[])
         raw: List[Tuple[int, int, int]] = []
         for seq in victims:
@@ -177,14 +183,15 @@ class GarbageCollector:
         for lba, length, src_seq in raw:
             data = self._read_live(lba, length, src_seq, plan)
             plan.pieces.append((lba, length, src_seq, data))
+        stage.end(bytes=plan.live_bytes)
         return plan
 
-    def plan(self) -> Optional[GCPlan]:
+    def plan(self, span=NULL_SPAN) -> Optional[GCPlan]:
         """Select victims and gather their live data (both phases)."""
-        selection = self.select()
+        selection = self.select(span=span)
         if selection is None:
             return None
-        return self.materialize(selection)
+        return self.materialize(selection, span=span)
 
     def _ensure_extents(self, seq: int) -> None:
         info = self.store.omap.objects[seq]
@@ -235,7 +242,7 @@ class GarbageCollector:
         return b"".join(pieces)
 
     # ------------------------------------------------------------------
-    def execute(self, plan: GCPlan):
+    def execute(self, plan: GCPlan, span=NULL_SPAN):
         """Write relocation object(s) and update the map.
 
         Returns a list of (sealed_batch, put_result) pairs; the caller
@@ -243,6 +250,7 @@ class GarbageCollector:
         (the volume does this) — GC never deletes objects newer than the
         most recent checkpoint (§3.3).
         """
+        stage = span.begin("gc_relocate", victims=len(plan.victims))
         results = []
         chunk: List[Tuple[int, int, int, bytes]] = []
         chunk_bytes = 0
@@ -250,10 +258,11 @@ class GarbageCollector:
             chunk.append(piece)
             chunk_bytes += piece[1]
             if chunk_bytes >= self.config.batch_size:
-                results.append(self._commit_chunk(chunk))
+                results.append(self._commit_chunk(chunk, span=stage))
                 chunk, chunk_bytes = [], 0
         if chunk:
-            results.append(self._commit_chunk(chunk))
+            results.append(self._commit_chunk(chunk, span=stage))
+        stage.end(bytes=plan.live_bytes)
         self.stats.rounds += 1
         self.stats.victims_cleaned += len(plan.victims)
         self.stats.bytes_relocated += plan.live_bytes
@@ -270,14 +279,14 @@ class GarbageCollector:
         )
         return results
 
-    def _commit_chunk(self, pieces: List[Tuple[int, int, int, bytes]]):
+    def _commit_chunk(self, pieces: List[Tuple[int, int, int, bytes]], span=NULL_SPAN):
         sealed = seal_gc_batch(
             self.store._take_seq(),
             self.store.uuid,
             pieces,
             last_record_seq=0,
         )
-        result = self.store.commit(sealed)
+        result = self.store.commit(sealed, span=span)
         return sealed, result
 
     # ------------------------------------------------------------------

@@ -26,7 +26,7 @@ from repro.core.errors import CorruptRecordError
 from repro.core.extent_map import ExtentMap
 from repro.core.log import align_up
 from repro.devices.image import DiskImage
-from repro.obs import Registry, bind_metrics, metric_field
+from repro.obs import NULL_SPAN, Registry, bind_metrics, metric_field
 
 #: target identifier used in the read-cache extent map
 RC_TARGET = "rc"
@@ -68,8 +68,9 @@ class ReadCache:
     def _phys(self, virt: int) -> int:
         return self.data_offset + (virt % self.data_size)
 
-    def read(self, lba: int, length: int) -> List[Tuple[int, int, bytes]]:
+    def read(self, lba: int, length: int, span=NULL_SPAN) -> List[Tuple[int, int, bytes]]:
         """Cached pieces of [lba, lba+length): (lba, length, data)."""
+        stage = span.begin("rc_lookup")
         out = []
         for ext in self.map.lookup(lba, length):
             out.append((ext.lba, ext.length, self.image.read(ext.offset, ext.length)))
@@ -77,9 +78,10 @@ class ReadCache:
             self.hits += 1
         else:
             self.misses += 1
+        stage.end(hit=bool(out))
         return out
 
-    def insert(self, lba: int, data: bytes) -> None:
+    def insert(self, lba: int, data: bytes, span=NULL_SPAN) -> None:
         """Add backend data to the cache, evicting FIFO as needed."""
         length = len(data)
         if length == 0:
@@ -87,6 +89,7 @@ class ReadCache:
         footprint = align_up(length)
         if footprint > self.data_size:
             return  # larger than the whole cache: do not cache
+        stage = span.begin("rc_insert")
         virt = self._reserve(footprint)
         phys = self._phys(virt)
         self._evict_range(phys, footprint)
@@ -94,6 +97,7 @@ class ReadCache:
         self.map.update(lba, length, RC_TARGET, phys)
         self.inserted_bytes += length
         self._occupancy.set(min(self._ring_virt, self.data_size))
+        stage.end(bytes=length)
 
     def invalidate(self, lba: int, length: int) -> None:
         """Drop cached data for a written range (write-after-read hazard)."""

@@ -45,7 +45,7 @@ from repro.core.gc import GarbageCollector, GCSelection
 from repro.core.read_cache import ReadCache
 from repro.core.write_cache import WriteCache
 from repro.devices.image import DiskImage
-from repro.obs import Registry
+from repro.obs import NULL_SPAN, Registry
 
 
 @dataclass
@@ -170,6 +170,7 @@ class LSVDVolume:
             rc.load_map()
         # rewind & replay: push cache records the backend has not seen
         replayed = 0
+        span = obs.spans.root("recover")
         for record, _ref in wc.records_after(state.last_record_seq):
             obs.trace.emit(
                 "recovery_replay",
@@ -179,9 +180,10 @@ class LSVDVolume:
             replayed += 1
             for index, (lba, length) in enumerate(record.extents):
                 data = wc.record_data(record, index)
-                sealed = bs.add_write(lba, data, record.seq)
+                sealed = bs.add_write(lba, data, record.seq, span=span)
                 if sealed is not None:
-                    vol._commit_data(sealed)
+                    vol._commit_data(sealed, span=span)
+        span.end(replayed=replayed)
         # anything at or below the backend high-water mark is already safe
         wc.release_through(state.last_record_seq)
         obs.trace.emit("recovery_complete", replayed=replayed, cache_lost=False)
@@ -262,15 +264,17 @@ class LSVDVolume:
             return
         self._m_writes.inc()
         self._m_bytes_written.inc(len(data))
+        span = self.obs.spans.root("write", bytes=len(data))
         try:
-            record = self.wc.append([(offset, data)])
+            record = self.wc.append([(offset, data)], span=span)
         except CacheFullError:
-            self._make_room(len(data))
-            record = self.wc.append([(offset, data)])
+            self._make_room(len(data), span=span)
+            record = self.wc.append([(offset, data)], span=span)
         self.rc.invalidate(offset, len(data))
-        sealed = self.bs.add_write(offset, data, record.seq)
+        sealed = self.bs.add_write(offset, data, record.seq, span=span)
         if sealed is not None:
-            self._commit_data(sealed)
+            self._commit_data(sealed, span=span)
+        span.end()
 
     def read(self, offset: int, length: int) -> bytes:
         """Read ``length`` bytes at ``offset`` (unwritten space is zeros)."""
@@ -279,24 +283,33 @@ class LSVDVolume:
             return b""
         self._m_reads.inc()
         self._m_bytes_read.inc(length)
+        span = self.obs.spans.root("read", bytes=length)
         out = bytearray(length)
         # 1: write cache (always the newest data)
         covered = _Coverage(offset, length)
-        for piece_start, piece_len, data in self.wc.read(offset, length):
+        for piece_start, piece_len, data in self.wc.read(offset, length, span=span):
             out[piece_start - offset : piece_start - offset + piece_len] = data
             covered.fill(piece_start, piece_len)
         # 2: read cache
         for gap_lba, gap_len in covered.gaps():
-            for piece_start, piece_len, data in self.rc.read(gap_lba, gap_len):
+            for piece_start, piece_len, data in self.rc.read(
+                gap_lba, gap_len, span=span
+            ):
                 out[piece_start - offset : piece_start - offset + piece_len] = data
                 covered.fill(piece_start, piece_len)
         # 3: backend (with temporal prefetch into the read cache)
         for gap_lba, gap_len in covered.gaps():
             for piece in self.bs.lookup(gap_lba, gap_len):
+                stage = span.begin("backend_fetch", seq=piece.target)
                 fetched = self.bs.fetch_with_prefetch(
                     piece.target, piece.offset, piece.length,
                     request_lba=piece.lba,
                 )
+                stage.end(bytes=sum(len(d) for _v, d in fetched))
+                # one stage for the whole prefetch insert burst: a span
+                # per inserted range (dozens under temporal prefetch)
+                # would out-cost the stages being measured
+                insert_stage = span.begin("rc_insert", ranges=len(fetched))
                 for vlba, data in fetched:
                     self._insert_read_cache(vlba, data)
                     lo = max(vlba, gap_lba)
@@ -305,7 +318,9 @@ class LSVDVolume:
                         out[lo - offset : hi - offset] = data[
                             lo - vlba : hi - vlba
                         ]
+                insert_stage.end()
                 covered.fill(piece.lba, piece.length)
+        span.end()
         return bytes(out)
 
     def writev(self, writes: List[Tuple[int, bytes]]) -> None:
@@ -325,16 +340,18 @@ class LSVDVolume:
         total = sum(len(d) for _o, d in writes)
         self._m_writes.inc()
         self._m_bytes_written.inc(total)
+        span = self.obs.spans.root("writev", bytes=total, extents=len(writes))
         try:
-            record = self.wc.append(writes)
+            record = self.wc.append(writes, span=span)
         except CacheFullError:
-            self._make_room(total)
-            record = self.wc.append(writes)
+            self._make_room(total, span=span)
+            record = self.wc.append(writes, span=span)
         for offset, data in writes:
             self.rc.invalidate(offset, len(data))
-            sealed = self.bs.add_write(offset, data, record.seq)
+            sealed = self.bs.add_write(offset, data, record.seq, span=span)
             if sealed is not None:
-                self._commit_data(sealed)
+                self._commit_data(sealed, span=span)
+        span.end()
 
     def trim(self, offset: int, length: int) -> None:
         """Discard a range: subsequent reads return zeros (TRIM/unmap).
@@ -356,7 +373,9 @@ class LSVDVolume:
     def flush(self) -> None:
         """Commit barrier: one flush of the cache SSD (§3.2)."""
         self._m_flushes.inc()
-        self.wc.barrier()
+        span = self.obs.spans.root("flush")
+        self.wc.barrier(span=span)
+        span.end()
 
     # ------------------------------------------------------------------
     # background work (destage / GC / checkpoints)
@@ -372,9 +391,11 @@ class LSVDVolume:
         Only meaningful with an immediately-settling store; the timed
         runtime drives the same steps through simulated time.
         """
-        sealed = self.bs.seal(reason="drain")
+        span = self.obs.spans.root("drain")
+        sealed = self.bs.seal(reason="drain", span=span)
         if sealed is not None:
-            self._commit_data(sealed)
+            self._commit_data(sealed, span=span)
+        span.end()
         self.poll()
         # run GC to its target utilisation
         guard = 0
@@ -443,7 +464,7 @@ class LSVDVolume:
         return len(self._pending)
 
     # -- internals ------------------------------------------------------
-    def _commit_data(self, sealed: SealedBatch) -> None:
+    def _commit_data(self, sealed: SealedBatch, span=NULL_SPAN) -> None:
         entry = _BatchEntry(sealed.seq, sealed.last_record_seq)
         self._batches.append(entry)
         self._m_batch_commits.inc()
@@ -453,11 +474,11 @@ class LSVDVolume:
             bytes=sealed.data_len,
             records_through=sealed.last_record_seq,
         )
-        result = self.bs.commit(sealed)
+        result = self.bs.commit(sealed, span=span)
         if result is None:
             entry.settled = True
             self._advance_release_frontier()
-            self._maybe_checkpoint()
+            self._maybe_checkpoint(span=span)
             self._advance_gc()
         else:
             self._pending[result] = ("data", entry)
@@ -468,14 +489,14 @@ class LSVDVolume:
             if entry.last_record_seq:
                 self.wc.release_through(entry.last_record_seq)
 
-    def _maybe_checkpoint(self) -> None:
+    def _maybe_checkpoint(self, span=NULL_SPAN) -> None:
         if (self.bs.checkpoint_due or self._ckpt_requested) and not self._pending:
             self._ckpt_requested = False
-            self._write_checkpoint()
+            self._write_checkpoint(span=span)
 
-    def _write_checkpoint(self) -> int:
+    def _write_checkpoint(self, span=NULL_SPAN) -> int:
         self._m_checkpoints.inc()
-        seq, result = self.bs.write_checkpoint()
+        seq, result = self.bs.write_checkpoint(span=span)
         if result is None:
             self.bs.retire_old_checkpoints()
             if (
@@ -503,7 +524,11 @@ class LSVDVolume:
             # stall; the selection is revalidated when consumed
             if not rnd.preplanned and not self.gc.reached_target():
                 rnd.preplanned = True
-                self._next_selection = self.gc.select(exclude=rnd.victims)
+                pspan = self.obs.spans.root("gc_preplan")
+                self._next_selection = self.gc.select(
+                    exclude=rnd.victims, span=pspan
+                )
+                pspan.end()
                 if self._next_selection is not None:
                     self.gc.stats.preplanned_rounds += 1
         if rnd.stage == "relocating" and rnd.pending_puts == 0:
@@ -515,18 +540,25 @@ class LSVDVolume:
                 self._ckpt_requested = True
 
     def _start_gc_round(self) -> None:
+        span = self.obs.spans.root("gc_round")
         selection, self._next_selection = self._next_selection, None
-        plan = self.gc.materialize(selection) if selection is not None else None
+        plan = (
+            self.gc.materialize(selection, span=span)
+            if selection is not None
+            else None
+        )
         if plan is None:
-            plan = self.gc.plan()
+            plan = self.gc.plan(span=span)
         if plan is None:
+            span.end(started=False)
             return
         rnd = _GCRound(victims=plan.victims)
         self._gc_round = rnd
-        for sealed, result in self.gc.execute(plan):
+        for sealed, result in self.gc.execute(plan, span=span):
             if result is not None:
                 rnd.pending_puts += 1
                 self._pending[result] = ("gc", sealed.seq)
+        span.end(victims=len(plan.victims))
         self._advance_gc()
 
     def _finish_gc_round(self) -> None:
@@ -535,11 +567,13 @@ class LSVDVolume:
         if rnd is not None:
             self.gc.delete_victims(rnd.victims)
 
-    def _make_room(self, needed: int) -> None:
+    def _make_room(self, needed: int, span=NULL_SPAN) -> None:
         """Cache log full: force destage so records can be released."""
-        sealed = self.bs.seal(reason="backpressure")
+        stage = span.begin("space_wait")
+        sealed = self.bs.seal(reason="backpressure", span=span)
         if sealed is not None:
-            self._commit_data(sealed)
+            self._commit_data(sealed, span=span)
+        stage.end()
         if self.wc.free_bytes < needed + 2 * 4096 and self._pending:
             raise CacheFullError(
                 "cache log full with PUTs outstanding; destage in progress"
@@ -559,12 +593,12 @@ class LSVDVolume:
             return pieces[0][2]
         return None
 
-    def _insert_read_cache(self, lba: int, data: bytes) -> None:
+    def _insert_read_cache(self, lba: int, data: bytes, span=NULL_SPAN) -> None:
         """Insert backend data, clipped against newer write-cache data."""
         cursor = 0
         for start, length, ext in _clip_against(self.wc.map, lba, len(data)):
             if ext is None:
-                self.rc.insert(start, data[start - lba : start - lba + length])  # lint: disable=LSVD009 -- ReadCache.insert (cache API), not a list shuffle
+                self.rc.insert(start, data[start - lba : start - lba + length], span=span)  # lint: disable=LSVD009 -- ReadCache.insert (cache API), not a list shuffle
 
     def _check_io(self, offset: int, length: int) -> None:
         if offset % SECTOR or length % SECTOR:

@@ -44,7 +44,7 @@ from repro.core.errors import CacheFullError, CorruptRecordError
 from repro.core.extent_map import ExtentMap
 from repro.core.log import CacheRecord, align_up, decode_record, encode_record, pack_record
 from repro.devices.image import DiskImage
-from repro.obs import Registry, bind_metrics, metric_field
+from repro.obs import NULL_SPAN, Registry, bind_metrics, metric_field
 
 _SUPER = struct.Struct("<4sHHQQQQ")  # magic ver flags log_off log_size slot_size uuid_lo
 _SUPER_MAGIC = b"LSWC"
@@ -129,12 +129,15 @@ class WriteCache:
     # ------------------------------------------------------------------
     # write path
     # ------------------------------------------------------------------
-    def append(self, writes: List[Tuple[int, bytes]]) -> CacheRecord:
+    def append(self, writes: List[Tuple[int, bytes]], span=NULL_SPAN) -> CacheRecord:
         """Log a group of writes as one record; returns the record.
 
         Raises :class:`CacheFullError` when the log lacks space — the
-        caller must destage and :meth:`release_through` first.
+        caller must destage and :meth:`release_through` first.  A failed
+        append leaves its span child open; the retry (after the caller
+        makes room) opens a fresh one.
         """
+        stage = span.begin("wc_append")
         record = pack_record(self.next_seq, writes, epoch=self.epoch)
         encoded = encode_record(record)
         size = len(encoded)
@@ -167,6 +170,7 @@ class WriteCache:
         self.bytes_logged += size
         self._occupancy.set(self.used_bytes)
         self._clean = False
+        stage.end(bytes=total, seq=record.seq)
         return record
 
     def _reserve(self, size: int) -> int:
@@ -182,7 +186,7 @@ class WriteCache:
         self.head_virt = virt + size
         return virt
 
-    def barrier(self) -> None:
+    def barrier(self, span=NULL_SPAN) -> None:
         """Commit barrier: one flush makes all prior records durable.
 
         Group-commit elision: when the device has nothing in its volatile
@@ -195,8 +199,11 @@ class WriteCache:
         self.barriers += 1
         if self.image.pending_writes == 0:
             self.barriers_coalesced += 1
+            span.annotate(flush_elided=True)
             return
+        stage = span.begin("device_flush")
         self.image.flush()
+        stage.end()
         self.device_flushes += 1
 
     def resume_after(self, last_record_seq: int) -> None:
@@ -212,11 +219,13 @@ class WriteCache:
     # ------------------------------------------------------------------
     # read path
     # ------------------------------------------------------------------
-    def read(self, lba: int, length: int) -> List[Tuple[int, int, bytes]]:
+    def read(self, lba: int, length: int, span=NULL_SPAN) -> List[Tuple[int, int, bytes]]:
         """Serve cached pieces of [lba, lba+length): (lba, length, data)."""
+        stage = span.begin("wc_read")
         out = []
         for ext in self.map.lookup(lba, length):
             out.append((ext.lba, ext.length, self.image.read(ext.offset, ext.length)))
+        stage.end(pieces=len(out))
         return out
 
     # ------------------------------------------------------------------

@@ -15,6 +15,7 @@ prefix up to that cut.
 
 from __future__ import annotations
 
+import os
 import struct
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -108,6 +109,27 @@ class HistoryRecorder:
         return len(self.history)
 
 
+def _dump_flightrec_on_failure(problems: List[str]) -> None:
+    """Drop the last recorder's flight bundle beside the bench artifacts.
+
+    Only fires when the output directory already exists (the repo checkout
+    and CI both have ``bench-out/``), so checker unit tests running in a
+    scratch cwd never litter; a dump failure never masks the verdict.
+    """
+    out_dir = os.environ.get("REPRO_FLIGHTREC_DIR", "bench-out")
+    if not os.path.isdir(out_dir):
+        return
+    from repro.obs.spans import dump_last_flight
+
+    try:
+        dump_last_flight(
+            os.path.join(out_dir, "flightrec_crash_check.json"),
+            reason=f"crash-consistency failure: {problems[0]}",
+        )
+    except OSError:
+        pass
+
+
 class PrefixChecker:
     """Verify a recovered image against a recorded history."""
 
@@ -166,6 +188,8 @@ class PrefixChecker:
                 f"cut {cut} < last committed write {committed_through}: "
                 "committed data lost"
             )
+        if problems:
+            _dump_flightrec_on_failure(problems)
         return Verdict(
             consistent=consistent,
             cut=cut,

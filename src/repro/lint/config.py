@@ -337,6 +337,35 @@ DEFAULT_ASYNC_SETTLE_CALLS: Tuple[str, ...] = (
     "succeed",
 )
 
+# -- span hygiene (LSVD015) -------------------------------------------------
+
+#: repro-package directories whose span handles are hygiene-tracked;
+#: files outside any ``repro`` package (benchmarks, examples) are always
+#: in scope — span misuse there corrupts the very latency attributions
+#: the benchmarks gate on
+DEFAULT_SPAN_DIRS: Tuple[str, ...] = (
+    "core/",
+    "runtime/",
+    "shard/",
+    "objstore/",
+    "obs/",
+    "crash/",
+)
+
+#: receiver names whose ``.root()`` / ``.begin()`` yields a span handle;
+#: matched as the exact name or a ``_``-separated suffix
+DEFAULT_SPAN_RECEIVERS: Tuple[str, ...] = (
+    "span",
+    "spans",
+    "root",
+    "parent",
+    "child",
+)
+
+#: method names that open a span (the recorder's ``root`` and a span's
+#: ``begin``)
+DEFAULT_SPAN_BEGIN_METHODS: Tuple[str, ...] = ("root", "begin")
+
 # -- barrier coalescing (LSVD014) -------------------------------------------
 
 #: modules whose commit-barrier paths are checked for coalescing safety
@@ -412,6 +441,11 @@ class LintConfig:
     async_allow: Tuple[str, ...] = ()
     async_state_markers: Tuple[str, ...] = DEFAULT_ASYNC_STATE_MARKERS
     async_settle_calls: Tuple[str, ...] = DEFAULT_ASYNC_SETTLE_CALLS
+    # span hygiene (LSVD015)
+    span_dirs: Tuple[str, ...] = DEFAULT_SPAN_DIRS
+    span_allow: Tuple[str, ...] = ()
+    span_receivers: Tuple[str, ...] = DEFAULT_SPAN_RECEIVERS
+    span_begin_methods: Tuple[str, ...] = DEFAULT_SPAN_BEGIN_METHODS
     # barrier coalescing (LSVD014)
     barrier_modules: Tuple[str, ...] = DEFAULT_BARRIER_MODULES
     barrier_allow: Tuple[str, ...] = ()
@@ -528,6 +562,8 @@ class LintConfig:
             async_settle_calls=_extend(
                 base.async_settle_calls, "async-settle-calls"
             ),
+            span_allow=_extend(base.span_allow, "span-allow"),
+            span_receivers=_extend(base.span_receivers, "span-receivers"),
             barrier_modules=_extend(base.barrier_modules, "barrier-modules"),
             barrier_allow=_extend(base.barrier_allow, "barrier-allow"),
             barrier_settle_receivers=_extend(

@@ -12,6 +12,7 @@ from repro.lint.rules.recovery_order import RecoveryMutationOrderRule
 from repro.lint.rules.sequence import SequenceHygieneRule
 from repro.lint.rules.settlement import SettlementLeakRule
 from repro.lint.rules.sharding import ShardOwnershipRule
+from repro.lint.rules.span_hygiene import SpanHygieneRule
 from repro.lint.rules.structs import StructConsistencyRule
 from repro.lint.rules.units import UnitConfusionRule
 
@@ -31,6 +32,7 @@ ALL_RULES = [
     RecoveryMutationOrderRule,
     AsyncCancellationRule,
     BarrierCoalescingRule,
+    SpanHygieneRule,
 ]
 
 __all__ = [
@@ -47,6 +49,7 @@ __all__ = [
     "SequenceHygieneRule",
     "SettlementLeakRule",
     "ShardOwnershipRule",
+    "SpanHygieneRule",
     "StructConsistencyRule",
     "UnitConfusionRule",
 ]

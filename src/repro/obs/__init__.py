@@ -11,6 +11,7 @@ from repro.obs.export import (
     prometheus_text,
     registry_csv,
     write_bench_json,
+    write_bench_sections_json,
     write_metrics_json,
 )
 from repro.obs.metrics import (
@@ -24,26 +25,47 @@ from repro.obs.metrics import (
     gauge_field,
     metric_field,
 )
+from repro.obs.spans import (
+    NULL_SPAN,
+    CriticalPathAnalyzer,
+    FlightRecorder,
+    Span,
+    SpanRecorder,
+    attribute,
+    dump_last_flight,
+    format_stage_table,
+    format_tree,
+)
 from repro.obs.timing import TimedStore
 from repro.obs.trace import EVENT_TYPES, Trace, TraceEvent
 
 __all__ = [
     "Counter",
+    "CriticalPathAnalyzer",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
     "EVENT_TYPES",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "NULL_SPAN",
     "Registry",
+    "Span",
+    "SpanRecorder",
     "TimedStore",
     "Trace",
     "TraceEvent",
+    "attribute",
     "bind_metrics",
+    "dump_last_flight",
+    "format_stage_table",
+    "format_tree",
     "gauge_field",
     "metric_field",
     "metrics_json",
     "prometheus_text",
     "registry_csv",
     "write_bench_json",
+    "write_bench_sections_json",
     "write_metrics_json",
 ]

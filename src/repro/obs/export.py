@@ -96,10 +96,40 @@ def write_bench_json(
     return write_metrics_json(registry, out, extra={"bench": name, "figures": figures or {}})
 
 
+def write_bench_sections_json(
+    name: str,
+    sections: Dict[str, "tuple[Registry, Dict[str, object]]"],
+    out_dir: Union[str, pathlib.Path] = ".",
+) -> pathlib.Path:
+    """Emit ``BENCH_<name>.json`` from several registries at once.
+
+    Figures stay a flat top-level dict (``<section>_<figure>``) so tooling
+    that walks ``document["figures"]`` — bench_diff in particular — treats
+    sectioned and single-registry BENCH files identically; the per-section
+    registry snapshots land under ``metrics[<section>]``.
+    """
+    figures: Dict[str, object] = {}
+    metrics: Dict[str, object] = {}
+    for section, (registry, section_figures) in sorted(sections.items()):
+        metrics[section] = registry.snapshot()
+        for key, value in section_figures.items():
+            figures[f"{section}_{key}"] = value
+    document = {
+        "bench": name,
+        "figures": figures,
+        "metrics": metrics,
+        "sections": sorted(sections),
+    }
+    out = pathlib.Path(out_dir) / f"BENCH_{name}.json"
+    out.write_text(json.dumps(document, sort_keys=True, indent=2) + "\n", encoding="utf-8")
+    return out
+
+
 __all__ = [
     "prometheus_text",
     "registry_csv",
     "metrics_json",
     "write_metrics_json",
     "write_bench_json",
+    "write_bench_sections_json",
 ]

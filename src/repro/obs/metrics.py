@@ -192,10 +192,13 @@ class Registry:
     """
 
     def __init__(self, trace: Optional["Trace"] = None):
-        from repro.obs.trace import Trace  # local import to avoid a cycle
+        from repro.obs.spans import SpanRecorder  # local import, avoids a cycle
+        from repro.obs.trace import Trace
 
         self._metrics: Dict[str, Metric] = {}
         self.trace: "Trace" = trace if trace is not None else Trace()
+        #: causal span trees (same clock contract as the trace)
+        self.spans: SpanRecorder = SpanRecorder()
 
     # -- get-or-create ---------------------------------------------------
     def _register(self, name: str, kind: str, factory) -> Metric:
@@ -264,10 +267,12 @@ class Registry:
         return {metric.name: metric.snapshot() for metric in self.metrics()}
 
     def reset(self) -> None:
-        """Zero every metric and clear the trace; names stay registered."""
+        """Zero every metric, clear the trace and spans; names stay
+        registered."""
         for metric in self.metrics():
             metric.reset()
         self.trace.clear()
+        self.spans.clear()
 
 
 # ---------------------------------------------------------------------------

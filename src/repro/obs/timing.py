@@ -21,11 +21,16 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.obs.metrics import Registry
+from repro.obs.spans import NULL_SPAN
 from repro.objstore.s3 import ObjectStore
 
 
 class TimedStore(ObjectStore):
     """Cost-model timing facade over an inner object store."""
+
+    #: span handles passed to :meth:`put` cover the cost-model charge and
+    #: are forwarded to span-aware inner stores (sharded facade)
+    accepts_span = True
 
     def __init__(
         self,
@@ -54,8 +59,11 @@ class TimedStore(ObjectStore):
         return cost
 
     # -- writes ----------------------------------------------------------
-    def put(self, name: str, data: bytes):
-        result = self.inner.put(name, data)
+    def put(self, name: str, data: bytes, span=NULL_SPAN):
+        if getattr(self.inner, "accepts_span", False):
+            result = self.inner.put(name, data, span=span)
+        else:
+            result = self.inner.put(name, data)
         self._put_latency.observe(self._charge(len(data)))
         return result
 

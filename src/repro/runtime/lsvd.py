@@ -120,6 +120,8 @@ class LSVDRuntime:
         #: metrics of one stack land in one snapshot
         self.obs = obs or getattr(backend, "obs", None) or Registry()
         bind_metrics(self)
+        # span trees read the simulated clock (same contract as the trace)
+        self.obs.spans.clock = lambda: self.sim.now
 
         self.write_cache_capacity = int(
             cache_size * self.config.write_cache_fraction
@@ -180,40 +182,55 @@ class LSVDRuntime:
     def submit(self, op: IOOp) -> Event:
         done = self.sim.event()
         if op.kind == WRITE:
-            self.sim.process(self._write(op, done), name=f"{self.name}-w")
+            span = self.obs.spans.root("write", bytes=op.length)
+            self.sim.process(self._write(op, done, span), name=f"{self.name}-w")
         elif op.kind == READ:
-            self.sim.process(self._read(op, done), name=f"{self.name}-r")
+            span = self.obs.spans.root("read", bytes=op.length)
+            self.sim.process(self._read(op, done, span), name=f"{self.name}-r")
         elif op.kind == FLUSH:
             self.barrier_requests += 1
+            span = self.obs.spans.root("barrier")
             if self.params.group_commit:
-                self._barrier_q.put(done)
+                qwait = span.begin("barrier_queue", kind="queue")
+                self._barrier_q.put((done, span, qwait))
             else:
-                self.sim.process(self._serial_barrier(done), name=f"{self.name}-f")
+                self.sim.process(
+                    self._serial_barrier(done, span), name=f"{self.name}-f"
+                )
         else:
             raise ValueError(f"unknown op kind {op.kind!r}")
         return done
 
     # ------------------------------------------------------------------
-    def _write(self, op: IOOp, done: Event):
+    def _write(self, op: IOOp, done: Event, span):
         # serial baseline only: a barrier is an ordering point that gates
         # new writes (group commit never sets _barrier_active)
+        gate_wait = span.begin("barrier_gate", kind="queue")
         while self._barrier_active:
             gate = self.sim.event()
             self._gate_waiters.append(gate)
             yield gate
+        gate_wait.end()
         self._inflight.add(done)
         self._inflight_writes += 1
         try:
+            stage = span.begin("write_cpu")
             yield from self.machine.cpu_work(self.params.write_cpu)
+            stage.end()
             footprint = align_up(op.length) + self.params.log_header_bytes
+            stage = span.begin("space_wait", kind="queue")
             yield from self._wait_for_space(footprint)
+            stage.end()
             self.dirty_bytes += footprint
+            stage = span.begin("wc_append", bytes=footprint)
             yield self.machine.ssd.write(self._log_head, footprint)
+            stage.end()
             self._log_head += footprint
             self._last_write_at = self.sim.now
             self.client_writes += 1
             self.client_bytes_written += op.length
             done.succeed()
+            span.end()
             # feed the batcher (synchronous map/batch state; PUTs are
             # queued to the destage workers via the _on_object hook);
             # the accumulated footprint is released exactly when the
@@ -227,23 +244,35 @@ class LSVDRuntime:
                 while self._drain_waiters:
                     self._drain_waiters.popleft().succeed()
 
-    def _read(self, op: IOOp, done: Event):
+    def _read(self, op: IOOp, done: Event, span):
         hit = self._chance() < self.read_hit_rate
+        span.annotate(hit=hit)
         if hit:
+            stage = span.begin("read_cpu")
             yield from self.machine.cpu_work(self.params.read_hit_cpu)
+            stage.end()
+            stage = span.begin("rc_lookup", bytes=op.length)
             yield self.machine.ssd.read(self._scatter(op.offset), op.length)
+            stage.end()
         else:
+            stage = span.begin("read_cpu")
             yield from self.machine.cpu_work(self.params.read_miss_cpu)
+            stage.end()
             fetch = max(op.length, self.config.prefetch_bytes)
+            stage = span.begin("backend_fetch", bytes=fetch)
             yield self.backend.get_range(
                 f"{self.name}.{self._seq:08d}", 0, fetch
             )
+            stage.end()
             # the prototype stores fetched data in the read cache before
             # replying (pass-through SSD, §4.7)
+            stage = span.begin("rc_insert", bytes=fetch)
             yield self.machine.ssd.write(self._rc_slot(fetch), fetch)
+            stage.end()
         self.client_reads += 1
         self.client_bytes_read += op.length
         done.succeed()
+        span.end()
 
     # ------------------------------------------------------------------
     # commit barriers
@@ -261,40 +290,66 @@ class LSVDRuntime:
             first = yield self._barrier_q.get()
             group = [first]
             group.extend(self._barrier_q.drain())
+            # each member's queue wait ends when it is folded into a group
+            for _done, _span, qwait in group:
+                qwait.end()
             # one CPU charge per group — the commit-path amortisation
+            stages = [span.begin("barrier_cpu") for _d, span, _q in group]
             yield from self.machine.cpu_work(self.params.barrier_cpu)
+            for stage in stages:
+                stage.end()
             # quiesce: writes admitted before this FLUSH issues must
             # reach the cache SSD first (drain-then-flush, matching the
             # serial path's durability; new writes are never gated)
             pending = [ev for ev in self._inflight if not ev.triggered]
+            stages = [
+                span.begin("barrier_quiesce", kind="queue")
+                for _d, span, _q in group
+            ]
             if pending:
                 yield self.sim.all_of(pending)
-            group.extend(self._barrier_q.drain())
+            for stage in stages:
+                stage.end()
+            late = self._barrier_q.drain()
+            for _done, _span, qwait in late:
+                qwait.end()
+            group.extend(late)
             # a flushed log must not strand a half-built object: seal the
             # partial batch through the page map's public API so destage
             # starts catching the backend up (satellite of §3.2)
             self.pagemap.flush_batch()
+            stages = [span.begin("device_flush") for _d, span, _q in group]
             yield self.machine.ssd.flush()
+            for stage in stages:
+                stage.end()
             self.barrier_flushes += 1
             self._group_size_h.observe(len(group))
             self.obs.trace.emit("barrier_group", size=len(group))
-            for waiter in group:
-                waiter.succeed()
+            for done, span, _qwait in group:
+                done.succeed()
+                span.end(group=len(group))
 
-    def _serial_barrier(self, done: Event):
+    def _serial_barrier(self, done: Event, span):
         """Pre-pipeline baseline: quiesce all writers, one flush each."""
         self._barrier_active = True
         try:
+            stage = span.begin("barrier_cpu")
             yield from self.machine.cpu_work(self.params.barrier_cpu)
+            stage.end()
+            stage = span.begin("barrier_quiesce", kind="queue")
             if self._inflight_writes:
                 waiter = self.sim.event()
                 self._drain_waiters.append(waiter)
                 yield waiter
+            stage.end()
+            stage = span.begin("device_flush")
             yield self.machine.ssd.flush()
+            stage.end()
             self.barrier_flushes += 1
             self._group_size_h.observe(1)
             self.obs.trace.emit("barrier_group", size=1)
             done.succeed()
+            span.end(group=1)
         finally:
             self._barrier_active = False
             while self._gate_waiters:
@@ -337,40 +392,60 @@ class LSVDRuntime:
 
     def _enqueue_destage(self, key: str, item: Tuple) -> None:
         index = self._shard_index(key)
-        self._destage_qs[index].put(item)
+        root = self.obs.spans.root("destage", op=item[0], shard=index)
+        qwait = root.begin("destage_queue", kind="queue")
+        self._destage_qs[index].put(item + (root, qwait))
         self.destage_queue_depth += 1
         self._queue_gauges[index].set(len(self._destage_qs[index]))
 
     def _destage_worker(self, queue: Store, index: int):
         while True:
-            kind, key, seq, nbytes, log_bytes = yield queue.get()
+            kind, key, seq, nbytes, log_bytes, root, qwait = yield queue.get()
             self.destage_queue_depth -= 1
             self._queue_gauges[index].set(len(queue))
+            qwait.end()
             if kind == "put":
                 # the userspace daemon reads outgoing data from the cache
                 # SSD (§3.7), then PUTs the object
                 # seq only picks a distinct simulated SSD address here; no
                 # real log offsets exist in the timed model
+                stage = root.begin("destage_read", bytes=nbytes)
                 yield self.machine.ssd.read(self._log_head + seq, nbytes)  # lint: disable=LSVD002
+                stage.end()
+                stage = root.begin("destage_cpu")
                 yield from self.machine.cpu_work(self.params.destage_user_cpu)
+                stage.end()
+                stage = root.begin("shard_put", shard=index, bytes=nbytes)
                 yield self.backend.put(key, nbytes)
+                stage.end()
                 self.objects_put += 1
                 self.backend_bytes_put += nbytes
                 self._release_space(log_bytes)
             elif kind == "gcput":
+                stage = root.begin("destage_cpu")
                 yield from self.machine.cpu_work(self.params.destage_user_cpu)
+                stage.end()
+                stage = root.begin("shard_put", shard=index, bytes=nbytes)
                 yield self.backend.put(key, nbytes)
+                stage.end()
                 self.gc_objects_put += 1
                 self.backend_bytes_put += nbytes
             elif kind == "gcread":
                 cached = int(nbytes * self.params.gc_cache_hit)
                 remote = nbytes - cached
                 if cached:
+                    stage = root.begin("gc_cache_read", bytes=cached)
                     yield self.machine.ssd.read(self._rc_slot(cached), cached)
+                    stage.end()
                 if remote:
+                    stage = root.begin("backend_fetch", bytes=remote)
                     yield self.backend.get_range(key, 0, remote)
+                    stage.end()
             elif kind == "delete":
+                stage = root.begin("shard_delete", shard=index)
                 yield self.backend.delete(key)
+                stage.end()
+            root.end()
 
     def _idle_flusher(self):
         """Flush partial batches after a quiet period (batch_timeout).
@@ -408,9 +483,13 @@ class LSVDRuntime:
     def _recovery_scan(self, done: Event, max_headers: int, overlap: bool):
         started = self.sim.now
         self.recovery_scans += 1
+        span = self.obs.spans.root("recovery_scan", overlap=overlap)
+        stage = span.begin("recovery_list")
         names = yield self.backend.list_keys(f"{self.name}.", overlap=overlap)
+        stage.end(objects=len(names))
         recent = names[-max_headers:] if max_headers > 0 else []
         header = self.params.log_header_bytes
+        stage = span.begin("recovery_headers", headers=len(recent))
         if overlap:
             if recent:
                 yield self.sim.all_of(
@@ -419,6 +498,8 @@ class LSVDRuntime:
         else:
             for key in recent:
                 yield self.backend.get_range(key, 0, header)
+        stage.end()
+        span.end()
         duration = self.sim.now - started
         self.obs.trace.emit(
             "recovery_scan",

@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.objstore.directory import DirectoryObjectStore
 from repro.objstore.s3 import NoSuchKeyError, ObjectStore, ObjectStoreStats
-from repro.obs import Registry
+from repro.obs import NULL_SPAN, Registry
 from repro.shard.router import ShardRouter
 
 #: manifest persisted at the root of a sharded directory store so every
@@ -63,6 +63,10 @@ def count_shard_op(
 
 class ShardedObjectStore(ObjectStore):
     """Fan one object namespace out across N backend shards."""
+
+    #: duck-typed marker: callers holding a span handle may pass it to
+    #: :meth:`put` so PUT service time is attributed to the owning shard
+    accepts_span = True
 
     def __init__(
         self,
@@ -99,9 +103,11 @@ class ShardedObjectStore(ObjectStore):
         count_shard_op(self.obs, index, len(self.shards), op, nbytes)
 
     # -- the ObjectStore interface ----------------------------------------
-    def put(self, name: str, data: bytes):
+    def put(self, name: str, data: bytes, span=NULL_SPAN):
         index, shard = self._owner(name)
+        stage = span.begin("shard_put", shard=index, bytes=len(data))
         handle = shard.put(name, data)
+        stage.end()
         self._count(index, "puts", len(data))
         if handle is None:
             return None

@@ -1,0 +1,32 @@
+"""Shared pytest wiring: flight-recorder bundles for failed tests.
+
+When a test fails, dump the most recent span recorder's flight-recorder
+bundle (last N completed span trees + stage totals) next to the other
+bench artifacts so CI can upload it; see DESIGN.md "Span tracing".
+Directory override: ``REPRO_FLIGHTREC_DIR`` (default ``bench-out``).
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.obs.spans import dump_last_flight
+
+
+def _bundle_path(nodeid: str) -> str:
+    out_dir = os.environ.get("REPRO_FLIGHTREC_DIR", "bench-out")
+    os.makedirs(out_dir, exist_ok=True)
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", nodeid)[-80:]
+    return os.path.join(out_dir, f"flightrec_{safe}.json")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        try:
+            dump_last_flight(_bundle_path(item.nodeid), reason=f"pytest: {item.nodeid}")
+        except OSError:
+            pass  # a failed dump must never mask the real test failure

@@ -611,3 +611,165 @@ class TestBarrierCoalescing:
         assert BarrierCoalescingRule.name == "barrier-coalescing-safety"
         assert BarrierCoalescingRule in ALL_RULES
         assert "§3.2" in explain_rules(["LSVD014"])
+
+
+# ---------------------------------------------------------------------------
+# LSVD015 span-hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestSpanHygiene:
+    # core/block_store.py sits in the span dirs and is exempt from the
+    # LSVD001 layering rule, so fixtures only exercise LSVD015
+    KEY = "core/block_store.py"
+
+    BAD = """
+        def put_one(self, span, shard, name, data):
+            stage = span.begin("shard_put")
+            handle = shard.put(name, data)
+            self.settle(handle)
+    """
+
+    def test_leaked_span_is_flagged(self):
+        diags = only(lint_src(self.KEY, self.BAD), "LSVD015")
+        assert len(diags) == 1
+        assert diags[0].line == 3
+        assert "stage" in diags[0].message
+
+    def test_discarded_begin_is_flagged(self):
+        src = """
+            def mark(self, span):
+                span.begin("wc_append")
+        """
+        diags = only(lint_src(self.KEY, src), "LSVD015")
+        assert len(diags) == 1
+        assert "discarded" in diags[0].message
+
+    def test_ended_span_is_clean(self):
+        src = """
+            def put_one(self, span, shard, name, data):
+                stage = span.begin("shard_put")
+                handle = shard.put(name, data)
+                stage.end()
+                self.settle(handle)
+        """
+        assert only(lint_src(self.KEY, src), "LSVD015") == []
+
+    def test_adopted_span_is_clean(self):
+        # passing the handle to a callee adopts it: the callee now owns
+        # closing the stage (`store.put(name, data, span=stage)`)
+        src = """
+            def put_one(self, span, store, name, data):
+                stage = span.begin("backend_put")
+                handle = store.put(name, data, span=stage)
+                self.settle(handle)
+        """
+        assert only(lint_src(self.KEY, src), "LSVD015") == []
+
+    def test_returned_span_is_clean(self):
+        src = """
+            def open_stage(self, span):
+                return span.begin("barrier_queue", kind="queue")
+        """
+        assert only(lint_src(self.KEY, src), "LSVD015") == []
+
+    def test_root_from_recorder_is_tracked(self):
+        src = """
+            def write(self, data):
+                span = self.obs.spans.root("write", bytes=len(data))
+                self.wc.append(data)
+        """
+        diags = only(lint_src(self.KEY, src), "LSVD015")
+        assert len(diags) == 1
+        assert "span" in diags[0].message
+
+    def test_early_return_leak_is_flagged(self):
+        src = """
+            def put_one(self, span, name, data):
+                stage = span.begin("wc_append")
+                if not data:
+                    return None
+                stage.end()
+        """
+        diags = only(lint_src(self.KEY, src), "LSVD015")
+        assert len(diags) == 1
+        assert diags[0].line == 3
+
+    def test_ended_on_both_exits_is_clean(self):
+        src = """
+            def select(self, span, pool):
+                stage = span.begin("gc_select")
+                if not pool:
+                    stage.end(victims=0)
+                    return None
+                stage.end(victims=len(pool))
+                return pool
+        """
+        assert only(lint_src(self.KEY, src), "LSVD015") == []
+
+    def test_raising_path_is_forgiven(self):
+        src = """
+            def put_one(self, span, name, data):
+                stage = span.begin("wc_append")
+                if not data:
+                    raise ValueError("empty write")
+                stage.end()
+        """
+        assert only(lint_src(self.KEY, src), "LSVD015") == []
+
+    def test_overwrite_loses_the_first_span(self):
+        src = """
+            def two_stages(self, span):
+                stage = span.begin("first")
+                stage = span.begin("second")
+                stage.end()
+        """
+        diags = only(lint_src(self.KEY, src), "LSVD015")
+        assert len(diags) == 1
+        assert diags[0].line == 3
+
+    def test_unrelated_receiver_is_ignored(self):
+        src = """
+            def walk(self, tree):
+                node = tree.begin("iteration")
+                return None
+        """
+        assert only(lint_src(self.KEY, src), "LSVD015") == []
+
+    def test_suppression_comment_silences(self):
+        src = """
+            def put_one(self, span, shard, name, data):
+                stage = span.begin("shard_put")  # lint: disable=LSVD015 -- ended by worker
+                self.settle(shard.put(name, data))
+        """
+        assert only(lint_src(self.KEY, src), "LSVD015") == []
+
+    def test_allowlisted_function_is_exempt(self):
+        config = replace(
+            LintConfig(), span_allow=("core/block_store.py::put_one",)
+        )
+        assert only(lint_src(self.KEY, self.BAD, config), "LSVD015") == []
+
+    def test_allowlisted_module_is_exempt(self):
+        config = replace(LintConfig(), span_allow=("core/block_store.py",))
+        assert only(lint_src(self.KEY, self.BAD, config), "LSVD015") == []
+
+    def test_outside_span_dirs_is_exempt(self):
+        assert only(lint_src("analysis/report.py", self.BAD), "LSVD015") == []
+
+    def test_bare_files_are_always_in_scope(self):
+        # benchmarks/examples live outside any repro package; span leaks
+        # there corrupt the attributions the benchmark gates check
+        runner = LintRunner([cls() for cls in ALL_RULES], LintConfig())
+        diags = runner.check_source(
+            "span_smoke.py", textwrap.dedent(self.BAD)
+        )
+        assert len(only(diags, "LSVD015")) == 1
+
+    def test_registered_with_metadata(self):
+        from repro.lint.rules.span_hygiene import SpanHygieneRule
+
+        assert SpanHygieneRule.code == "LSVD015"
+        assert SpanHygieneRule.name == "span-hygiene"
+        assert SpanHygieneRule in ALL_RULES
+        assert "§4.4" in explain_rules(["LSVD015"])
