@@ -4,19 +4,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: all lint ruff mypy invariants test obs-smoke shard-smoke perf-smoke pipeline-smoke lint-bench span-smoke bench-diff
+.PHONY: all lint ruff mypy invariants test obs-smoke shard-smoke perf-smoke pipeline-smoke lint-bench span-smoke fleet-smoke bench-diff
 
 all: lint test
 
 lint: ruff mypy invariants
 
 ruff:
-	ruff check src tests benchmarks/obs_smoke.py benchmarks/shard_smoke.py benchmarks/perf_smoke.py benchmarks/pipeline_smoke.py benchmarks/lint_bench.py benchmarks/span_smoke.py benchmarks/bench_diff.py
+	ruff check src tests benchmarks/obs_smoke.py benchmarks/shard_smoke.py benchmarks/perf_smoke.py benchmarks/pipeline_smoke.py benchmarks/lint_bench.py benchmarks/span_smoke.py benchmarks/fleet_smoke.py benchmarks/bench_diff.py
 
 mypy:
 	mypy
 
-# the LSVD invariant checker (LSVD001-LSVD015); see DESIGN.md
+# the LSVD invariant checker (LSVD001-LSVD016); see DESIGN.md
 invariants:
 	$(PYTHON) -m repro.lint src/repro benchmarks examples
 
@@ -62,6 +62,13 @@ lint-bench:
 span-smoke:
 	mkdir -p bench-out
 	$(PYTHON) benchmarks/span_smoke.py --out-dir bench-out
+
+# multi-tenant fleet gates: >=8 tenants' aggregate IOPS must beat a lone
+# tenant on the same rig, and a QoS-capped noisy neighbour must leave the
+# victim's p99 within a bounded factor of solo; emits BENCH_fleet.json
+fleet-smoke:
+	mkdir -p bench-out
+	$(PYTHON) benchmarks/fleet_smoke.py --out-dir bench-out
 
 # compare fresh bench-out/BENCH_*.json against the committed baselines
 # (benchmarks/baselines/); deterministic virtual-clock figures are gated,

@@ -38,6 +38,7 @@ from repro.core.errors import LSVDError, VolumeExistsError, VolumeNotFoundError
 from repro.core.replication import Replicator
 from repro.core.scrub import Scrubber
 from repro.devices.image import DiskImage
+from repro.fleet.manager import FleetError
 from repro.objstore.s3 import ObjectStore
 from repro.shard import (
     LAYOUTS,
@@ -167,18 +168,42 @@ def _stats_headline(snapshot: dict) -> str:
             f"{int(scalar('wc.barriers_coalesced'))} coalesced"
             f" / {int(scalar('wc.device_flushes'))} device flushes"
         )
-    return "\n".join(
-        [
-            f"write amplification:  {backend / client:.3f}" if client else
-            "write amplification:  n/a",
-            f"read cache hit rate:  {hits / lookups:.3f}" if lookups else
-            "read cache hit rate:  n/a",
-            f"gc bytes relocated:   {scalar('gc.bytes_relocated') / MiB:.2f} MiB",
-            f"backend put p99:      {p99 * 1e3:.3f} ms",
-            f"destage queue depth:  {int(scalar('destage.queue_depth'))}",
-            f"barrier group size:   {group}",
-        ]
+    lines = [
+        f"write amplification:  {backend / client:.3f}" if client else
+        "write amplification:  n/a",
+        f"read cache hit rate:  {hits / lookups:.3f}" if lookups else
+        "read cache hit rate:  n/a",
+        f"gc bytes relocated:   {scalar('gc.bytes_relocated') / MiB:.2f} MiB",
+        f"backend put p99:      {p99 * 1e3:.3f} ms",
+        f"destage queue depth:  {int(scalar('destage.queue_depth'))}",
+        f"barrier group size:   {group}",
+    ]
+    sc_lookups = scalar("sharedcache.hits") + scalar("sharedcache.misses")
+    if sc_lookups:
+        lines.append(
+            f"shared cache:         hit rate "
+            f"{scalar('sharedcache.hits') / sc_lookups:.3f}, "
+            f"{scalar('sharedcache.bytes') / MiB:.2f} MiB cached, "
+            f"{int(scalar('sharedcache.evictions'))} evictions"
+        )
+    # per-tenant QoS section (fleet.<tenant>.admitted names the tenants)
+    suffix = ".admitted"
+    tenants = sorted(
+        name[len("fleet."):-len(suffix)]
+        for name in snapshot
+        if name.startswith("fleet.") and name.endswith(suffix)
+        and not name.endswith(".bytes" + suffix)
     )
+    for tenant in tenants:
+        prefix = f"fleet.{tenant}"
+        lines.append(
+            f"tenant {tenant}:  "
+            f"admitted {int(scalar(f'{prefix}.admitted'))}, "
+            f"throttled {int(scalar(f'{prefix}.throttled'))}, "
+            f"{scalar(f'{prefix}.bytes_admitted') / MiB:.2f} MiB, "
+            f"queue {int(scalar(f'{prefix}.queue_depth'))}"
+        )
+    return "\n".join(lines)
 
 
 def _span_attribution(spans) -> str:
@@ -463,6 +488,55 @@ def cmd_trace(store, args) -> int:
     return 0
 
 
+def cmd_fleet(store, args) -> int:
+    """Fleet registry operations over the root's object store."""
+    from repro.fleet import FleetManager, QoSLimits
+
+    fleet = FleetManager(store)
+    if args.action in ("create", "delete") and not args.name:
+        raise ValueError(f"fleet {args.action} requires a vdisk name")
+    if args.action == "create":
+        limits = QoSLimits(iops=args.iops, bytes_per_s=args.bytes_per_s)
+        fleet.create(
+            args.name,
+            args.size,
+            tenant=args.tenant,
+            limits=limits,
+            cache_budget=args.cache_budget,
+        )
+        print(f"created {args.name!r} ({args.size / MiB:.0f} MiB, "
+              f"tenant {args.tenant!r})")
+        return 0
+    if args.action == "delete":
+        deleted = fleet.delete(args.name)
+        print(f"deleted {args.name!r} ({deleted} backend objects)")
+        return 0
+    if args.action == "recover":
+        report = fleet.recover()
+        for name in sorted(report):
+            entry = report[name]
+            print(f"  {name:<16} tenant {entry['tenant']:<12} "
+                  f"{entry['size'] / MiB:>8.0f} MiB  "
+                  f"{entry['objects']:>5} objects")
+        print(f"recovered {len(report)} vdisk(s)")
+        fleet.close()
+        return 0
+    # status
+    records = fleet.vdisks()
+    if not records:
+        print("no vdisks registered")
+        return 0
+    print(f"{'vdisk':<16} {'tenant':<12} {'size':>10}  "
+          f"{'iops':>8}  {'bytes/s':>10}  {'cache':>10}")
+    for record in records:
+        lim = record.limits
+        print(f"{record.name:<16} {record.tenant:<12} "
+              f"{record.size / MiB:>6.0f} MiB  "
+              f"{lim.iops:>8.0f}  {lim.bytes_per_s:>10.0f}  "
+              f"{record.cache_budget / MiB:>6.1f} MiB")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="LSVD volume management"
@@ -570,6 +644,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, help="write to a file instead of stdout")
     p.set_defaults(fn=cmd_flightrec)
 
+    p = sub.add_parser("fleet", help="multi-tenant vdisk registry operations")
+    p.add_argument("action", choices=("create", "status", "delete", "recover"))
+    p.add_argument("name", nargs="?", default=None,
+                   help="vdisk name (create/delete)")
+    p.add_argument("--tenant", default="default",
+                   help="owning tenant (create)")
+    p.add_argument("--size", type=parse_size, default=64 * MiB)
+    p.add_argument("--iops", type=float, default=0.0,
+                   help="per-tenant IOPS cap (0 = unlimited)")
+    p.add_argument("--bytes-per-s", type=parse_size, default=0,
+                   help="per-tenant throughput cap (0 = unlimited)")
+    p.add_argument("--cache-budget", type=parse_size, default=0,
+                   help="shared-cache byte budget for the tenant")
+    p.set_defaults(fn=cmd_fleet)
+
     p = sub.add_parser("trace", help="dump the structured event trace as JSONL")
     p.add_argument("volume")
     p.add_argument("--exercise", type=int, default=0, metavar="N",
@@ -587,8 +676,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         # sharded roots are self-describing (shard-layout.json manifest)
         store = open_directory_store(args.root)
         return args.fn(store, args)
-    except (VolumeNotFoundError, VolumeExistsError, LSVDError, ValueError,
-            OSError) as exc:
+    except (VolumeNotFoundError, VolumeExistsError, LSVDError, FleetError,
+            ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

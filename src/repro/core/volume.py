@@ -93,6 +93,9 @@ class LSVDVolume:
             block_store, self.config, cache_reader=self._gc_cache_read
         )
         self.gc_enabled = True
+        #: per-tenant admission hook (repro.fleet wires a CoreAdmission
+        #: here on attach); None = no QoS, the single-volume default
+        self.qos = None
         self._m_writes = self.obs.counter("volume.writes")
         self._m_reads = self.obs.counter("volume.reads")
         self._m_bytes_written = self.obs.counter("volume.bytes_written")
@@ -265,6 +268,8 @@ class LSVDVolume:
         self._m_writes.inc()
         self._m_bytes_written.inc(len(data))
         span = self.obs.spans.root("write", bytes=len(data))
+        if self.qos is not None:
+            self.qos.admit("write", len(data), span=span)
         try:
             record = self.wc.append([(offset, data)], span=span)
         except CacheFullError:
@@ -284,6 +289,8 @@ class LSVDVolume:
         self._m_reads.inc()
         self._m_bytes_read.inc(length)
         span = self.obs.spans.root("read", bytes=length)
+        if self.qos is not None:
+            self.qos.admit("read", length, span=span)
         out = bytearray(length)
         # 1: write cache (always the newest data)
         covered = _Coverage(offset, length)
@@ -341,6 +348,8 @@ class LSVDVolume:
         self._m_writes.inc()
         self._m_bytes_written.inc(total)
         span = self.obs.spans.root("writev", bytes=total, extents=len(writes))
+        if self.qos is not None:
+            self.qos.admit("write", total, span=span)
         try:
             record = self.wc.append(writes, span=span)
         except CacheFullError:

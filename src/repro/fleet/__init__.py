@@ -1,0 +1,47 @@
+"""repro.fleet — multi-tenant volume fleet with QoS admission control.
+
+The paper's case for log-structured virtual disks is an economic one at
+fleet scale (§4.5): one host, one object-store account, thousands of
+virtual disks.  This package is the control plane that makes sharing
+safe — a persistent vdisk registry with a crash-recovery sweep
+(:class:`FleetManager`), per-tenant token-bucket admission control
+(:mod:`repro.fleet.qos`), and per-tenant partitioning of the host-wide
+shared object cache.
+
+LSVD016 (tenant-isolation) confines the enforcement machinery here:
+token buckets and cross-tenant state may not be constructed outside
+``repro/fleet/``, and the volume entry points must pass admission before
+forwarding I/O to shared resources.
+"""
+
+from repro.fleet.manager import (
+    MANIFEST_KEY,
+    AttachedVDisk,
+    FleetError,
+    FleetManager,
+    VDiskRecord,
+)
+from repro.fleet.qos import (
+    UNLIMITED,
+    CoreAdmission,
+    QoSLimits,
+    QoSTokenBucket,
+    TenantThrottle,
+    ThrottleSet,
+)
+from repro.fleet.runtime import FleetRuntime
+
+__all__ = [
+    "MANIFEST_KEY",
+    "AttachedVDisk",
+    "CoreAdmission",
+    "FleetError",
+    "FleetManager",
+    "FleetRuntime",
+    "QoSLimits",
+    "QoSTokenBucket",
+    "TenantThrottle",
+    "ThrottleSet",
+    "UNLIMITED",
+    "VDiskRecord",
+]

@@ -1,0 +1,229 @@
+"""Per-tenant QoS: token-bucket throttling and admission control.
+
+One host serving thousands of virtual disks (the fleet premise, §4.5)
+cannot let one tenant's burst starve another's paid-for rate.  Admission
+control happens at the volume entry points — :meth:`LSVDVolume.write`/
+``read`` in the pure stack and :meth:`LSVDRuntime._write`/``_read`` in
+the timed pipeline — but the *policy* machinery lives here: constructing
+a :class:`QoSTokenBucket` or :class:`TenantThrottle` anywhere outside
+``repro/fleet/`` is an LSVD016 violation, so per-tenant rate state can
+never leak into (or be bypassed by) the data plane.
+
+Determinism: buckets advance on a caller-supplied clock (the simulated
+clock in the timed runtime, the TimedStore clock in the observed pure
+stack) and never read wall time, so identical runs produce identical
+admission decisions and identical ``fleet.<tenant>.*`` metrics.
+
+Limits are declared with :class:`QoSLimits` — a plain frozen dataclass
+that *is* constructible anywhere (benchmarks, CLI, tests declare policy;
+only the fleet enforces it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.obs import Registry
+
+#: default burst window when none is declared: 50 ms at the steady rate.
+_DEFAULT_BURST_S = 0.05
+
+
+@dataclass(frozen=True)
+class QoSLimits:
+    """Declared per-tenant limits (0 = unlimited on that axis).
+
+    ``burst_ops`` / ``burst_bytes`` size the bucket above the steady
+    rate; left at 0 they default to 50 ms worth of the rate, enough to
+    absorb a queue-depth's worth of simultaneous arrivals without
+    penalising steady traffic.
+    """
+
+    iops: float = 0.0
+    bytes_per_s: float = 0.0
+    burst_ops: float = 0.0
+    burst_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("iops", "bytes_per_s", "burst_ops", "burst_bytes"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    @property
+    def unlimited(self) -> bool:
+        return self.iops <= 0 and self.bytes_per_s <= 0
+
+
+#: the no-limits singleton (attach paths use it as a default)
+UNLIMITED = QoSLimits()
+
+
+class QoSTokenBucket:
+    """A deterministic continuous token bucket with debt.
+
+    Tokens refill at ``rate`` per second up to ``burst``; each admission
+    deducts its cost immediately (the bucket may go negative) and the
+    returned delay is how long the caller must wait for the balance to
+    reach zero again.  Charging debt up front serialises concurrent
+    arrivals correctly without any queue of its own: the Nth
+    simultaneous arrival sees the debt of the previous N-1 and is told
+    to wait N cost-units at the steady rate.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "last")
+
+    def __init__(self, rate: float, burst: float = 0.0):
+        if rate <= 0:
+            raise ValueError("bucket rate must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst > 0 else self.rate * _DEFAULT_BURST_S
+        self.tokens = self.burst
+        self.last = 0.0
+
+    def delay_for(self, now: float, cost: float) -> float:
+        """Charge ``cost`` tokens at time ``now``; seconds to wait."""
+        if now > self.last:
+            self.tokens = min(self.burst, self.tokens + (now - self.last) * self.rate)
+            self.last = now
+        self.tokens -= cost
+        if self.tokens >= 0:
+            return 0.0
+        return -self.tokens / self.rate
+
+    @property
+    def level(self) -> float:
+        """Current balance (negative = admitted debt still draining)."""
+        return self.tokens
+
+
+class TenantThrottle:
+    """Admission control for one tenant, with ``fleet.<tenant>.*`` metrics.
+
+    ``admit(now, nbytes)`` charges both buckets (ops and bytes) and
+    returns the delay the I/O must absorb before entering the data
+    plane — 0.0 when the tenant is within its limits.  The timed runtime
+    sleeps the delay on the simulated clock; the synchronous pure stack
+    records it (counter + histogram + span annotation) since it has no
+    clock to sleep on.
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        limits: QoSLimits = UNLIMITED,
+        obs: Optional[Registry] = None,
+    ):
+        self.tenant = tenant
+        self.limits = limits
+        self._op_bucket = (
+            QoSTokenBucket(limits.iops, limits.burst_ops)
+            if limits.iops > 0
+            else None
+        )
+        self._byte_bucket = (
+            QoSTokenBucket(limits.bytes_per_s, limits.burst_bytes)
+            if limits.bytes_per_s > 0
+            else None
+        )
+        self.obs = obs if obs is not None else Registry()
+        prefix = f"fleet.{tenant}"
+        self._m_admitted = self.obs.counter(f"{prefix}.admitted")
+        self._m_throttled = self.obs.counter(f"{prefix}.throttled")
+        self._m_bytes = self.obs.counter(f"{prefix}.bytes_admitted")
+        self._m_delay = self.obs.histogram(f"{prefix}.throttle_delay_s")
+        self._m_queue = self.obs.gauge(f"{prefix}.queue_depth")
+
+    # ------------------------------------------------------------------
+    def admit(self, now: float, nbytes: int = 0) -> float:
+        """Admit one I/O of ``nbytes`` at time ``now``; returns the delay
+        (seconds) the caller must serve before issuing it."""
+        delay = 0.0
+        if self._op_bucket is not None:
+            delay = max(delay, self._op_bucket.delay_for(now, 1.0))
+        if self._byte_bucket is not None and nbytes > 0:
+            delay = max(delay, self._byte_bucket.delay_for(now, float(nbytes)))
+        if delay > 0:
+            self._m_throttled.inc()
+            self._m_delay.observe(delay)
+        else:
+            self._m_admitted.inc()
+        self._m_bytes.inc(nbytes)
+        return delay
+
+    def wait_started(self) -> None:
+        """A throttled I/O entered the admission queue (gauge up)."""
+        self._m_queue.inc()
+
+    def wait_finished(self) -> None:
+        self._m_queue.dec()
+
+    # ------------------------------------------------------------------
+    @property
+    def admitted(self) -> int:
+        return int(self._m_admitted.value)
+
+    @property
+    def throttled(self) -> int:
+        return int(self._m_throttled.value)
+
+    @property
+    def queue_depth(self) -> int:
+        return int(self._m_queue.value)
+
+
+class CoreAdmission:
+    """The pure stack's ``volume.qos`` attachment.
+
+    :class:`~repro.core.volume.LSVDVolume` is synchronous and clockless,
+    so throttling there is *accounting*, not sleeping: the charge still
+    flows through the tenant's buckets (advanced by ``clock``, typically
+    the TimedStore virtual clock) and the would-be delay lands in the
+    ``fleet.<tenant>.throttle_delay_s`` histogram and on the I/O's span.
+    The timed runtime is where delays are actually served.
+    """
+
+    def __init__(self, throttle: TenantThrottle, clock=None):
+        self.throttle = throttle
+        self._clock = clock
+        self._ticks = 0
+
+    def _now(self) -> float:
+        if self._clock is not None:
+            return float(self._clock())
+        # clockless fallback: a monotonic op counter — rates degenerate
+        # to "ops per tick" but stay deterministic
+        self._ticks += 1
+        return float(self._ticks)
+
+    def admit(self, kind: str, nbytes: int, span=None) -> float:
+        delay = self.throttle.admit(self._now(), nbytes)
+        if span is not None:
+            span.annotate(tenant=self.throttle.tenant)
+            if delay > 0:
+                span.annotate(throttle_delay_s=delay)
+        return delay
+
+
+class ThrottleSet:
+    """One throttle per tenant over a shared registry (get-or-create)."""
+
+    def __init__(self, obs: Optional[Registry] = None):
+        self.obs = obs if obs is not None else Registry()
+        self._throttles: Dict[str, TenantThrottle] = {}
+
+    def get(self, tenant: str, limits: QoSLimits = UNLIMITED) -> TenantThrottle:
+        throttle = self._throttles.get(tenant)
+        if throttle is None:
+            throttle = TenantThrottle(tenant, limits, obs=self.obs)
+            self._throttles[tenant] = throttle
+        return throttle
+
+    def tenants(self):
+        return sorted(self._throttles)
+
+    def __contains__(self, tenant: str) -> bool:
+        return tenant in self._throttles
+
+    def __len__(self) -> int:
+        return len(self._throttles)

@@ -76,6 +76,7 @@ DEFAULT_DETERMINISM_DIRS: Tuple[str, ...] = (
     "crash/",
     "obs/",
     "shard/",
+    "fleet/",
 )
 
 #: modules that may compute shard placement / spell out shard names —
@@ -87,6 +88,7 @@ DEFAULT_SHARD_ALLOW: Tuple[str, ...] = ("shard/",)
 DEFAULT_OBS_DIRS: Tuple[str, ...] = (
     "core/",
     "runtime/",
+    "fleet/",
 )
 
 #: modules exempt from LSVD007: the user-facing reporting surfaces.  The
@@ -177,6 +179,7 @@ DEFAULT_SETTLEMENT_DIRS: Tuple[str, ...] = (
     "objstore/",
     "runtime/",
     "obs/",
+    "fleet/",
 )
 
 #: method names whose return value is an in-flight-write handle
@@ -303,6 +306,7 @@ DEFAULT_ASYNC_DIRS: Tuple[str, ...] = (
     "shard/",
     "objstore/",
     "runtime/",
+    "fleet/",
 )
 
 #: ``self.<attr>`` substrings naming settlement-coupled state an async
@@ -350,6 +354,7 @@ DEFAULT_SPAN_DIRS: Tuple[str, ...] = (
     "objstore/",
     "obs/",
     "crash/",
+    "fleet/",
 )
 
 #: receiver names whose ``.root()`` / ``.begin()`` yields a span handle;
@@ -396,6 +401,79 @@ DEFAULT_BARRIER_SETTLE_RECEIVERS: Tuple[str, ...] = (
 #: the call must be yielded/awaited (a bare ``ssd.flush()`` there returns
 #: an unwaited Event — fire-and-forget, not evidence)
 DEFAULT_BARRIER_EVIDENCE_CALLS: Tuple[str, ...] = ("flush",)
+
+# -- tenant isolation (LSVD016) ---------------------------------------------
+
+#: modules allowed to construct QoS enforcement machinery and hold
+#: cross-tenant rate state: the fleet control plane itself
+DEFAULT_FLEET_ALLOW: Tuple[str, ...] = ("fleet/",)
+
+#: class names whose construction is confined to ``fleet_allow`` —
+#: declaring limits (QoSLimits) is fine anywhere; *enforcing* them is not
+DEFAULT_FLEET_BUCKET_CLASSES: Tuple[str, ...] = (
+    "QoSTokenBucket",
+    "TenantThrottle",
+    "ThrottleSet",
+    "CoreAdmission",
+)
+
+#: ``self.<attr>`` names holding cross-tenant mutable state; touching
+#: them outside the fleet package couples tenants behind the QoS layer
+DEFAULT_FLEET_STATE_MARKERS: Tuple[str, ...] = (
+    "_tenants",
+    "_throttles",
+)
+
+#: modules whose volume I/O entry points must pass admission before
+#: forwarding to a shared resource (the flow half of the rule)
+DEFAULT_FLEET_MODULES: Tuple[str, ...] = (
+    "fleet/",
+    "core/volume.py",
+    "runtime/lsvd.py",
+)
+
+#: function-name substrings marking a volume I/O entry point
+DEFAULT_FLEET_ENTRY_MARKERS: Tuple[str, ...] = (
+    "write",
+    "read",
+    "submit",
+)
+
+#: receiver names that address a shared resource at a forward site
+DEFAULT_FLEET_FORWARD_RECEIVERS: Tuple[str, ...] = (
+    "wc",
+    "ssd",
+    "volume",
+    "vol",
+    "runtime",
+    "device",
+)
+
+#: method names that forward an I/O into the data plane
+DEFAULT_FLEET_FORWARD_METHODS: Tuple[str, ...] = (
+    "append",
+    "write",
+    "writev",
+    "read",
+    "submit",
+)
+
+#: calls that count as admission evidence on a path
+DEFAULT_FLEET_ADMISSION_CALLS: Tuple[str, ...] = (
+    "admit",
+    "admit_io",
+    "_admission",
+    "reserve",
+)
+
+#: identifier substrings marking a QoS handle in a branch test — the
+#: false side of ``self.qos is not None`` (no tenant attached) is a
+#: legitimate admission-free path
+DEFAULT_FLEET_QOS_MARKERS: Tuple[str, ...] = (
+    "qos",
+    "throttle",
+    "admission",
+)
 
 
 @dataclass(frozen=True)
@@ -452,6 +530,17 @@ class LintConfig:
     barrier_function_markers: Tuple[str, ...] = DEFAULT_BARRIER_FUNCTION_MARKERS
     barrier_settle_receivers: Tuple[str, ...] = DEFAULT_BARRIER_SETTLE_RECEIVERS
     barrier_evidence_calls: Tuple[str, ...] = DEFAULT_BARRIER_EVIDENCE_CALLS
+    # tenant isolation (LSVD016)
+    fleet_allow: Tuple[str, ...] = DEFAULT_FLEET_ALLOW
+    fleet_admission_allow: Tuple[str, ...] = ()
+    fleet_bucket_classes: Tuple[str, ...] = DEFAULT_FLEET_BUCKET_CLASSES
+    fleet_state_markers: Tuple[str, ...] = DEFAULT_FLEET_STATE_MARKERS
+    fleet_modules: Tuple[str, ...] = DEFAULT_FLEET_MODULES
+    fleet_entry_markers: Tuple[str, ...] = DEFAULT_FLEET_ENTRY_MARKERS
+    fleet_forward_receivers: Tuple[str, ...] = DEFAULT_FLEET_FORWARD_RECEIVERS
+    fleet_forward_methods: Tuple[str, ...] = DEFAULT_FLEET_FORWARD_METHODS
+    fleet_admission_calls: Tuple[str, ...] = DEFAULT_FLEET_ADMISSION_CALLS
+    fleet_qos_markers: Tuple[str, ...] = DEFAULT_FLEET_QOS_MARKERS
 
     # -- code filtering --------------------------------------------------
     def code_enabled(self, code: str) -> bool:
@@ -568,6 +657,19 @@ class LintConfig:
             barrier_allow=_extend(base.barrier_allow, "barrier-allow"),
             barrier_settle_receivers=_extend(
                 base.barrier_settle_receivers, "barrier-settle-receivers"
+            ),
+            fleet_allow=_extend(base.fleet_allow, "fleet-allow"),
+            fleet_admission_allow=_extend(
+                base.fleet_admission_allow, "fleet-admission-allow"
+            ),
+            fleet_bucket_classes=_extend(
+                base.fleet_bucket_classes, "fleet-bucket-classes"
+            ),
+            fleet_state_markers=_extend(
+                base.fleet_state_markers, "fleet-state-markers"
+            ),
+            fleet_forward_receivers=_extend(
+                base.fleet_forward_receivers, "fleet-forward-receivers"
             ),
         )
 

@@ -14,6 +14,7 @@ from repro.lint.rules.settlement import SettlementLeakRule
 from repro.lint.rules.sharding import ShardOwnershipRule
 from repro.lint.rules.span_hygiene import SpanHygieneRule
 from repro.lint.rules.structs import StructConsistencyRule
+from repro.lint.rules.tenant_isolation import TenantIsolationRule
 from repro.lint.rules.units import UnitConfusionRule
 
 #: every shipped rule, in code order
@@ -33,6 +34,7 @@ ALL_RULES = [
     AsyncCancellationRule,
     BarrierCoalescingRule,
     SpanHygieneRule,
+    TenantIsolationRule,
 ]
 
 __all__ = [
@@ -51,5 +53,6 @@ __all__ = [
     "ShardOwnershipRule",
     "SpanHygieneRule",
     "StructConsistencyRule",
+    "TenantIsolationRule",
     "UnitConfusionRule",
 ]

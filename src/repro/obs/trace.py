@@ -35,6 +35,10 @@ EVENT_TYPES: FrozenSet[str] = frozenset(
         "recovery_scan",    # timed mount sweep (LIST + header GET fans)
         "snapshot",         # stream head designated as a snapshot
         "barrier_group",    # group commit settled N barriers on one FLUSH
+        "fleet_create",     # fleet registered + created a new vdisk
+        "fleet_attach",     # fleet mounted a vdisk (QoS + cache wired)
+        "fleet_detach",     # fleet unmounted a vdisk
+        "fleet_delete",     # fleet unregistered a vdisk, objects deleted
     }
 )
 

@@ -107,6 +107,8 @@ class LSVDRuntime:
         read_hit_rate: float = 1.0,
         gc_enabled: bool = True,
         obs: Optional[Registry] = None,
+        tenant: Optional[str] = None,
+        qos=None,
     ):
         self.sim = sim
         self.machine = machine
@@ -116,9 +118,21 @@ class LSVDRuntime:
         self.name = name
         self.volume_size = volume_size
         self.read_hit_rate = read_hit_rate
+        #: multi-tenant hookup (repro.fleet): tenant tag lands on every
+        #: root span; qos is a TenantThrottle whose admit() delay is
+        #: served on the simulated clock before the I/O enters the
+        #: pipeline
+        self.tenant = tenant
+        self.qos = qos
         #: share the backend facade's registry so lsvd.* and backend.*
         #: metrics of one stack land in one snapshot
-        self.obs = obs or getattr(backend, "obs", None) or Registry()
+        # explicit None checks: a freshly created Registry is empty and
+        # therefore falsy, and `or` would silently discard it — binding
+        # this stack's lsvd.* metrics (including the dirty_bytes gauge
+        # that space accounting reads) to the shared backend registry
+        if obs is None:
+            obs = getattr(backend, "obs", None)
+        self.obs = obs if obs is not None else Registry()
         bind_metrics(self)
         # span trees read the simulated clock (same contract as the trace)
         self.obs.spans.clock = lambda: self.sim.now
@@ -183,13 +197,16 @@ class LSVDRuntime:
         done = self.sim.event()
         if op.kind == WRITE:
             span = self.obs.spans.root("write", bytes=op.length)
+            self._tag_tenant(span)
             self.sim.process(self._write(op, done, span), name=f"{self.name}-w")
         elif op.kind == READ:
             span = self.obs.spans.root("read", bytes=op.length)
+            self._tag_tenant(span)
             self.sim.process(self._read(op, done, span), name=f"{self.name}-r")
         elif op.kind == FLUSH:
             self.barrier_requests += 1
             span = self.obs.spans.root("barrier")
+            self._tag_tenant(span)
             if self.params.group_commit:
                 qwait = span.begin("barrier_queue", kind="queue")
                 self._barrier_q.put((done, span, qwait))
@@ -202,7 +219,25 @@ class LSVDRuntime:
         return done
 
     # ------------------------------------------------------------------
+    def _tag_tenant(self, span) -> None:
+        if self.tenant is not None:
+            span.annotate(tenant=self.tenant)
+
+    def _admission(self, op: IOOp, span):
+        """QoS admission: serve the tenant's token-bucket delay before
+        the I/O touches any shared resource (CPU, SSD, backend)."""
+        if self.qos is None:
+            return
+        delay = self.qos.admit(self.sim.now, op.length)
+        if delay > 0:
+            stage = span.begin("throttle_wait", kind="queue")
+            self.qos.wait_started()
+            yield self.sim.timeout(delay)
+            self.qos.wait_finished()
+            stage.end()
+
     def _write(self, op: IOOp, done: Event, span):
+        yield from self._admission(op, span)
         # serial baseline only: a barrier is an ordering point that gates
         # new writes (group commit never sets _barrier_active)
         gate_wait = span.begin("barrier_gate", kind="queue")
@@ -245,6 +280,7 @@ class LSVDRuntime:
                     self._drain_waiters.popleft().succeed()
 
     def _read(self, op: IOOp, done: Event, span):
+        yield from self._admission(op, span)
         hit = self._chance() < self.read_hit_rate
         span.annotate(hit=hit)
         if hit:

@@ -165,3 +165,71 @@ def test_trace_runs_are_deterministic(tmp_path, capsys):
         outputs.append(out)
     assert outputs[0] == outputs[1]
     assert outputs[0]
+
+
+def test_stats_headline_fleet_and_sharedcache_sections():
+    """The headline renders fleet QoS and shared-cache lines straight
+    from a snapshot dict, so --from-dump works post-mortem."""
+    from repro.cli import _stats_headline
+
+    snapshot = {
+        "sharedcache.hits": 30,
+        "sharedcache.misses": 10,
+        "sharedcache.bytes": 2 * (1 << 20),
+        "sharedcache.evictions": 5,
+        "fleet.acme.admitted": 100,
+        "fleet.acme.throttled": 7,
+        "fleet.acme.bytes_admitted": 1 << 20,
+        "fleet.acme.queue_depth": 2,
+        "fleet.bob.admitted": 3,
+        "fleet.bob.throttled": 0,
+    }
+    out = _stats_headline(snapshot)
+    assert "shared cache:         hit rate 0.750, 2.00 MiB cached, 5 evictions" in out
+    assert "tenant acme:  admitted 100, throttled 7, 1.00 MiB, queue 2" in out
+    assert "tenant bob:  admitted 3, throttled 0, 0.00 MiB, queue 0" in out
+
+
+def test_stats_headline_omits_fleet_lines_without_fleet_metrics():
+    from repro.cli import _stats_headline
+
+    out = _stats_headline({"store.client_bytes": 1024})
+    assert "tenant " not in out
+    assert "shared cache:" not in out
+
+
+def test_fleet_create_status_delete(tmp_path, capsys):
+    root = str(tmp_path / "bucket")
+    rc, out, _ = run(
+        capsys, root, "fleet", "create", "vd0",
+        "--size", "32M", "--tenant", "acme",
+        "--iops", "500", "--cache-budget", "4M",
+    )
+    assert rc == 0 and "created 'vd0'" in out and "acme" in out
+    rc, out, _ = run(capsys, root, "fleet", "status")
+    assert rc == 0
+    assert "vd0" in out and "acme" in out and "500" in out
+    # duplicate create maps FleetError to the standard error path
+    rc, _out, err = run(capsys, root, "fleet", "create", "vd0")
+    assert rc == 2 and "error" in err
+    rc, out, _ = run(capsys, root, "fleet", "delete", "vd0")
+    assert rc == 0 and "deleted 'vd0'" in out
+    rc, out, _ = run(capsys, root, "fleet", "status")
+    assert rc == 0 and "no vdisks registered" in out
+
+
+def test_fleet_create_requires_name(tmp_path, capsys):
+    rc, _out, err = run(capsys, str(tmp_path), "fleet", "create")
+    assert rc == 2 and "requires a vdisk name" in err
+
+
+def test_fleet_recover_sweep(tmp_path, capsys):
+    root = str(tmp_path / "bucket")
+    run(capsys, root, "fleet", "create", "vd0", "--size", "32M",
+        "--tenant", "t0")
+    run(capsys, root, "fleet", "create", "vd1", "--size", "32M",
+        "--tenant", "t1")
+    rc, out, _ = run(capsys, root, "fleet", "recover")
+    assert rc == 0
+    assert "recovered 2 vdisk(s)" in out
+    assert "vd0" in out and "t1" in out

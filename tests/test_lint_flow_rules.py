@@ -773,3 +773,156 @@ class TestSpanHygiene:
         assert SpanHygieneRule.name == "span-hygiene"
         assert SpanHygieneRule in ALL_RULES
         assert "§4.4" in explain_rules(["LSVD015"])
+
+
+# ---------------------------------------------------------------------------
+# LSVD016 tenant-isolation
+# ---------------------------------------------------------------------------
+
+
+class TestTenantIsolation:
+    # core/volume.py is one of the fleet entry layers (fleet_modules), so
+    # both the confinement and the admission checks apply there
+    KEY = "core/volume.py"
+
+    CONSTRUCTION = """
+        def setup(self):
+            self.bucket = QoSTokenBucket(500.0)
+    """
+
+    UNGUARDED = """
+        def write(self, offset, data):
+            span = self.obs.spans.root("write")
+            self.wc.append([(offset, data)])
+    """
+
+    GUARDED = """
+        def write(self, offset, data):
+            if self.qos is not None:
+                self.qos.admit("write", len(data))
+            self.wc.append([(offset, data)])
+    """
+
+    def test_bucket_construction_outside_fleet_is_flagged(self):
+        diags = only(lint_src(self.KEY, self.CONSTRUCTION), "LSVD016")
+        assert len(diags) == 1
+        assert "QoSTokenBucket" in diags[0].message
+
+    def test_every_enforcement_class_is_confined(self):
+        for cls in ("TenantThrottle", "ThrottleSet", "CoreAdmission"):
+            src = f"""
+                def setup(self):
+                    self.t = {cls}("acme")
+            """
+            diags = only(lint_src(self.KEY, src), "LSVD016")
+            assert len(diags) == 1, cls
+
+    def test_qos_limits_are_policy_not_enforcement(self):
+        src = """
+            def setup(self):
+                self.limits = QoSLimits(iops=500.0)
+        """
+        assert only(lint_src(self.KEY, src), "LSVD016") == []
+
+    def test_cross_tenant_state_outside_fleet_is_flagged(self):
+        src = """
+            def bypass(self, tenant):
+                return self._throttles[tenant]
+        """
+        diags = only(lint_src(self.KEY, src), "LSVD016")
+        assert len(diags) == 1
+        assert "_throttles" in diags[0].message
+
+    def test_fleet_package_is_exempt_from_confinement(self):
+        assert only(lint_src("fleet/qos.py", self.CONSTRUCTION), "LSVD016") == []
+
+    def test_unguarded_forward_in_entry_point_is_flagged(self):
+        diags = only(lint_src(self.KEY, self.UNGUARDED), "LSVD016")
+        assert len(diags) == 1
+        assert diags[0].line == 4
+        assert "wc.append()" in diags[0].message
+
+    def test_admission_guarded_forward_is_clean(self):
+        assert only(lint_src(self.KEY, self.GUARDED), "LSVD016") == []
+
+    def test_unconditional_admit_is_clean(self):
+        src = """
+            def write(self, offset, data):
+                self.qos.admit("write", len(data))
+                self.wc.append([(offset, data)])
+        """
+        assert only(lint_src(self.KEY, src), "LSVD016") == []
+
+    def test_no_tenant_branch_is_evidence(self):
+        # the true side of `qos is None` proves there is nothing to
+        # charge; only the other path needs an admit call
+        src = """
+            def write(self, offset, data):
+                if self.qos is None:
+                    self.wc.append([(offset, data)])
+                else:
+                    self.qos.admit("write", len(data))
+                    self.wc.append([(offset, data)])
+        """
+        assert only(lint_src(self.KEY, src), "LSVD016") == []
+
+    def test_partial_path_violation_is_flagged(self):
+        # admission happens on one branch but the forward is reachable
+        # from the un-admitted branch too
+        src = """
+            def write(self, offset, data):
+                if self.fast_path:
+                    pass
+                else:
+                    self.qos.admit("write", len(data))
+                self.wc.append([(offset, data)])
+        """
+        diags = only(lint_src(self.KEY, src), "LSVD016")
+        assert len(diags) == 1
+        assert diags[0].line == 7
+
+    def test_non_entry_function_is_ignored(self):
+        src = """
+            def destage_batch(self, batch):
+                self.wc.append(batch)
+        """
+        assert only(lint_src(self.KEY, src), "LSVD016") == []
+
+    def test_unrelated_receiver_is_ignored(self):
+        src = """
+            def write(self, offset, data):
+                self.pending.append((offset, data))
+        """
+        assert only(lint_src(self.KEY, src), "LSVD016") == []
+
+    def test_outside_fleet_modules_no_admission_check(self):
+        # modules outside the entry layers only get the confinement
+        # check; their writes do not need admission evidence
+        assert only(lint_src("devices/image.py", self.UNGUARDED), "LSVD016") == []
+
+    def test_suppression_comment_silences(self):
+        src = """
+            def write(self, offset, data):
+                self.wc.append([(offset, data)])  # lint: disable=LSVD016 -- admitted by caller
+        """
+        assert only(lint_src(self.KEY, src), "LSVD016") == []
+
+    def test_allowlisted_function_is_exempt(self):
+        config = replace(
+            LintConfig(), fleet_admission_allow=("core/volume.py::write",)
+        )
+        assert only(lint_src(self.KEY, self.UNGUARDED, config), "LSVD016") == []
+
+    def test_fleet_allow_extends_confinement_scope(self):
+        config = replace(
+            LintConfig(), fleet_allow=("fleet/", "core/volume.py")
+        )
+        assert only(lint_src(self.KEY, self.CONSTRUCTION, config), "LSVD016") == []
+
+    def test_registered_with_metadata(self):
+        from repro.lint.rules.tenant_isolation import TenantIsolationRule
+
+        assert TenantIsolationRule.code == "LSVD016"
+        assert TenantIsolationRule.name == "tenant-isolation"
+        assert TenantIsolationRule in ALL_RULES
+        assert "§4.5" in explain_rules(["LSVD016"])
