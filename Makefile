@@ -4,19 +4,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: all lint ruff mypy invariants test obs-smoke shard-smoke perf-smoke pipeline-smoke lint-bench span-smoke fleet-smoke bench-diff
+.PHONY: all lint ruff mypy invariants test obs-smoke shard-smoke perf-smoke pipeline-smoke lint-bench span-smoke fleet-smoke wa-smoke bench-diff
 
 all: lint test
 
 lint: ruff mypy invariants
 
 ruff:
-	ruff check src tests benchmarks/obs_smoke.py benchmarks/shard_smoke.py benchmarks/perf_smoke.py benchmarks/pipeline_smoke.py benchmarks/lint_bench.py benchmarks/span_smoke.py benchmarks/fleet_smoke.py benchmarks/bench_diff.py
+	ruff check src tests benchmarks/obs_smoke.py benchmarks/shard_smoke.py benchmarks/perf_smoke.py benchmarks/pipeline_smoke.py benchmarks/lint_bench.py benchmarks/span_smoke.py benchmarks/fleet_smoke.py benchmarks/wa_smoke.py benchmarks/bench_diff.py
 
 mypy:
 	mypy
 
-# the LSVD invariant checker (LSVD001-LSVD016); see DESIGN.md
+# the LSVD invariant checker (LSVD001-LSVD017); see DESIGN.md
 invariants:
 	$(PYTHON) -m repro.lint src/repro benchmarks examples
 
@@ -69,6 +69,13 @@ span-smoke:
 fleet-smoke:
 	mkdir -p bench-out
 	$(PYTHON) benchmarks/fleet_smoke.py --out-dir bench-out
+
+# temperature-aware placement gates: SepBIT + cost-benefit must cut GC
+# write amplification vs the greedy single-stream baseline on zipfian and
+# hotspot workloads at equal utilisation; emits BENCH_wa.json
+wa-smoke:
+	mkdir -p bench-out
+	$(PYTHON) benchmarks/wa_smoke.py --out-dir bench-out
 
 # compare fresh bench-out/BENCH_*.json against the committed baselines
 # (benchmarks/baselines/); deterministic virtual-clock figures are gated,

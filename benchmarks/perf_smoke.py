@@ -178,11 +178,9 @@ def bench_gc(quick: bool):
             blocks, int(region_blocks * 0.6)
         )
         for i in victims:
-            sealed = bs.add_write(i * 4096, bytes([round_ + 1]) * 4096)
-            if sealed:
+            for sealed in bs.add_write(i * 4096, bytes([round_ + 1]) * 4096):
                 bs.commit(sealed)
-        sealed = bs.seal()
-        if sealed:
+        for sealed in bs.seal_all():
             bs.commit(sealed)
     bs.write_checkpoint()
 

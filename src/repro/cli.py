@@ -178,6 +178,25 @@ def _stats_headline(snapshot: dict) -> str:
         f"destage queue depth:  {int(scalar('destage.queue_depth'))}",
         f"barrier group size:   {group}",
     ]
+    # per-class GC/WA section (temperature-aware placement); older dumps
+    # predate the placement layer and simply have no store.class_* keys
+    class_names = [
+        name for name in ("hot", "warm", "cold")
+        if f"store.class_{name}.bytes" in snapshot
+    ]
+    if class_names:
+        lines.append("gc per class:")
+        for name in class_names:
+            prefix = f"store.class_{name}"
+            total = scalar(f"{prefix}.data_bytes")
+            live = scalar(f"{prefix}.live_bytes")
+            occupancy = f"{live / total:.3f}" if total else "n/a"
+            lines.append(
+                f"  {name + ':':<6} "
+                f"{scalar(f'{prefix}.bytes') / MiB:7.2f} MiB written, "
+                f"{scalar(f'{prefix}.gc_bytes') / MiB:7.2f} MiB relocated, "
+                f"occupancy {occupancy}"
+            )
     sc_lookups = scalar("sharedcache.hits") + scalar("sharedcache.misses")
     if sc_lookups:
         lines.append(
@@ -411,6 +430,11 @@ def cmd_stats(store, args) -> int:
     if args.exercise:
         _exercise(vol, args.exercise)
     vol.close()
+    # close()'s final seal can still move bytes between classes; refresh
+    # the store.class_* occupancy gauges after it so the headline (and a
+    # json dump replayed later through --from-dump) reflects the closed
+    # image, not the last GC round
+    vol.bs.occupancy_by_class()
     # the store's own operation counters (merged across shards when the
     # root is sharded) land in the same snapshot as the stack metrics,
     # as do the span-tree aggregates (span.trees, span.stage.*)

@@ -43,6 +43,7 @@ class SealedBatch:
     bytes_out: int  # bytes surviving coalescing
     kind: int = KIND_DATA
     reason: str = "size"  # what sealed it: "size" or a forced cut
+    temp: int = 0  # temperature class (hot/warm/cold stream separation)
 
     @property
     def merged_bytes(self) -> int:
@@ -57,12 +58,14 @@ class SealedBatch:
 class WriteBatch:
     """Accumulates writes, coalescing overlaps, until sealed."""
 
-    def __init__(self, batch_size: int):
+    def __init__(self, batch_size: int, temp: int = 0):
         self.batch_size = batch_size
+        self.temp = temp  # the class stream this batch accumulates
         self._map = ExtentMap()  # vLBA -> offset into self._buffer
         self._buffer = bytearray()
         self.bytes_in = 0
         self.last_record_seq = 0
+        self.first_record_seq = 0  # lowest record seq added since last seal
 
     def add(self, lba: int, data: Buffer, record_seq: int = 0) -> None:
         """Append one client write (newer data shadows older overlaps)."""
@@ -73,7 +76,20 @@ class WriteBatch:
         self._map.update(lba, len(data), "buf", offset)
         self.bytes_in += len(data)  # lint: disable=LSVD007 -- batch payload accounting, sealed into the object header, not a stat
         if record_seq:
+            if not self.first_record_seq:
+                self.first_record_seq = record_seq
             self.last_record_seq = record_seq
+
+    def discard(self, lba: int, length: int) -> None:
+        """Drop any buffered version of a range shadowed by a newer write.
+
+        With one open batch per temperature class, a rewrite may land in
+        a *different* batch than the version it replaces; the stale copy
+        must be unmapped here so seal order across class batches cannot
+        resurrect old data.  The buffer bytes stay (they still count
+        toward the size threshold, like any coalesced overlap).
+        """
+        self._map.remove(lba, length)
 
     @property
     def live_bytes(self) -> int:
@@ -118,6 +134,7 @@ class WriteBatch:
             last_record_seq=self.last_record_seq,
             extents=extents,
             data_len=len(data),
+            temp=self.temp,
         )
         sealed = SealedBatch(
             seq=seq,
@@ -128,11 +145,13 @@ class WriteBatch:
             bytes_in=self.bytes_in,
             bytes_out=len(data),
             reason=reason,
+            temp=self.temp,
         )
         self._map.clear()
         self._buffer = bytearray()
         self.bytes_in = 0
         self.last_record_seq = 0
+        self.first_record_seq = 0
         stage.end(bytes=sealed.data_len)
         return sealed
 
@@ -153,6 +172,7 @@ def seal_gc_batch(
     uuid: bytes,
     pieces: List[Tuple[int, int, int, Buffer]],
     last_record_seq: int,
+    temp: int = 0,
 ) -> SealedBatch:
     """Build a KIND_GC object from (lba, length, src_seq, data) live pieces.
 
@@ -171,6 +191,7 @@ def seal_gc_batch(
         last_record_seq=last_record_seq,
         extents=extents,
         data_len=len(data),
+        temp=temp,
     )
     return SealedBatch(
         seq=seq,
@@ -181,4 +202,5 @@ def seal_gc_batch(
         bytes_in=len(data),
         bytes_out=len(data),
         kind=KIND_GC,
+        temp=temp,
     )

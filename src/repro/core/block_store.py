@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core import checkpoint as ckpt
 from repro.core.batch import SealedBatch, WriteBatch
@@ -50,7 +50,15 @@ from repro.core.log import (
 )
 from repro.core.naming import stream_prefix, stream_seqs, super_name
 from repro.core.object_map import ObjectMap
-from repro.obs import DEFAULT_SIZE_BUCKETS, NULL_SPAN, Registry, bind_metrics, metric_field
+from repro.core.placement import NUM_TEMPS, make_policy
+from repro.obs import (
+    DEFAULT_SIZE_BUCKETS,
+    NULL_SPAN,
+    Registry,
+    bind_metrics,
+    gauge_field,
+    metric_field,
+)
 from repro.objstore.s3 import NoSuchKeyError, ObjectStore
 
 
@@ -70,10 +78,48 @@ class StoreStats:
     objects_deleted = metric_field("store.objects_deleted")
     size_seals = metric_field("store.size_seals")  # threshold-driven
     forced_seals = metric_field("store.forced_seals")  # barrier/backpressure cuts
+    # per-temperature-class destage / relocation payload (hot/warm/cold
+    # stream separation; classes 0/1/2 as defined by core.placement)
+    class_hot_bytes = metric_field("store.class_hot.bytes")
+    class_warm_bytes = metric_field("store.class_warm.bytes")
+    class_cold_bytes = metric_field("store.class_cold.bytes")
+    class_hot_gc_bytes = metric_field("store.class_hot.gc_bytes")
+    class_warm_gc_bytes = metric_field("store.class_warm.gc_bytes")
+    class_cold_gc_bytes = metric_field("store.class_cold.gc_bytes")
+    # per-class occupancy, refreshed by BlockStore.occupancy_by_class
+    class_hot_live = gauge_field("store.class_hot.live_bytes")
+    class_warm_live = gauge_field("store.class_warm.live_bytes")
+    class_cold_live = gauge_field("store.class_cold.live_bytes")
+    class_hot_data = gauge_field("store.class_hot.data_bytes")
+    class_warm_data = gauge_field("store.class_warm.data_bytes")
+    class_cold_data = gauge_field("store.class_cold.data_bytes")
+
+    _CLASS_DATA_ATTRS = ("class_hot_bytes", "class_warm_bytes", "class_cold_bytes")
+    _CLASS_GC_ATTRS = ("class_hot_gc_bytes", "class_warm_gc_bytes", "class_cold_gc_bytes")
+    _CLASS_LIVE_ATTRS = ("class_hot_live", "class_warm_live", "class_cold_live")
+    _CLASS_OCC_ATTRS = ("class_hot_data", "class_warm_data", "class_cold_data")
 
     def __init__(self, obs: Optional[Registry] = None):
         self.obs = obs if obs is not None else Registry()
         bind_metrics(self)
+
+    def add_class_data(self, temp: int, n: int) -> None:
+        attr = self._CLASS_DATA_ATTRS[temp]
+        setattr(self, attr, getattr(self, attr) + n)
+
+    def add_class_gc(self, temp: int, n: int) -> None:
+        attr = self._CLASS_GC_ATTRS[temp]
+        setattr(self, attr, getattr(self, attr) + n)
+
+    def class_data_bytes(self, temp: int) -> int:
+        return int(getattr(self, self._CLASS_DATA_ATTRS[temp]))
+
+    def class_gc_bytes(self, temp: int) -> int:
+        return int(getattr(self, self._CLASS_GC_ATTRS[temp]))
+
+    def set_class_occupancy(self, temp: int, live: int, total: int) -> None:
+        setattr(self, self._CLASS_LIVE_ATTRS[temp], live)
+        setattr(self, self._CLASS_OCC_ATTRS[temp], total)
 
     @property
     def backend_bytes(self) -> int:
@@ -122,7 +168,15 @@ class BlockStore:
         #: clone lineage: [(ancestor volume name, its last seq)], oldest first
         self.base_chain: List[Tuple[str, int]] = list(base_chain or [])
         self.omap = ObjectMap()
-        self.batch = WriteBatch(self.config.batch_size)
+        #: the placement classifier: every destage write is assigned a
+        #: temperature class; one open batch per class (created lazily)
+        self.placement = make_policy(self.config)
+        self.batches: Dict[int, WriteBatch] = {}
+        #: sealed data objects whose commit() has not run yet: their
+        #: sequence numbers are allocated, so a checkpoint taken now
+        #: would postdate them and recovery would skip their writes —
+        #: :attr:`checkpoint_due` stays False until this drops to zero
+        self.sealed_uncommitted = 0
         self.next_seq = 1
         self.last_ckpt_seq = 0
         self.last_record_seq_destaged = 0
@@ -160,25 +214,131 @@ class BlockStore:
     # ------------------------------------------------------------------
     # write path
     # ------------------------------------------------------------------
+    def _batch_for(self, temp: int) -> WriteBatch:
+        batch = self.batches.get(temp)
+        if batch is None:
+            batch = WriteBatch(self.config.batch_size, temp=temp)
+            self.batches[temp] = batch
+        return batch
+
     def add_write(
         self, lba: int, data: bytes, record_seq: int = 0, span=NULL_SPAN
-    ) -> Optional[SealedBatch]:
-        """Buffer one write; returns a sealed batch when size is reached."""
+    ) -> List[SealedBatch]:
+        """Buffer one write; returns the sealed batches when size is reached.
+
+        The placement policy assigns the write a temperature class, which
+        picks the open batch it accumulates into; any older version of
+        the range still buffered in *another* class batch is discarded so
+        seal order across classes cannot resurrect stale data.
+
+        Sealing is *lockstep*: when any class batch reaches the size
+        threshold, every non-empty class batch seals together as one
+        group.  Each group therefore covers a contiguous run of record
+        sequence numbers, which keeps the backend an exact record prefix
+        — the property the cache-lost crash guarantee (Table 4) rests
+        on.  Per-class objects stay class-pure; the group merely aligns
+        their cut points.  Callers must commit every returned batch, in
+        order.
+        """
         if lba < 0 or lba + len(data) > self.size:
             raise ValueError("write beyond volume bounds")
-        self.batch.add(lba, data, record_seq)
-        if self.batch.should_seal():
-            return self.seal(span=span)
-        return None
+        temp = self.placement.on_write(lba, len(data))
+        for other_temp, other in self.batches.items():
+            if other_temp != temp and not other.is_empty:
+                other.discard(lba, len(data))
+        batch = self._batch_for(temp)
+        batch.add(lba, data, record_seq)
+        if batch.should_seal():
+            return self._seal_group(batch, span=span)
+        return []
+
+    def _record_seq_cap(self, batch: WriteBatch) -> Optional[int]:
+        """Highest record seq provably destaged once ``batch`` seals.
+
+        With one open batch per class, records interleave across batches:
+        a sealing batch may carry record N while an *older* record still
+        sits in another open batch.  The object's ``last_record_seq``
+        high-water mark must therefore stop just short of the oldest
+        record still buffered elsewhere, or cache release / replay could
+        skip undestaged acked writes.
+        """
+        cap = None
+        for other in self.batches.values():
+            if other is batch or other.is_empty or not other.first_record_seq:
+                continue
+            limit = other.first_record_seq - 1
+            cap = limit if cap is None else min(cap, limit)
+        return cap
+
+    def _seal_batch(
+        self, batch: WriteBatch, reason: str = "size", span=NULL_SPAN
+    ) -> SealedBatch:
+        cap = self._record_seq_cap(batch)
+        if cap is not None and cap < batch.last_record_seq:
+            batch.last_record_seq = cap
+        self.sealed_uncommitted += 1
+        return batch.seal(self._take_seq(), self.uuid, reason=reason, span=span)
+
+    def _seal_group(self, trigger: WriteBatch, span=NULL_SPAN) -> List[SealedBatch]:
+        """Seal every non-empty batch as one group, oldest records first.
+
+        The triggering batch records reason ``"size"``; the batches that
+        merely ride along in the group seal as ``"group"`` (they count
+        toward ``store.forced_seals`` — the object-count overhead class
+        separation pays for the crash-ordering guarantee).
+        """
+        out: List[SealedBatch] = []
+        while True:
+            open_batches = [b for b in self.batches.values() if not b.is_empty]
+            if not open_batches:
+                return out
+            open_batches.sort(
+                key=lambda b: (
+                    b.first_record_seq if b.first_record_seq else float("inf"),
+                    b.temp,
+                )
+            )
+            batch = open_batches[0]
+            reason = "size" if batch is trigger else "group"
+            out.append(self._seal_batch(batch, reason=reason, span=span))
 
     def seal(self, reason: str = "size", span=NULL_SPAN) -> Optional[SealedBatch]:
-        """Seal the current batch (even partial); None when empty."""
-        if self.batch.is_empty:
+        """Seal the fullest open batch (even partial); None when all empty.
+
+        Callers that must flush *every* class stream (drain, close,
+        backpressure sweeps) use :meth:`seal_all` instead.
+        """
+        open_batches = [b for b in self.batches.values() if not b.is_empty]
+        if not open_batches:
             return None
-        sealed = self.batch.seal(
-            self._take_seq(), self.uuid, reason=reason, span=span
-        )
-        return sealed
+        fullest = max(open_batches, key=lambda b: (b.buffered_bytes, -b.temp))
+        return self._seal_batch(fullest, reason=reason, span=span)
+
+    def seal_all(self, reason: str = "size", span=NULL_SPAN) -> Iterator[SealedBatch]:
+        """Seal every non-empty class batch, oldest buffered records first.
+
+        Sealing in first-record order lets each object carry the highest
+        safe ``last_record_seq`` (see :meth:`_record_seq_cap`): the last
+        batch sealed covers the full watermark.
+
+        A *lazy* generator on purpose: each batch is sealed (allocating
+        its sequence number) only when the caller asks for it, after
+        committing the previous one.  Sealing everything up front would
+        let a checkpoint triggered by an intermediate commit take a
+        *later* sequence number than still-uncommitted batches — recovery
+        would then start replay past them and lose their writes.
+        """
+        while True:
+            open_batches = [b for b in self.batches.values() if not b.is_empty]
+            if not open_batches:
+                return
+            open_batches.sort(
+                key=lambda b: (
+                    b.first_record_seq if b.first_record_seq else float("inf"),
+                    b.temp,
+                )
+            )
+            yield self._seal_batch(open_batches[0], reason=reason, span=span)
 
     def commit(self, sealed: SealedBatch, span=NULL_SPAN):
         """PUT the sealed object and update the map/accounting.
@@ -199,7 +359,9 @@ class BlockStore:
         else:
             result = self.store.put(name, sealed.payload)
         stage.end()
-        self.omap.add_object(sealed.seq, sealed.kind, sealed.data_len, sealed.extents)
+        self.omap.add_object(
+            sealed.seq, sealed.kind, sealed.data_len, sealed.extents, temp=sealed.temp
+        )
         offset = 0
         for ext in sealed.extents:
             if sealed.kind == KIND_GC:
@@ -208,6 +370,8 @@ class BlockStore:
                 self.omap.apply_extent(sealed.seq, ext.lba, ext.length, offset)
             offset += ext.length
         self.stats.objects_put += 1
+        if sealed.kind == KIND_DATA and self.sealed_uncommitted > 0:
+            self.sealed_uncommitted -= 1
         if sealed.kind == KIND_DATA:
             if sealed.forced:
                 self.stats.forced_seals += 1
@@ -216,13 +380,19 @@ class BlockStore:
             self.stats.client_bytes += sealed.bytes_in
             self.stats.merged_bytes += sealed.merged_bytes
             self.stats.data_bytes += sealed.data_len
+            self.stats.add_class_data(sealed.temp, sealed.data_len)
         else:
             self.stats.gc_bytes += sealed.data_len
+            self.stats.add_class_gc(sealed.temp, sealed.data_len)
         if sealed.last_record_seq:
             self.last_record_seq_destaged = max(
                 self.last_record_seq_destaged, sealed.last_record_seq
             )
-        self._objects_since_ckpt += 1
+        if sealed.reason != "group":
+            # riders of a lockstep group are fragments of one logical
+            # group commit: counting each would scale checkpoint cadence
+            # with the number of open classes instead of with data volume
+            self._objects_since_ckpt += 1
         self._object_bytes.observe(len(sealed.payload))
         self.obs.trace.emit(
             "backend_put",
@@ -239,9 +409,14 @@ class BlockStore:
         Checkpoints are *not* written from :meth:`commit`: the volume
         issues them only once all prior PUTs have settled, so a visible
         checkpoint always implies its whole prefix is visible — the
-        invariant recovery's checkpoint selection relies on.
+        invariant recovery's checkpoint selection relies on.  Sealed
+        batches awaiting commit defer it too: a checkpoint must never
+        take a sequence number past an uncommitted object.
         """
-        return self._objects_since_ckpt >= self.config.checkpoint_interval
+        return (
+            self._objects_since_ckpt >= self.config.checkpoint_interval
+            and self.sealed_uncommitted == 0
+        )
 
     def _take_seq(self) -> int:
         seq = self.next_seq
@@ -453,6 +628,12 @@ class BlockStore:
                         "merged_bytes": self.stats.merged_bytes,
                         "data_bytes": self.stats.data_bytes,
                         "gc_bytes": self.stats.gc_bytes,
+                        "class_data": [
+                            self.stats.class_data_bytes(t) for t in range(NUM_TEMPS)
+                        ],
+                        "class_gc": [
+                            self.stats.class_gc_bytes(t) for t in range(NUM_TEMPS)
+                        ],
                     },
                 }
             ),
@@ -710,6 +891,10 @@ class BlockStore:
         self.stats.merged_bytes = stats.get("merged_bytes", 0)
         self.stats.data_bytes = stats.get("data_bytes", 0)
         self.stats.gc_bytes = stats.get("gc_bytes", 0)
+        for temp, value in enumerate(stats.get("class_data", [])[:NUM_TEMPS]):
+            self.stats.add_class_data(temp, value - self.stats.class_data_bytes(temp))
+        for temp, value in enumerate(stats.get("class_gc", [])[:NUM_TEMPS]):
+            self.stats.add_class_gc(temp, value - self.stats.class_gc_bytes(temp))
 
     def _replay_object(self, header: ObjectHeader) -> None:
         """Apply one stream object's header during recovery."""
@@ -720,7 +905,9 @@ class BlockStore:
             return
         if header.seq in self.omap.objects:
             return  # already reflected in the checkpoint we loaded
-        self.omap.add_object(header.seq, header.kind, header.data_len, header.extents)
+        self.omap.add_object(
+            header.seq, header.kind, header.data_len, header.extents, temp=header.temp
+        )
         offset = 0
         for ext in header.extents:
             if header.kind == KIND_GC:
@@ -787,3 +974,21 @@ class BlockStore:
             live += info.live_bytes
             total += info.data_bytes
         return live, total
+
+    def occupancy_by_class(self) -> Dict[int, Tuple[int, int]]:
+        """Per-temperature-class (live, total) occupancy over cleanable
+        objects; refreshes the ``store.class_*`` gauges as a side effect
+        so snapshots and dumps carry the split."""
+        acc: Dict[int, List[int]] = {t: [0, 0] for t in range(NUM_TEMPS)}
+        for info in self.omap.objects.values():
+            if info.in_base or info.kind == KIND_CHECKPOINT:
+                continue
+            slot = acc.setdefault(info.temp, [0, 0])
+            slot[0] += info.live_bytes
+            slot[1] += info.data_bytes
+        out: Dict[int, Tuple[int, int]] = {}
+        for temp in range(NUM_TEMPS):
+            live, total = acc[temp]
+            self.stats.set_class_occupancy(temp, live, total)
+            out[temp] = (live, total)
+        return out

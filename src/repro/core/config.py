@@ -47,6 +47,13 @@ class LSVDConfig:
     prefetch_bytes: int = 128 * KiB
     #: read-cache insertions are rounded to this granularity.
     read_cache_align: int = BLOCK
+    #: data placement: ``"sepbit"`` segregates destage and GC-relocation
+    #: writes into hot/warm/cold object streams by inferred invalidation
+    #: time; ``"legacy"`` keeps the single-stream baseline.
+    placement: str = "sepbit"
+    #: GC victim selection: ``"cost_benefit"`` (age × utilisation,
+    #: Rosenblum's cleaning score) or ``"greedy"`` (least utilised first).
+    gc_policy: str = "cost_benefit"
 
     def __post_init__(self) -> None:
         if self.batch_size < BLOCK:
@@ -57,3 +64,7 @@ class LSVDConfig:
             raise ValueError("write_cache_fraction must be in (0, 1)")
         if self.checkpoint_interval < 1:
             raise ValueError("checkpoint_interval must be >= 1")
+        if self.placement not in ("sepbit", "legacy"):
+            raise ValueError("placement must be 'sepbit' or 'legacy'")
+        if self.gc_policy not in ("cost_benefit", "greedy"):
+            raise ValueError("gc_policy must be 'cost_benefit' or 'greedy'")

@@ -1,13 +1,19 @@
-"""Greedy garbage collection for the block store (§3.5, §4.6).
+"""Garbage collection for the block store (§3.5, §4.6).
 
 Cleaning is triggered when overall utilisation (live bytes / total data
 bytes across cleanable objects) drops below the low watermark (70 % in the
 paper) and runs until it climbs back above the high watermark (75 %).
-Victims are the least-utilised objects (the Greedy policy of Rosenblum &
-Ousterhout); their remaining live extents — found by re-checking only the
-ranges listed in the object's creation-time header against the map — are
-copied into new ``KIND_GC`` objects, then the victims are deleted, or the
-delete is *deferred* when a snapshot still references them (§3.6).
+Victim ordering is delegated to :func:`repro.core.placement.select_victims`
+— cost-benefit ``(1 - u) * age / (1 + u)`` by default (Rosenblum &
+Ousterhout's cleaning score, which leaves stable cold objects alone until
+cleaning them is cheap), or pure least-utilised greedy when the config
+selects the legacy policy.  Victims' remaining live extents — found by
+re-checking only the ranges listed in the object's creation-time header
+against the map — are routed back through the placement classifier
+(survivors demonstrably outlived their object, so they cool toward the
+cold class) and copied into per-class ``KIND_GC`` objects, then the
+victims are deleted, or the delete is *deferred* when a snapshot still
+references them (§3.6).
 
 Two refinements the paper evaluates are implemented here:
 
@@ -38,6 +44,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from repro.core.batch import seal_gc_batch
 from repro.core.block_store import BlockStore
 from repro.core.config import LSVDConfig
+from repro.core.placement import plan_relocation, select_victims
 from repro.obs import NULL_SPAN, Registry, bind_metrics, metric_field
 
 
@@ -86,10 +93,25 @@ class GCStats:
     holes_plugged = metric_field("gc.holes_plugged")
     deletes_deferred = metric_field("gc.deletes_deferred")
     preplanned_rounds = metric_field("gc.preplanned_rounds")
+    # relocation bytes split by the class the survivor was *re*-assigned
+    # to (classes as defined by core.placement: hot/warm/cold)
+    class_hot_relocated = metric_field("gc.class_hot.bytes_relocated")
+    class_warm_relocated = metric_field("gc.class_warm.bytes_relocated")
+    class_cold_relocated = metric_field("gc.class_cold.bytes_relocated")
+
+    _CLASS_RELOC_ATTRS = (
+        "class_hot_relocated",
+        "class_warm_relocated",
+        "class_cold_relocated",
+    )
 
     def __init__(self, obs: Optional[Registry] = None):
         self.obs = obs if obs is not None else Registry()
         bind_metrics(self)
+
+    def add_class_relocated(self, temp: int, n: int) -> None:
+        attr = self._CLASS_RELOC_ATTRS[temp]
+        setattr(self, attr, getattr(self, attr) + n)
 
 
 class GarbageCollector:
@@ -139,14 +161,16 @@ class GarbageCollector:
         candidates = self.store.omap.cleaning_candidates(
             max_seq=self.store.next_seq
         )
-        pool = [c for c in candidates if c.seq not in skip]
-        # objects at or above the stop watermark are never worth cleaning:
-        # copying their (mostly live) data cannot raise overall utilisation
-        victims = [
-            c.seq
-            for c in pool[: self.config.gc_window]
-            if c.utilization < self.config.gc_high_watermark
-        ]
+        victims = select_victims(
+            [
+                (c.seq, c.live_bytes, c.data_bytes)
+                for c in candidates
+                if c.seq not in skip
+            ],
+            policy=self.config.gc_policy,
+            window=self.config.gc_window,
+            high_watermark=self.config.gc_high_watermark,
+        )
         if not victims:
             stage.end(victims=0)
             return None
@@ -252,16 +276,13 @@ class GarbageCollector:
         """
         stage = span.begin("gc_relocate", victims=len(plan.victims))
         results = []
-        chunk: List[Tuple[int, int, int, bytes]] = []
-        chunk_bytes = 0
-        for piece in plan.pieces:
-            chunk.append(piece)
-            chunk_bytes += piece[1]
-            if chunk_bytes >= self.config.batch_size:
-                results.append(self._commit_chunk(chunk, span=stage))
-                chunk, chunk_bytes = [], 0
-        if chunk:
-            results.append(self._commit_chunk(chunk, span=stage))
+        # survivors re-enter the classifier: each piece is split into
+        # per-class sub-pieces (cooling one step) and chunked into one
+        # relocation object per class stream
+        for temp, chunk in plan_relocation(
+            plan.pieces, self.store.placement, self.config.batch_size
+        ):
+            results.append(self._commit_chunk(chunk, temp, span=stage))
         stage.end(bytes=plan.live_bytes)
         self.stats.rounds += 1
         self.stats.victims_cleaned += len(plan.victims)
@@ -279,14 +300,18 @@ class GarbageCollector:
         )
         return results
 
-    def _commit_chunk(self, pieces: List[Tuple[int, int, int, bytes]], span=NULL_SPAN):
+    def _commit_chunk(
+        self, pieces: List[Tuple[int, int, int, bytes]], temp: int = 0, span=NULL_SPAN
+    ):
         sealed = seal_gc_batch(
             self.store._take_seq(),
             self.store.uuid,
             pieces,
             last_record_seq=0,
+            temp=temp,
         )
         result = self.store.commit(sealed, span=span)
+        self.stats.add_class_relocated(temp, sealed.data_len)
         return sealed, result
 
     # ------------------------------------------------------------------

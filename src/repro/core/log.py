@@ -196,7 +196,13 @@ class ObjectExtent:
 
 @dataclass
 class ObjectHeader:
-    """Parsed header of a backend object."""
+    """Parsed header of a backend object.
+
+    ``temp`` is the object's temperature class (hot/warm/cold data
+    separation); it rides in the high byte of the wire ``kind`` field so
+    old objects decode as class 0 and readers that only care about the
+    kind (recovery, ``lsvdtool``) stay oblivious-safe.
+    """
 
     kind: int
     uuid: bytes
@@ -204,6 +210,7 @@ class ObjectHeader:
     last_record_seq: int
     extents: List[ObjectExtent] = field(default_factory=list)
     data_len: int = 0
+    temp: int = 0
 
     @property
     def header_size(self) -> int:
@@ -224,10 +231,11 @@ def encode_object(header: ObjectHeader, data: Buffer) -> bytes:
     ext_blob = b"".join(
         _OBJ_EXT.pack(e.lba, e.length, e.src_seq) for e in header.extents
     )
+    wire_kind = header.kind | (header.temp << 8)
     base = _OBJ_HDR.pack(
         MAGIC,
         VERSION,
-        header.kind,
+        wire_kind,
         header.uuid,
         header.seq,
         header.last_record_seq,
@@ -239,7 +247,7 @@ def encode_object(header: ObjectHeader, data: Buffer) -> bytes:
     base = _OBJ_HDR.pack(
         MAGIC,
         VERSION,
-        header.kind,
+        wire_kind,
         header.uuid,
         header.seq,
         header.last_record_seq,
@@ -269,12 +277,13 @@ def decode_object_header(buf: Buffer) -> ObjectHeader:
         for i in range(n_ext)
     ]
     return ObjectHeader(
-        kind=kind,
+        kind=kind & 0xFF,
         uuid=uuid,
         seq=seq,
         last_record_seq=last_rec,
         extents=extents,
         data_len=data_len,
+        temp=kind >> 8,
     )
 
 

@@ -25,6 +25,7 @@ class ObjectInfo:
     live_bytes: int  # bytes still referenced by the map
     extents: List[ObjectExtent] = field(default_factory=list)
     in_base: bool = False  # belongs to a clone's immutable base image
+    temp: int = 0  # temperature class recorded in the object header
 
     @property
     def utilization(self) -> float:
@@ -48,6 +49,7 @@ class ObjectMap:
         data_bytes: int,
         extents: List[ObjectExtent],
         in_base: bool = False,
+        temp: int = 0,
     ) -> None:
         if seq in self.objects:
             raise ValueError(f"object seq {seq} already tracked")
@@ -58,6 +60,7 @@ class ObjectMap:
             live_bytes=0,
             extents=extents,
             in_base=in_base,
+            temp=temp,
         )
 
     def drop_object(self, seq: int) -> ObjectInfo:
@@ -154,14 +157,24 @@ class ObjectMap:
         """
         info = self.objects[seq]
         live: List[Tuple[int, int, int]] = []
-        offset = 0
         for ext in info.extents:
             for piece in self.map.lookup(ext.lba, ext.length):
-                if piece.target == seq:
-                    # data offset within the object for this piece
-                    rel = piece.offset
-                    live.append((piece.lba, piece.length, rel))
-            offset += ext.length
+                if piece.target != seq:
+                    continue
+                # re-join pieces split only by a header-extent boundary:
+                # adjacent in the address space *and* in the object's
+                # data (the extent map's own merge rule) — so GC sees
+                # maximal runs and relocation chunk cuts land at the
+                # same byte offsets as the page-granular simulator's
+                if (
+                    live
+                    and live[-1][0] + live[-1][1] == piece.lba
+                    and live[-1][2] + live[-1][1] == piece.offset
+                ):
+                    lba0, len0, off0 = live[-1]
+                    live[-1] = (lba0, len0 + piece.length, off0)
+                else:
+                    live.append((piece.lba, piece.length, piece.offset))
         return live
 
     # -- checkpoint (de)serialisation -----------------------------------
@@ -169,8 +182,10 @@ class ObjectMap:
         return self.map.entries()
 
     def object_table(self) -> List[Tuple[int, int, int, int, bool]]:
+        # the temperature class shares the kind column's high byte, the
+        # same packing the object wire header uses
         return [
-            (i.seq, i.kind, i.data_bytes, i.live_bytes, i.in_base)
+            (i.seq, i.kind | (i.temp << 8), i.data_bytes, i.live_bytes, i.in_base)
             for i in sorted(self.objects.values(), key=lambda i: i.seq)
         ]
 
@@ -181,10 +196,11 @@ class ObjectMap:
         for (seq, kind, data_bytes, live_bytes, in_base) in object_table:
             om.objects[seq] = ObjectInfo(
                 seq=seq,
-                kind=kind,
+                kind=kind & 0xFF,
                 data_bytes=data_bytes,
                 live_bytes=live_bytes,
                 extents=extent_lists.get(seq, []),
                 in_base=in_base,
+                temp=kind >> 8,
             )
         return om

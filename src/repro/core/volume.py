@@ -183,8 +183,7 @@ class LSVDVolume:
             replayed += 1
             for index, (lba, length) in enumerate(record.extents):
                 data = wc.record_data(record, index)
-                sealed = bs.add_write(lba, data, record.seq, span=span)
-                if sealed is not None:
+                for sealed in bs.add_write(lba, data, record.seq, span=span):
                     vol._commit_data(sealed, span=span)
         span.end(replayed=replayed)
         # anything at or below the backend high-water mark is already safe
@@ -276,8 +275,7 @@ class LSVDVolume:
             self._make_room(len(data), span=span)
             record = self.wc.append([(offset, data)], span=span)
         self.rc.invalidate(offset, len(data))
-        sealed = self.bs.add_write(offset, data, record.seq, span=span)
-        if sealed is not None:
+        for sealed in self.bs.add_write(offset, data, record.seq, span=span):
             self._commit_data(sealed, span=span)
         span.end()
 
@@ -357,8 +355,7 @@ class LSVDVolume:
             record = self.wc.append(writes, span=span)
         for offset, data in writes:
             self.rc.invalidate(offset, len(data))
-            sealed = self.bs.add_write(offset, data, record.seq, span=span)
-            if sealed is not None:
+            for sealed in self.bs.add_write(offset, data, record.seq, span=span):
                 self._commit_data(sealed, span=span)
         span.end()
 
@@ -401,8 +398,7 @@ class LSVDVolume:
         runtime drives the same steps through simulated time.
         """
         span = self.obs.spans.root("drain")
-        sealed = self.bs.seal(reason="drain", span=span)
-        if sealed is not None:
+        for sealed in self.bs.seal_all(reason="drain", span=span):
             self._commit_data(sealed, span=span)
         span.end()
         self.poll()
@@ -499,7 +495,11 @@ class LSVDVolume:
                 self.wc.release_through(entry.last_record_seq)
 
     def _maybe_checkpoint(self, span=NULL_SPAN) -> None:
-        if (self.bs.checkpoint_due or self._ckpt_requested) and not self._pending:
+        if (
+            (self.bs.checkpoint_due or self._ckpt_requested)
+            and not self._pending
+            and self.bs.sealed_uncommitted == 0
+        ):
             self._ckpt_requested = False
             self._write_checkpoint(span=span)
 
@@ -542,7 +542,7 @@ class LSVDVolume:
                     self.gc.stats.preplanned_rounds += 1
         if rnd.stage == "relocating" and rnd.pending_puts == 0:
             rnd.stage = "await_ckpt"
-            if not self._pending:
+            if not self._pending and self.bs.sealed_uncommitted == 0:
                 rnd.ckpt_seq = self._write_checkpoint()
                 # immediate stores finish inside _write_checkpoint
             else:
@@ -579,8 +579,7 @@ class LSVDVolume:
     def _make_room(self, needed: int, span=NULL_SPAN) -> None:
         """Cache log full: force destage so records can be released."""
         stage = span.begin("space_wait")
-        sealed = self.bs.seal(reason="backpressure", span=span)
-        if sealed is not None:
+        for sealed in self.bs.seal_all(reason="backpressure", span=span):
             self._commit_data(sealed, span=span)
         stage.end()
         if self.wc.free_bytes < needed + 2 * 4096 and self._pending:

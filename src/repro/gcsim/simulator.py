@@ -1,8 +1,8 @@
-"""Page-granular simulator of LSVD write batching and greedy GC.
+"""Page-granular simulator of LSVD write batching and GC.
 
 This is the tool behind Table 5: it replays a block trace through the
 LSVD batching pipeline (32 MiB batches, intra-batch coalescing) and the
-greedy garbage collector (70 % start / 75 % stop utilisation thresholds),
+garbage collector (70 % start / 75 % stop utilisation thresholds),
 reporting write amplification, merge ratio, and the final extent-map size
 with and without the hole-plugging defragmentation of §4.6.
 
@@ -14,14 +14,31 @@ state, in numpy arrays at 4 KiB page granularity:
 * ``page_off[page]`` — page's position inside that object
 
 which is sufficient for every statistic Table 5 reports.
+
+Data placement is delegated to the *same* policy objects the full stack
+uses (:mod:`repro.core.placement`): writes are classified per operation
+into one open batch per temperature class, GC victims are ordered by the
+shared :func:`~repro.core.placement.select_victims`, and relocated
+survivors re-enter the classifier through the shared
+:func:`~repro.core.placement.plan_relocation` — so a placement change
+validated here is, by construction, the behaviour of the real stack
+(the differential test in ``tests/test_placement_differential.py`` holds
+the two engines to identical class decisions and relocation counts).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
+
+from repro.core.placement import (
+    PlacementPolicy,
+    make_policy,
+    plan_relocation,
+    select_victims,
+)
 
 PAGE = 4096
 
@@ -55,7 +72,7 @@ class GCSimReport:
 
 
 class GCSimulator:
-    """Replay a write trace through batching + greedy GC."""
+    """Replay a write trace through batching + GC."""
 
     def __init__(
         self,
@@ -66,6 +83,8 @@ class GCSimulator:
         merge: bool = True,
         defrag_hole_pages: int = 0,
         gc_window: int = 8,
+        policy: Optional[PlacementPolicy] = None,
+        gc_policy: str = "greedy",
     ):
         if volume_size % PAGE:
             raise ValueError("volume_size must be page aligned")
@@ -76,19 +95,30 @@ class GCSimulator:
         self.merge = merge
         self.defrag_hole_pages = defrag_hole_pages
         self.gc_window = gc_window
+        #: placement policy shared with the full stack; the default keeps
+        #: the single-stream legacy behaviour
+        self.policy = policy if policy is not None else make_policy("legacy")
+        self.gc_policy = gc_policy
 
         self.page_obj = np.full(self.n_pages, -1, dtype=np.int64)
         self.page_off = np.zeros(self.n_pages, dtype=np.int64)
         self.obj_pages: Dict[int, np.ndarray] = {}  # creation page lists
         self.obj_size: Dict[int, int] = {}  # pages at creation
         self.obj_live: Dict[int, int] = {}
+        self.obj_temp: Dict[int, int] = {}
         self._next_obj = 0
-        self._batch: List[int] = []  # page numbers in arrival order
+        #: one open batch per temperature class: page numbers in arrival order
+        self._batches: Dict[int, List[int]] = {}
+        #: which class batch holds the newest buffered version of a page;
+        #: the page-granular analogue of WriteBatch.discard — a rewrite
+        #: landing in a different class disowns the stale buffered copy
+        self._pending_owner: Dict[int, int] = {}
 
         self.client_pages = 0
         self.merged_pages = 0
         self.backend_pages = 0
         self.gc_pages = 0
+        self.class_pages: Dict[int, int] = {}  # backend pages per class
         self.holes_plugged = 0
         self.objects_written = 0
         self.objects_deleted = 0
@@ -96,53 +126,77 @@ class GCSimulator:
     # ------------------------------------------------------------------
     def write(self, offset: int, length: int) -> None:
         """One client write (page-aligned; partial pages round up)."""
+        temp = self.policy.on_write(offset, length)
+        batch = self._batches.setdefault(temp, [])
         first = offset // PAGE
         last = (offset + length + PAGE - 1) // PAGE
         for page in range(first, min(last, self.n_pages)):
-            self._batch.append(page)
+            batch.append(page)
+            self._pending_owner[page] = temp
             self.client_pages += 1
-        while len(self._batch) >= self.batch_pages:
-            self._flush_batch(self._batch[: self.batch_pages])
-            self._batch = self._batch[self.batch_pages :]
+        if len(batch) >= self.batch_pages:
+            # lockstep group seal, mirroring BlockStore._seal_group: when
+            # any class batch fills, *all* open class batches seal together
+            # (ascending temperature — the record-free ordering of the full
+            # stack), so the durable record set stays a contiguous prefix
+            # of the client stream and cross-class rewrites can never
+            # strand a discarded predecessor behind its own seal
+            self.flush_batch()
 
     def replay(self, writes: Iterable[Tuple[int, int]]) -> None:
         for offset, length in writes:
             self.write(offset, length)
 
     def flush_batch(self) -> bool:
-        """Seal and store the accumulating partial batch, if any.
+        """Seal and store the accumulating partial batches, if any.
 
-        The public face of the batcher for out-of-band seals: the timed
-        runtime's idle flusher (batch-timeout expiry) and its commit
-        barriers (a flushed log should not strand a half-built object)
-        both route through here, as does :meth:`finish`.  Returns True
-        when a batch was written, False when there was nothing pending.
+        Every seal routes through here: the in-band group seal when one
+        class batch fills (see :meth:`write`), the timed runtime's idle
+        flusher (batch-timeout expiry) and its commit barriers (a flushed
+        log should not strand a half-built object), and :meth:`finish`.
+        Classes flush hottest-first, matching the record-free ordering of
+        the full stack's ``seal_all`` / ``_seal_group``.  Returns True
+        when anything was written.
         """
-        if not self._batch:
-            return False
-        batch, self._batch = self._batch, []
-        self._flush_batch(batch)
-        return True
+        flushed = False
+        for temp in sorted(self._batches):
+            batch = self._batches[temp]
+            if not batch:
+                continue
+            self._batches[temp] = []
+            self._flush_batch(batch, temp)
+            flushed = True
+        return flushed
 
     # ------------------------------------------------------------------
-    def _flush_batch(self, pages: List[int]) -> None:
+    def _flush_batch(self, pages: List[int], temp: int) -> None:
         if self.merge:
-            # last occurrence wins; preserve order of survivors
+            # last occurrence wins; preserve order of survivors; pages
+            # disowned by a rewrite into another class batch drop out here
             seen = set()
             unique_rev = []
             for page in reversed(pages):
-                if page not in seen:
+                if page not in seen and self._pending_owner.get(page) == temp:
                     seen.add(page)
                     unique_rev.append(page)
             survivors = unique_rev[::-1]
             self.merged_pages += len(pages) - len(survivors)
         else:
-            survivors = pages
-        arr = np.asarray(survivors, dtype=np.int64)
-        self._store_object(arr, gc=False)
+            survivors = [p for p in pages if self._pending_owner.get(p) == temp]
+            self.merged_pages += len(pages) - len(survivors)
+        for page in survivors:
+            # pop, not del: with merge disabled a page may appear twice
+            # in one batch's survivor list
+            self._pending_owner.pop(page, None)
+        # a sealed WriteBatch gathers its data in map order (ascending
+        # LBA), not arrival order; mirror that layout so page_off models
+        # the real object and GC live runs merge identically across the
+        # engines (the differential test holds them to it)
+        arr = np.asarray(sorted(survivors), dtype=np.int64)
+        self._store_object(arr, gc=False, temp=temp)
         self._maybe_gc()
 
-    def _store_object(self, pages: np.ndarray, gc: bool) -> int:
+    def _store_object(self, pages: np.ndarray, gc: bool, temp: int = 0) -> int:
         obj = self._next_obj
         self._next_obj += 1
         # displace previous owners
@@ -154,7 +208,9 @@ class GCSimulator:
         self.obj_pages[obj] = pages
         self.obj_size[obj] = len(pages)
         self.obj_live[obj] = len(pages)
+        self.obj_temp[obj] = temp
         self.backend_pages += len(pages)
+        self.class_pages[temp] = self.class_pages.get(temp, 0) + len(pages)
         if gc:
             self.gc_pages += len(pages)
         self.objects_written += 1
@@ -167,22 +223,30 @@ class GCSimulator:
             return 1.0
         return sum(self.obj_live.values()) / total
 
+    def occupancy_by_class(self) -> Dict[int, Tuple[int, int]]:
+        """Per-class (live pages, total pages), mirroring the full stack's
+        ``BlockStore.occupancy_by_class`` for side-by-side reporting."""
+        out: Dict[int, List[int]] = {}
+        for obj, size in self.obj_size.items():
+            slot = out.setdefault(self.obj_temp.get(obj, 0), [0, 0])
+            slot[0] += self.obj_live[obj]
+            slot[1] += size
+        return {t: (live, total) for t, (live, total) in sorted(out.items())}
+
     def _maybe_gc(self) -> None:
         if self.utilization() >= self.gc_low:
             return
         while self.utilization() < self.gc_high:
-            # never clean objects at or above the stop watermark: freeing
-            # their few dead pages costs almost a whole object of copies
-            # and cannot raise overall utilisation.
-            victims = sorted(
-                (
-                    o
+            victims = select_victims(
+                [
+                    (o, self.obj_live[o], self.obj_size[o])
                     for o in self.obj_size
                     if self.obj_size[o] > 0
-                    and self.obj_live[o] / self.obj_size[o] < self.gc_high
-                ),
-                key=lambda o: self.obj_live[o] / self.obj_size[o],
-            )[: self.gc_window]
+                ],
+                policy=self.gc_policy,
+                window=self.gc_window,
+                high_watermark=self.gc_high,
+            )
             if not victims:
                 break
             self._clean(victims)
@@ -197,12 +261,56 @@ class GCSimulator:
         if live_pages:
             pages = np.unique(np.concatenate(live_pages))
             pages = self._plug_holes(pages)
-            # relocate in chunks of batch size
-            for start in range(0, len(pages), self.batch_pages):
-                self._store_object(pages[start : start + self.batch_pages], gc=True)
+            # survivors re-enter the classifier through the shared
+            # relocation planner; pieces mirror the full stack's map
+            # extents (maximal runs contiguous in address space, object,
+            # and object offset) so the two engines chunk identically
+            for temp, chunk in plan_relocation(
+                self._live_runs(pages), self.policy, self.batch_pages * PAGE
+            ):
+                chunk_pages = np.concatenate(
+                    [
+                        np.arange(lba // PAGE, lba // PAGE + length // PAGE)
+                        for lba, length, _src, _payload in chunk
+                    ]
+                )
+                self._store_object(chunk_pages, gc=True, temp=temp)
         for victim in victims:
             del self.obj_pages[victim], self.obj_size[victim], self.obj_live[victim]
+            self.obj_temp.pop(victim, None)
             self.objects_deleted += 1
+
+    def _live_runs(
+        self, pages: np.ndarray
+    ) -> List[Tuple[int, int, int, None]]:
+        """Group relocated pages into (lba, length, src_obj, None) pieces.
+
+        Runs break wherever the address space, the owning object, or the
+        in-object offset breaks — exactly the merge rule of the full
+        stack's extent map, so piece boundaries (and therefore relocation
+        chunk cuts) agree across the engines.
+        """
+        runs: List[Tuple[int, int, int, None]] = []
+        if not len(pages):
+            return runs
+        start = prev = int(pages[0])
+        for page_ in pages[1:]:
+            page = int(page_)
+            contiguous = (
+                page == prev + 1
+                and self.page_obj[page] == self.page_obj[prev]
+                and self.page_off[page] == self.page_off[prev] + 1
+            )
+            if not contiguous:
+                runs.append(
+                    (start * PAGE, (prev - start + 1) * PAGE, int(self.page_obj[start]), None)
+                )
+                start = page
+            prev = page
+        runs.append(
+            (start * PAGE, (prev - start + 1) * PAGE, int(self.page_obj[start]), None)
+        )
+        return runs
 
     def _plug_holes(self, pages: np.ndarray) -> np.ndarray:
         """§4.6 defrag: copy small mapped gaps along with the live data."""
@@ -225,7 +333,7 @@ class GCSimulator:
 
     # ------------------------------------------------------------------
     def finish(self) -> GCSimReport:
-        """Flush the partial batch and report final statistics."""
+        """Flush the partial batches and report final statistics."""
         self.flush_batch()
         return GCSimReport(
             client_bytes=self.client_pages * PAGE,

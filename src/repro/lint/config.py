@@ -476,6 +476,57 @@ DEFAULT_FLEET_QOS_MARKERS: Tuple[str, ...] = (
 )
 
 
+# -- placement confinement (LSVD017) ----------------------------------------
+
+#: the one module that owns temperature classification
+DEFAULT_PLACEMENT_ALLOW: Tuple[str, ...] = ("core/placement.py",)
+
+#: concrete policy classes whose construction is confined — everyone
+#: else goes through ``make_policy``
+DEFAULT_PLACEMENT_POLICY_CLASSES: Tuple[str, ...] = (
+    "SepBitPolicy",
+    "SingleClassPolicy",
+)
+
+#: private classifier state; touching it outside the policy forks the
+#: invalidation-time metadata
+DEFAULT_PLACEMENT_STATE_MARKERS: Tuple[str, ...] = (
+    "_page_temp",
+    "_page_last",
+    "_life_sum",
+    "_life_n",
+)
+
+#: class constants arithmetic on which counts as ad-hoc classification
+DEFAULT_PLACEMENT_TEMP_CONSTANTS: Tuple[str, ...] = (
+    "TEMP_HOT",
+    "TEMP_WARM",
+    "TEMP_COLD",
+    "NUM_TEMPS",
+)
+
+#: placement-consuming modules held to the relocation-flow check
+DEFAULT_PLACEMENT_MODULES: Tuple[str, ...] = (
+    "core/block_store.py",
+    "core/gc.py",
+    "gcsim/simulator.py",
+)
+
+#: calls that emit a GC relocation object (``gc=`` keyword, when
+#: present, must be the constant True to count)
+DEFAULT_PLACEMENT_RELOC_CALLS: Tuple[str, ...] = (
+    "seal_gc_batch",
+    "_store_object",
+)
+
+#: calls that count as classifier evidence dominating a relocation write
+DEFAULT_PLACEMENT_CLASSIFIER_CALLS: Tuple[str, ...] = (
+    "plan_relocation",
+    "split_relocation",
+    "on_write",
+)
+
+
 @dataclass(frozen=True)
 class LintConfig:
     """Immutable checker configuration; see module docstring."""
@@ -541,6 +592,17 @@ class LintConfig:
     fleet_forward_methods: Tuple[str, ...] = DEFAULT_FLEET_FORWARD_METHODS
     fleet_admission_calls: Tuple[str, ...] = DEFAULT_FLEET_ADMISSION_CALLS
     fleet_qos_markers: Tuple[str, ...] = DEFAULT_FLEET_QOS_MARKERS
+    # placement confinement (LSVD017)
+    placement_allow: Tuple[str, ...] = DEFAULT_PLACEMENT_ALLOW
+    placement_flow_allow: Tuple[str, ...] = ()
+    placement_policy_classes: Tuple[str, ...] = DEFAULT_PLACEMENT_POLICY_CLASSES
+    placement_state_markers: Tuple[str, ...] = DEFAULT_PLACEMENT_STATE_MARKERS
+    placement_temp_constants: Tuple[str, ...] = DEFAULT_PLACEMENT_TEMP_CONSTANTS
+    placement_modules: Tuple[str, ...] = DEFAULT_PLACEMENT_MODULES
+    placement_reloc_calls: Tuple[str, ...] = DEFAULT_PLACEMENT_RELOC_CALLS
+    placement_classifier_calls: Tuple[str, ...] = (
+        DEFAULT_PLACEMENT_CLASSIFIER_CALLS
+    )
 
     # -- code filtering --------------------------------------------------
     def code_enabled(self, code: str) -> bool:
@@ -670,6 +732,10 @@ class LintConfig:
             ),
             fleet_forward_receivers=_extend(
                 base.fleet_forward_receivers, "fleet-forward-receivers"
+            ),
+            placement_allow=_extend(base.placement_allow, "placement-allow"),
+            placement_flow_allow=_extend(
+                base.placement_flow_allow, "placement-flow-allow"
             ),
         )
 

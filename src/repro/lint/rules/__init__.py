@@ -7,6 +7,7 @@ from repro.lint.rules.durability import DurabilityOrderingRule
 from repro.lint.rules.hotpath import HotPathRule
 from repro.lint.rules.immutability import ImmutabilityRule
 from repro.lint.rules.obs import ObservabilityRule
+from repro.lint.rules.placement import PlacementConfinementRule
 from repro.lint.rules.recovery import RecoveryHandlerRule
 from repro.lint.rules.recovery_order import RecoveryMutationOrderRule
 from repro.lint.rules.sequence import SequenceHygieneRule
@@ -35,6 +36,7 @@ ALL_RULES = [
     BarrierCoalescingRule,
     SpanHygieneRule,
     TenantIsolationRule,
+    PlacementConfinementRule,
 ]
 
 __all__ = [
@@ -46,6 +48,7 @@ __all__ = [
     "HotPathRule",
     "ImmutabilityRule",
     "ObservabilityRule",
+    "PlacementConfinementRule",
     "RecoveryHandlerRule",
     "RecoveryMutationOrderRule",
     "SequenceHygieneRule",

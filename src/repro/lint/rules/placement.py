@@ -1,0 +1,246 @@
+"""LSVD017 — placement confinement: temperature classes live in one place.
+
+The write-amplification win of temperature-aware placement (SepBIT-style
+invalidation-time separation) rests on every consumer — the pure stack,
+the timed runtime, and the page-map simulator — sharing *one* classifier
+implementation in ``core/placement.py``.  The differential test holds
+the engines to identical class decisions; that guarantee dies the moment
+a second module grows its own classifier state or class arithmetic.
+Two checks, one syntactic and one flow-sensitive:
+
+1. **Confinement** — outside ``core/placement.py``, code must not
+   construct a concrete policy class (``SepBitPolicy``,
+   ``SingleClassPolicy`` — go through ``make_policy``), touch private
+   classifier state (``_page_temp``, ``_page_last``, ``_life_sum``,
+   ``_life_n``), or do arithmetic on the class constants
+   (``TEMP_HOT``/``TEMP_WARM``/``TEMP_COLD``/``NUM_TEMPS``).  Reading
+   the constants (comparisons, indexing, table sizing) stays legal:
+   only *deriving new classes* from them is classification.
+
+2. **Relocation-reenters-classifier** — inside the placement-consuming
+   modules (``core/block_store.py``, ``core/gc.py``,
+   ``gcsim/simulator.py``), any function that writes a GC relocation
+   object (``seal_gc_batch``, or a ``gc=True`` object store) must be
+   dominated by classifier evidence on every path from function entry —
+   a ``plan_relocation``/``split_relocation``/``on_write`` call.  A
+   relocation write with no classifier upstream means survivors keep a
+   stale class: exactly the slow drift toward mixed objects the
+   placement layer exists to prevent.  Helpers that receive an
+   already-classified chunk from their caller are allowlisted via
+   ``placement-flow-allow`` (``core/gc.py::_commit_chunk``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Set
+
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.flow.cfg import CFG, Edge, Node, iter_function_cfgs
+from repro.lint.flow.dataflow import BACKWARD, FlowAnalysis, solve
+from repro.lint.flow.typestate import call_name, calls_named
+from repro.lint.framework import ModuleContext, Rule
+
+RelocSet = FrozenSet[int]
+
+
+def _constructed_class(call: ast.Call) -> str:
+    """Name of the class a ``Call`` constructs (``placement.X()`` -> X)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+#: operators that can derive a new class index from a constant;
+#: multiplication/indexing by NUM_TEMPS is table sizing, a read
+_CLASS_DERIVING_OPS = (ast.Add, ast.Sub, ast.Mod)
+
+
+def _temp_operand(node: ast.BinOp, constants: FrozenSet[str]) -> str:
+    """The class-constant name an arithmetic expression consumes, if any."""
+    if not isinstance(node.op, _CLASS_DERIVING_OPS):
+        return ""
+    for side in (node.left, node.right):
+        if isinstance(side, ast.Name) and side.id in constants:
+            return side.id
+    return ""
+
+
+def _is_reloc_call(call: ast.Call, config: LintConfig) -> bool:
+    """True for calls that emit a GC relocation object.
+
+    A call carrying an explicit ``gc=`` keyword counts only when it is
+    the constant ``True`` — ``_store_object(..., gc=False)`` is the
+    destage path, which classifies at ``on_write`` time instead.
+    """
+    if call_name(call) not in config.placement_reloc_calls:
+        return False
+    for kw in call.keywords:
+        if kw.arg == "gc":
+            return isinstance(kw.value, ast.Constant) and kw.value.value is True
+    return True
+
+
+class _RelocReachability(FlowAnalysis[RelocSet]):
+    """Backward: relocation writes reachable from here with no classifier."""
+
+    direction = BACKWARD
+
+    def __init__(self, config: LintConfig, reloc_nodes: Set[int]) -> None:
+        self.config = config
+        self.reloc_nodes = reloc_nodes
+
+    def boundary(self, cfg: CFG, node: Node) -> RelocSet:
+        return frozenset()
+
+    def initial(self) -> RelocSet:
+        return frozenset()
+
+    def join(self, a: RelocSet, b: RelocSet) -> RelocSet:
+        return a | b
+
+    def transfer(self, node: Node, fact: RelocSet) -> RelocSet:
+        if calls_named(node.parts, self.config.placement_classifier_calls):
+            return frozenset()
+        if node.index in self.reloc_nodes:
+            return fact | frozenset((node.index,))
+        return fact
+
+    def transfer_edge(self, edge: Edge, fact: RelocSet) -> RelocSet:
+        return fact
+
+
+class PlacementConfinementRule(Rule):
+    """Invariant:
+        Temperature classification — policy construction, classifier
+        state, and class arithmetic — lives only in ``core/placement.py``
+        (``make_policy`` is the blessed constructor everywhere), and in
+        the placement-consuming modules every GC relocation write is
+        dominated by a classifier call, so relocated survivors always
+        re-enter the shared classifier.
+
+    Example violation::
+
+        class MyDestager:
+            def destage(self, lba, data):
+                policy = SepBitPolicy()             # second classifier
+                temp = TEMP_HOT + 1                 # ad-hoc class math
+                policy._page_temp[lba // 4096] = 0  # private state
+
+    Paper:
+        §3.5 (greedy cleaning) extended with SepBIT-style invalidation
+        -time separation; the WA reduction gated by wa_smoke holds only
+        while the simulator provably runs the same placement code as
+        the full stack.
+    """
+
+    code = "LSVD017"
+    name = "placement-confinement"
+    summary = (
+        "temperature classification (policy construction, classifier state, "
+        "class arithmetic) must stay in core/placement.py, and GC relocation "
+        "writes must be dominated by a classifier call"
+    )
+
+    def check(self, ctx: ModuleContext, config: LintConfig) -> Iterator[Diagnostic]:
+        if not config.module_allowed(ctx.path, config.placement_allow):
+            yield from self._check_confinement(ctx, config)
+        if config.module_allowed(ctx.path, config.placement_modules):
+            yield from self._check_relocation_flow(ctx, config)
+
+    # -- confinement (syntactic) ----------------------------------------
+    def _check_confinement(
+        self, ctx: ModuleContext, config: LintConfig
+    ) -> Iterator[Diagnostic]:
+        classes = frozenset(config.placement_policy_classes)
+        markers = frozenset(config.placement_state_markers)
+        constants = frozenset(config.placement_temp_constants)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = _constructed_class(node)
+                if name in classes:
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"{name}() constructed outside core/placement.py — "
+                        "a second classifier instance diverges from the "
+                        "stream the shared policy has seen",
+                        "build policies with make_policy(config) so every "
+                        "consumer runs the one shared classifier, or add "
+                        "the module to [tool.repro-lint] placement-allow "
+                        "with a review",
+                    )
+            elif isinstance(node, ast.Attribute) and node.attr in markers:
+                yield self.diag(
+                    ctx,
+                    node,
+                    f"classifier state .{node.attr} touched outside "
+                    "core/placement.py — invalidation-time metadata is "
+                    "private to the policy",
+                    "use on_write/split_relocation (classification) or the "
+                    "policy's write_bytes/reloc_bytes counters (reporting), "
+                    "or add the module to [tool.repro-lint] placement-allow "
+                    "with a review",
+                )
+            elif isinstance(node, ast.BinOp):
+                const = _temp_operand(node, constants)
+                if const:
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"arithmetic on {const} outside core/placement.py — "
+                        "deriving temperature classes is classification and "
+                        "belongs to the policy (§3.5 extension)",
+                        "let on_write/split_relocation assign classes and "
+                        "pass the result through, or add the module to "
+                        "[tool.repro-lint] placement-allow with a review",
+                    )
+
+    # -- relocation-reenters-classifier (flow) --------------------------
+    def _check_relocation_flow(
+        self, ctx: ModuleContext, config: LintConfig
+    ) -> Iterator[Diagnostic]:
+        allowed, whole = config.scoped_allow(ctx.path, config.placement_flow_allow)
+        if whole:
+            return
+        for _qualname, func, cfg in iter_function_cfgs(ctx.tree):
+            if func.name in allowed:
+                continue
+            reloc_nodes = {
+                node.index
+                for node in cfg.stmt_nodes()
+                if any(
+                    _is_reloc_call(call, config)
+                    for call in calls_named(node.parts, config.placement_reloc_calls)
+                )
+            }
+            if not reloc_nodes:
+                continue
+            solution = solve(cfg, _RelocReachability(config, reloc_nodes))
+            unguarded = solution.before.get(cfg.entry.index, frozenset())
+            for index in sorted(unguarded):
+                node = cfg.nodes[index]
+                calls = [
+                    call
+                    for call in calls_named(node.parts, config.placement_reloc_calls)
+                    if _is_reloc_call(call, config)
+                ]
+                what = f"{call_name(calls[0])}()" if calls else "relocation write"
+                yield self.diag(
+                    ctx,
+                    node.stmt or func,
+                    f"{what} is reachable from entry of {func.name}() with "
+                    "no dominating classifier call (plan_relocation/"
+                    "split_relocation/on_write) — relocated survivors keep "
+                    "a stale temperature class",
+                    "route the relocated pieces through plan_relocation "
+                    "(see GarbageCollector.execute), or allowlist the "
+                    "helper via placement-flow-allow with a review",
+                )
+
+
+__all__ = ["PlacementConfinementRule"]

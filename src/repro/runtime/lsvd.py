@@ -40,6 +40,7 @@ from typing import Deque, List, Optional, Tuple
 
 from repro.core.config import LSVDConfig
 from repro.core.log import align_up
+from repro.core.placement import TEMP_NAMES, make_policy
 from repro.gcsim.simulator import GCSimulator
 from repro.obs import Registry, bind_metrics, gauge_field, metric_field
 from repro.runtime.backend import SimulatedObjectStore
@@ -60,9 +61,9 @@ class _HookedGCSim(GCSimulator):
         super().__init__(*args, **kwargs)
         self._runtime = runtime
 
-    def _store_object(self, pages, gc: bool) -> int:
-        obj = super()._store_object(pages, gc)
-        self._runtime._on_object(len(pages) * 4096, gc)
+    def _store_object(self, pages, gc: bool, temp: int = 0) -> int:
+        obj = super()._store_object(pages, gc, temp)
+        self._runtime._on_object(len(pages) * 4096, gc, temp)
         return obj
 
     def _clean(self, victims) -> None:
@@ -147,13 +148,24 @@ class LSVDRuntime:
 
         gc_low = self.config.gc_low_watermark if gc_enabled else 1e-9
         gc_high = self.config.gc_high_watermark if gc_enabled else 2e-9
+        # the page map shares the full stack's placement implementation:
+        # the same classifier object type, victim ordering, and relocation
+        # planner (core.placement) drive this timed model
         self.pagemap = _HookedGCSim(
             self,
             volume_size=volume_size,
             batch_size=self.config.batch_size,
             gc_low=gc_low,
             gc_high=gc_high,
+            policy=make_policy(self.config),
+            gc_policy=self.config.gc_policy,
         )
+        self._class_puts = [
+            self.obs.counter(f"lsvd.class_{cls}.objects_put") for cls in TEMP_NAMES
+        ]
+        self._class_bytes_put = [
+            self.obs.counter(f"lsvd.class_{cls}.bytes_put") for cls in TEMP_NAMES
+        ]
         # one destage queue per backend shard (a plain backend is the
         # single-queue special case); routing delegates to the backend's
         # shard router so placement stays owned by repro.shard (LSVD008)
@@ -394,25 +406,28 @@ class LSVDRuntime:
     # ------------------------------------------------------------------
     # destage / GC plumbing
     # ------------------------------------------------------------------
-    def _on_object(self, nbytes: int, gc: bool) -> None:
-        """Hook: the page map sealed an object of ``nbytes``."""
+    def _on_object(self, nbytes: int, gc: bool, temp: int = 0) -> None:
+        """Hook: the page map sealed an object of ``nbytes`` in class
+        ``temp``; the class tag rides the destage queue item."""
         self._seq += 1  # lint: disable=LSVD002 -- timed model's own object counter
         key = f"{self.name}.{self._seq:08d}"
         if gc:
-            self._enqueue_destage(key, ("gcput", key, self._seq, nbytes, 0))
+            self._enqueue_destage(key, ("gcput", key, self._seq, nbytes, 0, temp))
         else:
             log_bytes, self._batch_log_bytes = self._batch_log_bytes, 0
-            self._enqueue_destage(key, ("put", key, self._seq, nbytes, log_bytes))
+            self._enqueue_destage(
+                key, ("put", key, self._seq, nbytes, log_bytes, temp)
+            )
 
     def _on_gc_read(self, nbytes: int) -> None:
         if nbytes > 0:
             key = f"{self.name}.{self._seq:08d}"
-            self._enqueue_destage(key, ("gcread", key, self._seq, nbytes, 0))
+            self._enqueue_destage(key, ("gcread", key, self._seq, nbytes, 0, 0))
 
     def _on_gc_delete(self, count: int) -> None:
         key = f"{self.name}.{self._seq:08d}"
         for _ in range(count):
-            self._enqueue_destage(key, ("delete", key, self._seq, 0, 0))
+            self._enqueue_destage(key, ("delete", key, self._seq, 0, 0, 0))
 
     def _shard_index(self, key: str) -> int:
         """Destage queue for ``key`` — the shard its PUT will land on.
@@ -436,7 +451,7 @@ class LSVDRuntime:
 
     def _destage_worker(self, queue: Store, index: int):
         while True:
-            kind, key, seq, nbytes, log_bytes, root, qwait = yield queue.get()
+            kind, key, seq, nbytes, log_bytes, temp, root, qwait = yield queue.get()
             self.destage_queue_depth -= 1
             self._queue_gauges[index].set(len(queue))
             qwait.end()
@@ -456,6 +471,8 @@ class LSVDRuntime:
                 stage.end()
                 self.objects_put += 1
                 self.backend_bytes_put += nbytes
+                self._class_puts[temp].inc()
+                self._class_bytes_put[temp].inc(nbytes)
                 self._release_space(log_bytes)
             elif kind == "gcput":
                 stage = root.begin("destage_cpu")
@@ -466,6 +483,8 @@ class LSVDRuntime:
                 stage.end()
                 self.gc_objects_put += 1
                 self.backend_bytes_put += nbytes
+                self._class_puts[temp].inc()
+                self._class_bytes_put[temp].inc(nbytes)
             elif kind == "gcread":
                 cached = int(nbytes * self.params.gc_cache_hit)
                 remote = nbytes - cached

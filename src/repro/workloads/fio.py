@@ -16,6 +16,63 @@ from repro.workloads.base import FLUSH, READ, WRITE, IOOp
 
 _MODES = {"randwrite", "randread", "write", "read", "randrw"}
 
+_DISTRIBUTIONS = {"uniform", "zipfian", "hotspot"}
+
+#: Knuth multiplicative hash, used to scatter zipfian ranks over the
+#: address space so the hot set is not one contiguous run
+_SCRAMBLE = 2654435761
+
+
+def _zeta(n: int, theta: float) -> float:
+    """Generalised harmonic number ``sum(i**-theta for i in 1..n)``.
+
+    Exact for small ``n``; for large address spaces the tail is
+    approximated by the midpoint-rule integral, which is deterministic
+    and accurate to ~1e-7 at theta=0.99 — the sampler only needs a
+    stable normaliser, not a mathematically exact one.
+    """
+    head = min(n, 10_000)
+    total = sum(i ** -theta for i in range(1, head + 1))
+    if n > head:
+        total += ((n + 0.5) ** (1.0 - theta) - (head + 0.5) ** (1.0 - theta)) / (
+            1.0 - theta
+        )
+    return total
+
+
+class _ZipfSampler:
+    """YCSB-style zipfian rank sampler (Gray et al., SIGMOD'94).
+
+    Draws ranks in ``[0, n)`` with P(rank=k) proportional to
+    ``(k+1)**-theta``; rank 0 is the hottest.  Ranks are scrambled by a
+    multiplicative hash before use so hot blocks spread across the
+    volume instead of clustering at offset zero.
+    """
+
+    def __init__(self, n: int, theta: float):
+        if not 0.0 < theta < 1.0:
+            raise ValueError("zipf_theta must be in (0, 1)")
+        self.n = n
+        self.theta = theta
+        self.zetan = _zeta(n, theta)
+        self.alpha = 1.0 / (1.0 - theta)
+        zeta2 = 1.0 + 0.5 ** theta
+        self.eta = (1.0 - (2.0 / n) ** (1.0 - theta)) / (1.0 - zeta2 / self.zetan)
+
+    def rank(self, rng: random.Random) -> int:
+        u = rng.random()
+        uz = u * self.zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return min(
+            self.n - 1, int(self.n * (self.eta * u - self.eta + 1.0) ** self.alpha)
+        )
+
+    def block(self, rng: random.Random) -> int:
+        return (self.rank(rng) * _SCRAMBLE) % self.n
+
 
 @dataclass
 class FioJob:
@@ -31,6 +88,15 @@ class FioJob:
     #: the kernel block layer merges queued adjacent requests up to this
     #: many bytes (0 disables); only sequential workloads benefit
     elevator_merge_bytes: int = 512 * 1024
+    #: offset distribution for the random modes: ``"uniform"`` (the
+    #: paper's fio grid), ``"zipfian"`` (YCSB-style skew — exercises the
+    #: hot/cold separation of the placement layer), or ``"hotspot"``
+    #: (``hotspot_rate`` of ops land in the first ``hotspot_frac`` of
+    #: the span).  Sequential modes ignore it.
+    distribution: str = "uniform"
+    zipf_theta: float = 0.99
+    hotspot_frac: float = 0.1
+    hotspot_rate: float = 0.9
 
     def __post_init__(self) -> None:
         if self.rw not in _MODES:
@@ -39,17 +105,36 @@ class FioJob:
             raise ValueError("bs must be a positive multiple of 512")
         if self.size < self.bs:
             raise ValueError("size smaller than one block")
+        if self.distribution not in _DISTRIBUTIONS:
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+        if not 0.0 < self.hotspot_frac < 1.0:
+            raise ValueError("hotspot_frac must be in (0, 1)")
+        if not 0.0 <= self.hotspot_rate <= 1.0:
+            raise ValueError("hotspot_rate must be in [0, 1]")
 
     def ops(self) -> Iterator[IOOp]:
         """Endless operation stream."""
         rng = random.Random(self.seed)
         blocks = self.size // self.bs
+        zipf = (
+            _ZipfSampler(blocks, self.zipf_theta)
+            if self.distribution == "zipfian"
+            else None
+        )
+        hot_blocks = max(1, int(blocks * self.hotspot_frac))
         cursor = 0
         writes_since_sync = 0
         while True:
             if self.rw in ("write", "read"):
                 offset = (cursor % blocks) * self.bs
                 cursor += 1
+            elif zipf is not None:
+                offset = zipf.block(rng) * self.bs
+            elif self.distribution == "hotspot":
+                if rng.random() < self.hotspot_rate:
+                    offset = rng.randrange(hot_blocks) * self.bs
+                else:
+                    offset = rng.randrange(blocks) * self.bs
             else:
                 offset = rng.randrange(blocks) * self.bs
             if self.rw in ("randwrite", "write"):
@@ -66,4 +151,7 @@ class FioJob:
                     yield IOOp(FLUSH)
 
     def label(self) -> str:
-        return f"{self.rw}-bs{self.bs // 1024}K-qd{self.iodepth}"
+        base = f"{self.rw}-bs{self.bs // 1024}K-qd{self.iodepth}"
+        if self.distribution != "uniform":
+            base += f"-{self.distribution}"
+        return base

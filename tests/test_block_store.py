@@ -32,10 +32,9 @@ def fill(bs, n_writes=40, size=4096, stride=8192):
     """Write n sequential-ish extents, sealing/committing as needed."""
     for i in range(n_writes):
         sealed = bs.add_write(i * stride, bytes([i % 255 + 1]) * size, record_seq=i + 1)
-        if sealed:
-            bs.commit(sealed)
-    sealed = bs.seal()
-    if sealed:
+        for batch in sealed:
+            bs.commit(batch)
+    for sealed in bs.seal_all():
         bs.commit(sealed)
 
 
@@ -76,13 +75,13 @@ def test_write_read_roundtrip_through_objects():
 
 def test_batch_seal_at_size():
     store, bs = make_store()
-    sealed = None
+    sealed = []
     for i in range(17):  # 17 * 4K > 64K batch
         sealed = bs.add_write(i * 4096, b"s" * 4096, record_seq=i + 1)
         if sealed:
             break
-    assert sealed is not None
-    assert sealed.data_len == 64 * 1024
+    assert len(sealed) == 1  # one class in play -> one object in the group
+    assert sealed[0].data_len == 64 * 1024
 
 
 def test_object_names_encode_order():
@@ -147,8 +146,8 @@ def test_recover_stops_at_hole_and_deletes_stranded():
     handles = {}
     for i in range(48):  # 3 objects of 16 writes each
         sealed = bs.add_write(i * 4096, bytes([i + 1]) * 4096, record_seq=i + 1)
-        if sealed:
-            handles[sealed.seq] = bs.commit(sealed)
+        for batch in sealed:
+            handles[batch.seq] = bs.commit(batch)
     assert len(handles) == 3
     seqs = sorted(handles)
     store.settle(handles[seqs[0]])  # object A lands
@@ -233,10 +232,9 @@ def test_gc_reclaims_overwritten_space():
     for round_ in range(4):  # write the same 1 MiB region repeatedly
         for i in range(256):
             sealed = bs.add_write(i * 4096, bytes([round_ + 1]) * 4096)
-            if sealed:
-                bs.commit(sealed)
-    sealed = bs.seal()
-    if sealed:
+            for batch in sealed:
+                bs.commit(batch)
+    for sealed in bs.seal_all():
         bs.commit(sealed)
     live_before, total_before = bs.occupancy()
     assert live_before / total_before < 0.5  # mostly garbage
@@ -255,10 +253,9 @@ def test_gc_then_recover_is_consistent():
     for round_ in range(3):
         for i in range(64):
             sealed = bs.add_write(i * 4096, bytes([round_ * 64 + i + 1]) * 4096)
-            if sealed:
-                bs.commit(sealed)
-    sealed = bs.seal()
-    if sealed:
+            for batch in sealed:
+                bs.commit(batch)
+    for sealed in bs.seal_all():
         bs.commit(sealed)
     run_gc(bs)
     bs2, _ = BlockStore.open(store, "vol", small_config())
@@ -273,10 +270,9 @@ def test_gc_cache_reader_short_circuits_backend_reads():
         for i in range(64):
             if round_ == 0 or i % 4 == round_ - 1:
                 sealed = bs.add_write(i * 4096, bytes([i + 1]) * 4096)
-                if sealed:
-                    bs.commit(sealed)
-    sealed = bs.seal()
-    if sealed:
+                for batch in sealed:
+                    bs.commit(batch)
+    for sealed in bs.seal_all():
         bs.commit(sealed)
     served = []
 
@@ -307,15 +303,14 @@ def test_snapshot_defers_gc_deletes():
     store, bs = make_store()
     for i in range(32):
         sealed = bs.add_write(i * 4096, b"v1" * 2048)
-        if sealed:
-            bs.commit(sealed)
+        for batch in sealed:
+            bs.commit(batch)
     snap_seq = bs.create_snapshot("snap1")
     for i in range(32):
         sealed = bs.add_write(i * 4096, b"v2" * 2048)
-        if sealed:
-            bs.commit(sealed)
-    sealed = bs.seal()
-    if sealed:
+        for batch in sealed:
+            bs.commit(batch)
+    for sealed in bs.seal_all():
         bs.commit(sealed)
     gc = run_gc(bs)
     assert gc.stats.deletes_deferred > 0
@@ -345,10 +340,9 @@ def test_snapshot_mount_sees_old_data():
     snap_seq = bs.create_snapshot("before")
     for i in range(16):
         sealed = bs.add_write(i * 4096, b"NEW!" * 1024)
-        if sealed:
-            bs.commit(sealed)
-    sealed = bs.seal()
-    if sealed:
+        for batch in sealed:
+            bs.commit(batch)
+    for sealed in bs.seal_all():
         bs.commit(sealed)
     old, _ = BlockStore.open(store, "vol", small_config(), upto=snap_seq, read_only=True)
     assert read_all(old, 0, 4096) == bytes([1]) * 4096
@@ -368,10 +362,9 @@ def test_clone_shares_base_prefix():
     # clone writes go to its own stream
     for i in range(16):
         sealed = clone.add_write(i * 4096, b"CLNE" * 1024)
-        if sealed:
-            clone.commit(sealed)
-    sealed = clone.seal()
-    if sealed:
+        for batch in sealed:
+            clone.commit(batch)
+    for sealed in clone.seal_all():
         clone.commit(sealed)
     assert read_all(clone, 0, 4096) == b"CLNE" * 1024
     # base unchanged
@@ -385,10 +378,10 @@ def test_two_clones_diverge_independently():
     c1 = BlockStore.clone_from(store, "vol", "c1", small_config())
     c2 = BlockStore.clone_from(store, "vol", "c2", small_config())
     for clone, tag in ((c1, b"1111"), (c2, b"2222")):
-        sealed = clone.add_write(0, tag * 1024)
-        if sealed is None:
-            sealed = clone.seal()
-        clone.commit(sealed)
+        for batch in clone.add_write(0, tag * 1024):
+            clone.commit(batch)
+        for batch in clone.seal_all():
+            clone.commit(batch)
     assert read_all(c1, 0, 4096) == b"1111" * 1024
     assert read_all(c2, 0, 4096) == b"2222" * 1024
 
@@ -397,10 +390,10 @@ def test_clone_recovery_roundtrip():
     store, bs = make_store()
     fill(bs, n_writes=16, size=4096, stride=4096)
     clone = BlockStore.clone_from(store, "vol", "c1", small_config())
-    sealed = clone.add_write(4096, b"zzzz" * 1024)
-    if sealed is None:
-        sealed = clone.seal()
-    clone.commit(sealed)
+    for batch in clone.add_write(4096, b"zzzz" * 1024):
+        clone.commit(batch)
+    for batch in clone.seal_all():
+        clone.commit(batch)
     c2, _ = BlockStore.open(store, "c1", small_config())
     assert read_all(c2, 0, 4096) == bytes([1]) * 4096  # from base
     assert read_all(c2, 4096, 4096) == b"zzzz" * 1024  # own write
@@ -413,10 +406,9 @@ def test_clone_gc_never_touches_base_objects():
     for round_ in range(3):
         for i in range(32):
             sealed = clone.add_write(i * 4096, bytes([round_ + 10]) * 4096)
-            if sealed:
-                clone.commit(sealed)
-    sealed = clone.seal()
-    if sealed:
+            for batch in sealed:
+                clone.commit(batch)
+    for sealed in clone.seal_all():
         clone.commit(sealed)
     base_objects_before = set(store.list("vol."))
     run_gc(clone)
@@ -431,10 +423,9 @@ def test_clone_from_snapshot():
     bs.create_snapshot("s1")
     for i in range(16):
         sealed = bs.add_write(i * 4096, b"LATE" * 1024)
-        if sealed:
-            bs.commit(sealed)
-    sealed = bs.seal()
-    if sealed:
+        for batch in sealed:
+            bs.commit(batch)
+    for sealed in bs.seal_all():
         bs.commit(sealed)
     clone = BlockStore.clone_from(store, "vol", "c1", small_config(), at_snapshot="s1")
     assert read_all(clone, 0, 4096) == bytes([1]) * 4096

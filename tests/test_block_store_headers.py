@@ -26,8 +26,9 @@ def fill_one_object(bs, tag=1):
     for i in range(16):
         sealed = bs.add_write(i * 4096, bytes([tag]) * 4096, record_seq=i + 1)
         if sealed:
-            bs.commit(sealed)
-            return sealed
+            for batch in sealed:
+                bs.commit(batch)
+            return sealed[-1]
     sealed = bs.seal()
     bs.commit(sealed)
     return sealed
@@ -106,9 +107,9 @@ def test_commit_tracks_merged_bytes():
     _store, bs = make_store()
     # two overwrites of the same 32K within one batch
     bs.add_write(0, b"a" * 32768, record_seq=1)
-    sealed = bs.add_write(0, b"b" * 32768, record_seq=2)
-    if sealed is None:
-        sealed = bs.seal()
-    bs.commit(sealed)
+    for sealed in bs.add_write(0, b"b" * 32768, record_seq=2):
+        bs.commit(sealed)
+    for sealed in bs.seal_all():
+        bs.commit(sealed)
     assert bs.stats.merged_bytes == 32768
     assert bs.stats.merge_ratio == pytest.approx(0.5)

@@ -22,14 +22,12 @@ def make_store(**kw):
 
 
 def write_and_commit(bs, lba, data):
-    sealed = bs.add_write(lba, data)
-    if sealed:
+    for sealed in bs.add_write(lba, data):
         bs.commit(sealed)
 
 
 def flush(bs):
-    sealed = bs.seal()
-    if sealed:
+    for sealed in bs.seal_all():
         bs.commit(sealed)
 
 

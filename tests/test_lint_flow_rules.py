@@ -926,3 +926,123 @@ class TestTenantIsolation:
         assert TenantIsolationRule.name == "tenant-isolation"
         assert TenantIsolationRule in ALL_RULES
         assert "§4.5" in explain_rules(["LSVD016"])
+
+
+# ---------------------------------------------------------------------------
+# LSVD017 placement-confinement
+# ---------------------------------------------------------------------------
+
+
+class TestPlacementConfinement:
+    # core/gc.py consumes placement (placement_modules) but does not own
+    # it, so both the confinement and the relocation-flow checks apply
+    KEY = "core/gc.py"
+
+    CONSTRUCTION = """
+        def setup(self):
+            self.policy = SepBitPolicy()
+    """
+
+    UNGUARDED = """
+        def requeue(self, batch, pieces, temp):
+            batch.seal_gc_batch(7, b"u", pieces, last_record_seq=0, temp=temp)
+    """
+
+    GUARDED = """
+        def execute(self, plan, batch):
+            for temp, chunk in plan_relocation(plan.pieces, self.policy, 65536):
+                batch.seal_gc_batch(7, b"u", chunk, last_record_seq=0, temp=temp)
+    """
+
+    def test_policy_construction_outside_placement_is_flagged(self):
+        diags = only(lint_src(self.KEY, self.CONSTRUCTION), "LSVD017")
+        assert len(diags) == 1
+        assert "SepBitPolicy" in diags[0].message
+
+    def test_both_policy_classes_are_confined(self):
+        for cls in ("SepBitPolicy", "SingleClassPolicy"):
+            src = f"""
+                def setup(self):
+                    self.policy = {cls}()
+            """
+            assert len(only(lint_src(self.KEY, src), "LSVD017")) == 1, cls
+
+    def test_make_policy_is_blessed_everywhere(self):
+        src = """
+            def setup(self, config):
+                self.policy = make_policy(config)
+        """
+        assert only(lint_src(self.KEY, src), "LSVD017") == []
+
+    def test_classifier_state_outside_placement_is_flagged(self):
+        src = """
+            def peek(self, policy, page):
+                return policy._page_temp[page]
+        """
+        diags = only(lint_src(self.KEY, src), "LSVD017")
+        assert len(diags) == 1
+        assert "_page_temp" in diags[0].message
+
+    def test_temp_arithmetic_outside_placement_is_flagged(self):
+        src = """
+            def demote(self, temp):
+                return TEMP_HOT + 1
+        """
+        diags = only(lint_src(self.KEY, src), "LSVD017")
+        assert len(diags) == 1
+        assert "TEMP_HOT" in diags[0].message
+
+    def test_temp_comparison_and_indexing_are_reads_not_classification(self):
+        src = """
+            def report(self, temp, rows):
+                if temp == TEMP_COLD:
+                    return rows[TEMP_COLD]
+                return [0] * NUM_TEMPS
+        """
+        assert only(lint_src(self.KEY, src), "LSVD017") == []
+
+    def test_placement_module_is_exempt(self):
+        diags = lint_src("core/placement.py", self.CONSTRUCTION)
+        assert only(diags, "LSVD017") == []
+
+    def test_unclassified_relocation_write_is_flagged(self):
+        diags = only(lint_src(self.KEY, self.UNGUARDED), "LSVD017")
+        assert len(diags) == 1
+        assert "seal_gc_batch()" in diags[0].message
+        assert "classifier" in diags[0].message
+
+    def test_relocation_through_planner_is_clean(self):
+        assert only(lint_src(self.KEY, self.GUARDED), "LSVD017") == []
+
+    def test_gc_true_store_requires_classifier_in_simulator(self):
+        src = """
+            def shortcut(self, pages, temp):
+                self._store_object(pages, gc=True, temp=temp)
+        """
+        diags = only(lint_src("gcsim/simulator.py", src), "LSVD017")
+        assert len(diags) == 1
+
+    def test_destage_store_is_not_a_relocation_write(self):
+        # gc=False is the on_write-classified destage path
+        src = """
+            def _flush(self, pages, temp):
+                self._store_object(pages, gc=False, temp=temp)
+        """
+        assert only(lint_src("gcsim/simulator.py", src), "LSVD017") == []
+
+    def test_flow_check_only_runs_in_placement_modules(self):
+        assert only(lint_src("analysis/report.py", self.UNGUARDED), "LSVD017") == []
+
+    def test_flow_allowlist_exempts_helper(self):
+        config = replace(
+            LintConfig(), placement_flow_allow=("core/gc.py::requeue",)
+        )
+        src = self.UNGUARDED
+        assert only(lint_src(self.KEY, src, config), "LSVD017") == []
+
+    def test_suppression_comment_silences(self):
+        src = """
+            def setup(self):
+                self.policy = SepBitPolicy()  # lint: disable=LSVD017 -- reviewed
+        """
+        assert only(lint_src(self.KEY, src), "LSVD017") == []

@@ -1,0 +1,219 @@
+"""Unit tests for the temperature-aware placement layer (core/placement.py).
+
+The differential test (`test_placement_differential.py`) holds the two
+engines to identical decisions; these tests pin down *what* those
+decisions are: the SepBIT inference rules, survivor demotion, victim
+ordering, and the relocation planner's chunk cuts.
+"""
+
+import pytest
+
+from repro.core.config import LSVDConfig
+from repro.core.placement import (
+    NUM_TEMPS,
+    TEMP_COLD,
+    TEMP_HOT,
+    TEMP_NAMES,
+    TEMP_WARM,
+    SepBitPolicy,
+    SingleClassPolicy,
+    make_policy,
+    plan_relocation,
+    select_victims,
+)
+
+PAGE = 4096
+
+
+# -- classifier rules ---------------------------------------------------------
+
+
+def test_first_write_is_warm():
+    p = SepBitPolicy()
+    assert p.on_write(0, PAGE) == TEMP_WARM
+
+
+def test_quick_overwrite_is_hot():
+    p = SepBitPolicy()
+    p.on_write(0, PAGE)
+    # one intervening write, then the overwrite: lifetime PAGE equals the
+    # running mean (only sample), and at-or-below the mean means hot
+    assert p.on_write(0, PAGE) == TEMP_HOT
+
+
+def test_long_lived_overwrite_is_cold():
+    p = SepBitPolicy()
+    p.on_write(0, PAGE)
+    p.on_write(PAGE, PAGE)
+    p.on_write(PAGE, PAGE)  # short lifetime drags the mean down
+    for i in range(2, 12):
+        p.on_write(i * PAGE, PAGE)  # advance the clock with first writes
+    # page 0 lived ~12 pages of clock against a mean of ~1 page: cold
+    assert p.on_write(0, PAGE) == TEMP_COLD
+
+
+def test_mean_threshold_is_exact_at_the_boundary():
+    # two pages written back to back, each overwritten after the same
+    # lifetime: both lifetimes equal the running mean exactly, and the
+    # at-or-below rule must classify both hot (integer compare, no float
+    # rounding at the knee)
+    p = SepBitPolicy()
+    p.on_write(0, PAGE)
+    p.on_write(PAGE, PAGE)
+    assert p.on_write(0, PAGE) == TEMP_HOT
+    assert p.on_write(PAGE, PAGE) == TEMP_HOT
+
+
+def test_multipage_write_classified_by_first_page():
+    p = SepBitPolicy()
+    p.on_write(0, PAGE)
+    # the 3-page overwrite starts at a known-hot page; every covered page
+    # inherits that class
+    assert p.on_write(0, 3 * PAGE) == TEMP_HOT
+    assert p._page_temp[0] == p._page_temp[1] == p._page_temp[2] == TEMP_HOT
+
+
+def test_survivor_demotion_steps_toward_cold_and_saturates():
+    p = SepBitPolicy()
+    p.on_write(0, PAGE)  # warm
+    assert p.split_relocation(0, PAGE) == [(0, PAGE, TEMP_COLD)]
+    # already cold: demotion saturates
+    assert p.split_relocation(0, PAGE) == [(0, PAGE, TEMP_COLD)]
+
+
+def test_split_relocation_is_partition_invariant():
+    """Relocating a range in one piece or page by page must produce the
+    same class assignment — the property the byte-granular stack and the
+    page-granular simulator rely on to agree."""
+    a, b = SepBitPolicy(), SepBitPolicy()
+    for p in (a, b):
+        p.on_write(0, PAGE)
+        p.on_write(0, PAGE)  # page 0 hot
+        p.on_write(PAGE, PAGE)  # page 1 warm
+    whole = a.split_relocation(0, 2 * PAGE)
+    paged = b.split_relocation(0, PAGE) + b.split_relocation(PAGE, PAGE)
+    assert whole == [(0, PAGE, TEMP_WARM), (PAGE, PAGE, TEMP_COLD)]
+    assert whole == paged
+    assert a.reloc_bytes == b.reloc_bytes
+
+
+def test_split_relocation_merges_same_class_neighbours():
+    p = SepBitPolicy()
+    p.on_write(0, 2 * PAGE)  # both pages warm
+    assert p.split_relocation(0, 2 * PAGE) == [(0, 2 * PAGE, TEMP_COLD)]
+
+
+def test_single_class_policy_uses_one_stream():
+    p = SingleClassPolicy()
+    assert p.num_temps == 1
+    assert p.on_write(0, PAGE) == TEMP_HOT
+    assert p.on_write(0, PAGE) == TEMP_HOT
+    assert p.split_relocation(0, 3 * PAGE) == [(0, 3 * PAGE, TEMP_HOT)]
+
+
+# -- construction and recording ----------------------------------------------
+
+
+def test_make_policy_from_config_and_name():
+    assert isinstance(make_policy(LSVDConfig()), SepBitPolicy)
+    assert isinstance(make_policy(LSVDConfig(placement="legacy")), SingleClassPolicy)
+    assert isinstance(make_policy("sepbit"), SepBitPolicy)
+    assert isinstance(make_policy(None), SepBitPolicy)
+    with pytest.raises(ValueError):
+        make_policy("fifo")
+
+
+def test_record_mode_traces_every_write_decision():
+    p = make_policy("sepbit", record=True)
+    assert p.on_write(0, PAGE) == TEMP_WARM
+    assert p.on_write(0, PAGE) == TEMP_HOT
+    assert p.trace == [TEMP_WARM, TEMP_HOT]
+    assert p.write_bytes[TEMP_WARM] == PAGE
+    assert p.write_bytes[TEMP_HOT] == PAGE
+    assert make_policy("sepbit").trace is None
+
+
+def test_class_constants_shape():
+    assert (TEMP_HOT, TEMP_WARM, TEMP_COLD) == (0, 1, 2)
+    assert NUM_TEMPS == 3
+    assert len(TEMP_NAMES) == NUM_TEMPS
+
+
+# -- victim selection ---------------------------------------------------------
+
+
+def test_greedy_orders_by_utilisation_then_age():
+    candidates = [(1, 50, 100), (2, 10, 100), (3, 10, 100), (4, 90, 100)]
+    assert select_victims(
+        candidates, policy="greedy", window=10, high_watermark=0.75
+    ) == [2, 3, 1]  # seq 4 is above the watermark: never worth cleaning
+
+
+def test_cost_benefit_prefers_old_sparse_objects():
+    # same utilisation: the older object scores higher benefit
+    candidates = [(1, 50, 100), (10, 50, 100)]
+    assert select_victims(
+        candidates, policy="cost_benefit", window=1, high_watermark=0.9
+    ) == [1]
+    # an old near-full object loses to a young near-empty one
+    candidates = [(1, 90, 100), (9, 5, 100)]
+    assert select_victims(
+        candidates, policy="cost_benefit", window=1, high_watermark=0.9
+    ) == [9]
+
+
+def test_cost_benefit_score_is_offset_invariant():
+    base = [(3, 30, 100), (5, 60, 100), (9, 10, 100)]
+    shifted = [(seq + 1000, live, total) for seq, live, total in base]
+    picked = select_victims(
+        base, policy="cost_benefit", window=2, high_watermark=0.9
+    )
+    picked_shifted = select_victims(
+        shifted, policy="cost_benefit", window=2, high_watermark=0.9
+    )
+    assert [seq + 1000 for seq in picked] == picked_shifted
+
+
+def test_select_victims_respects_window_and_rejects_unknown_policy():
+    candidates = [(i, 0, 100) for i in range(1, 6)]
+    assert (
+        len(select_victims(candidates, policy="greedy", window=2, high_watermark=0.9))
+        == 2
+    )
+    with pytest.raises(ValueError):
+        select_victims(candidates, policy="fifo", window=2, high_watermark=0.9)
+
+
+# -- relocation planning ------------------------------------------------------
+
+
+def test_plan_relocation_cuts_chunks_per_class_at_batch_size():
+    p = SepBitPolicy()
+    for i in range(4):
+        p.on_write(i * PAGE, PAGE)  # all warm -> demote to cold on reloc
+    pieces = [(i * PAGE, PAGE, 7, None) for i in range(4)]
+    plans = list(plan_relocation(pieces, p, batch_bytes=2 * PAGE))
+    # one class, cut every 2 pages: two full chunks
+    assert [temp for temp, _chunk in plans] == [TEMP_COLD, TEMP_COLD]
+    assert all(sum(ln for _l, ln, _s, _p in chunk) == 2 * PAGE for _t, chunk in plans)
+
+
+def test_plan_relocation_flushes_partials_coldest_last():
+    p = SepBitPolicy()
+    p.on_write(0, PAGE)
+    p.on_write(0, PAGE)  # page 0 hot -> demotes to warm
+    p.on_write(PAGE, PAGE)  # page 1 warm -> demotes to cold
+    pieces = [(0, PAGE, 7, None), (PAGE, PAGE, 7, None)]
+    plans = list(plan_relocation(pieces, p, batch_bytes=1 << 20))
+    assert [temp for temp, _chunk in plans] == [TEMP_WARM, TEMP_COLD]
+
+
+def test_plan_relocation_slices_payloads_on_class_splits():
+    p = SepBitPolicy()
+    p.on_write(0, PAGE)
+    p.on_write(0, PAGE)  # page 0 hot
+    p.on_write(PAGE, PAGE)  # page 1 warm
+    payload = bytes([1]) * PAGE + bytes([2]) * PAGE
+    plans = dict(plan_relocation([(0, 2 * PAGE, 7, payload)], p, 1 << 20))
+    assert plans[TEMP_WARM] == [(0, PAGE, 7, bytes([1]) * PAGE)]
+    assert plans[TEMP_COLD] == [(PAGE, PAGE, 7, bytes([2]) * PAGE)]

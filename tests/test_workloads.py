@@ -71,12 +71,60 @@ def test_fio_rejects_bad_params():
         FioJob(bs=1000)
     with pytest.raises(ValueError):
         FioJob(bs=4096, size=1024)
+    with pytest.raises(ValueError):
+        FioJob(distribution="pareto")
+    with pytest.raises(ValueError):
+        FioJob(distribution="hotspot", hotspot_frac=1.5)
 
 
 def test_fio_label():
     assert FioJob(rw="randwrite", bs=16 * KiB, iodepth=32).label() == (
         "randwrite-bs16K-qd32"
     )
+    assert FioJob(rw="randwrite", distribution="zipfian").label() == (
+        "randwrite-bs4K-qd16-zipfian"
+    )
+
+
+@pytest.mark.parametrize("distribution", ["zipfian", "hotspot"])
+def test_fio_skewed_distributions_deterministic_per_seed(distribution):
+    def offsets(seed):
+        job = FioJob(
+            rw="randwrite", bs=4 * KiB, size=8 * MiB, seed=seed,
+            distribution=distribution,
+        )
+        return [op.offset for op in take(job.ops(), 400)]
+
+    assert offsets(7) == offsets(7)
+    assert offsets(7) != offsets(8)
+
+
+def test_fio_zipfian_is_skewed_and_in_bounds():
+    job = FioJob(
+        rw="randwrite", bs=4 * KiB, size=8 * MiB, seed=3, distribution="zipfian"
+    )
+    ops = take(job.ops(), 4000)
+    assert all(op.offset % (4 * KiB) == 0 for op in ops)
+    assert all(0 <= op.offset < 8 * MiB for op in ops)
+    counts = {}
+    for op in ops:
+        counts[op.offset] = counts.get(op.offset, 0) + 1
+    top = sorted(counts.values(), reverse=True)
+    blocks = 8 * MiB // (4 * KiB)
+    # the 5% hottest blocks absorb most of the traffic — far from uniform,
+    # where each block would see ~2 of the 4000 ops
+    assert sum(top[: blocks // 20]) > 0.5 * len(ops)
+
+
+def test_fio_hotspot_concentrates_traffic():
+    job = FioJob(
+        rw="randwrite", bs=4 * KiB, size=8 * MiB, seed=3,
+        distribution="hotspot", hotspot_frac=0.1, hotspot_rate=0.9,
+    )
+    ops = take(job.ops(), 4000)
+    hot_limit = int((8 * MiB // (4 * KiB)) * 0.1) * 4 * KiB
+    hot = sum(1 for op in ops if op.offset < hot_limit)
+    assert 0.8 * len(ops) < hot < len(ops)
 
 
 # -- filebench: Table 3 calibration ------------------------------------------
